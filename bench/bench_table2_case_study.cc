@@ -1,0 +1,69 @@
+// Table 2 (Exp-1 case study): query Q1 of Example 3 (simplified TPC-H q11)
+// on SoH/SoK/SoC with and without Zidian — evaluation time, #data (values
+// accessed), #get invocations and communication volume, 8 workers.
+//
+// Paper shape: Zidian speeds each system up ~an order of magnitude on this
+// query, accesses ~62x less data, issues ~2000x fewer gets and ships ~28x
+// less data. Absolute values differ (simulated cluster, scaled-down data);
+// the ratios are the reproduction target.
+#include "bench/bench_util.h"
+
+using namespace zidian;
+using namespace zidian::bench;
+
+int main() {
+  Instance inst = Load(MakeTpch(24.0, 42), /*storage_nodes=*/8);
+  const std::string q1 =
+      "SELECT ps.suppkey, SUM(ps.supplycost) "
+      "FROM partsupp ps, supplier s, nation n "
+      "WHERE ps.suppkey = s.suppkey AND s.nationkey = n.nationkey "
+      "AND n.name = 'GERMANY' GROUP BY ps.suppkey";
+
+  std::printf("Table 2: Case study, Q1 of Example 3 (TPC-H, 8 workers)\n");
+  PrintRule();
+  std::printf("%-10s %12s %12s %12s %12s %12s %12s\n", "", "SoH", "SoH+Zid",
+              "SoK", "SoK+Zid", "SoC", "SoC+Zid");
+  PrintRule();
+
+  std::vector<RunStats> stats;
+  for (const auto& backend : AllBackends()) {
+    stats.push_back(RunBoth(inst, q1, backend, /*workers=*/8));
+  }
+  std::printf("%-10s", "time (s)");
+  for (const auto& s : stats) {
+    std::printf(" %12s %12s", Num(s.baseline_s).c_str(),
+                Num(s.zidian_s).c_str());
+  }
+  std::printf("\n%-10s", "#data");
+  for (const auto& s : stats) {
+    std::printf(" %12s %12s",
+                Num(double(s.baseline_m.values_accessed)).c_str(),
+                Num(double(s.zidian_m.values_accessed)).c_str());
+  }
+  std::printf("\n%-10s", "#get");
+  for (const auto& s : stats) {
+    std::printf(" %12s %12s", Num(double(s.baseline_m.get_calls)).c_str(),
+                Num(double(s.zidian_m.get_calls)).c_str());
+  }
+  std::printf("\n%-10s", "comm (KB)");
+  for (const auto& s : stats) {
+    std::printf(" %12s %12s",
+                Num(double(s.baseline_m.CommBytes()) / 1024).c_str(),
+                Num(double(s.zidian_m.CommBytes()) / 1024).c_str());
+  }
+  std::printf("\n");
+  PrintRule();
+  const auto& h = stats[0];
+  std::printf(
+      "paper-shape: Zidian wins on every backend; measured speedups "
+      "SoH %.1fx SoK %.1fx SoC %.1fx, data %.0fx, gets %.0fx, comm %.0fx\n",
+      h.baseline_s / h.zidian_s, stats[1].baseline_s / stats[1].zidian_s,
+      stats[2].baseline_s / stats[2].zidian_s,
+      double(h.baseline_m.values_accessed) /
+          double(std::max<uint64_t>(1, h.zidian_m.values_accessed)),
+      double(h.baseline_m.get_calls) /
+          double(std::max<uint64_t>(1, h.zidian_m.get_calls)),
+      double(h.baseline_m.CommBytes()) /
+          double(std::max<uint64_t>(1, h.zidian_m.CommBytes())));
+  return 0;
+}

@@ -1,0 +1,71 @@
+// BaaV schema design with T2B (§8.1, module M4): from a query workload to a
+// keyed-block schema under a storage budget.
+//
+// The example extracts QCS access patterns from the AIRCA workload (wide
+// 358-attribute tables — exactly where choosing the right partial-tuple
+// views matters), then runs T2B under shrinking budgets and reports which
+// schemas survive and which queries stay scan-free.
+//
+// Build: cmake --build build && ./build/examples/schema_designer
+#include <cstdio>
+
+#include "sql/binder.h"
+#include "workloads/workload.h"
+#include "zidian/planner.h"
+#include "zidian/t2b.h"
+
+using namespace zidian;
+
+int main() {
+  auto w = MakeAirca(1.0, 4);
+  if (!w.ok()) return 1;
+
+  // Collect the workload's access patterns.
+  std::vector<Qcs> patterns;
+  for (const auto& q : w->queries) {
+    auto spec = ParseAndBind(q.sql, w->catalog);
+    if (!spec.ok()) continue;
+    for (auto& qcs : ExtractQcs(*spec, w->catalog)) {
+      patterns.push_back(std::move(qcs));
+    }
+  }
+  std::printf("extracted %zu QCS from %zu queries, e.g.:\n", patterns.size(),
+              w->queries.size());
+  for (size_t i = 0; i < 3 && i < patterns.size(); ++i) {
+    std::printf("  %s\n", patterns[i].ToString().c_str());
+  }
+
+  uint64_t data_bytes = 0;
+  for (const auto& [name, rel] : w->data) data_bytes += rel.ByteSize();
+  std::printf("\nbase data: %llu bytes\n\n",
+              (unsigned long long)data_bytes);
+
+  std::printf("%-12s %10s %14s %12s %12s\n", "budget", "#schemas",
+              "est. bytes", "supported", "scan-free q");
+  for (double multiplier : {10.0, 0.15, 0.08, 0.02}) {
+    uint64_t budget = static_cast<uint64_t>(data_bytes * multiplier);
+    auto t2b = RunT2B(w->catalog, w->data, patterns, budget);
+    if (!t2b.ok()) return 1;
+    // How many workload queries remain scan-free over the designed schema?
+    int scan_free = 0;
+    for (const auto& q : w->queries) {
+      auto spec = ParseAndBind(q.sql, w->catalog);
+      if (!spec.ok()) continue;
+      auto sf = IsScanFree(*spec, w->catalog, t2b->schema);
+      if (sf.ok() && *sf) ++scan_free;
+    }
+    std::printf("%9.2fx %10zu %14llu %12s %9d/12\n", multiplier,
+                t2b->schema.size(),
+                (unsigned long long)t2b->estimated_bytes,
+                t2b->all_supported ? "all QCS" : "partial", scan_free);
+  }
+
+  std::printf("\ndesigned schema at 3.5x (the paper's setting):\n");
+  auto t2b = RunT2B(w->catalog, w->data, patterns,
+                    static_cast<uint64_t>(data_bytes * 3.5));
+  if (!t2b.ok()) return 1;
+  for (const auto& kv : t2b->schema.all()) {
+    std::printf("  %s\n", kv.ToString().c_str());
+  }
+  return 0;
+}

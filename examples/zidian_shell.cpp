@@ -1,0 +1,103 @@
+// Interactive driver: load one of the built-in workloads into the simulated
+// cluster, then type SQL against it. Each answer reports the route Zidian
+// chose (scan-free / KBA with scans / TaaV fallback), the storage counters,
+// and the simulated time per backend, with the baseline run alongside.
+//
+// Usage:  ./build/examples/zidian_shell [tpch|mot|airca] [scale]
+// Meta commands: \plan (toggle plan printing), \schema (BaaV schema),
+//                \tables (catalog), \q (quit).
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "storage/backend.h"
+#include "workloads/workload.h"
+#include "zidian/zidian.h"
+
+using namespace zidian;
+
+int main(int argc, char** argv) {
+  std::string which = argc > 1 ? argv[1] : "tpch";
+  double scale = argc > 2 ? std::atof(argv[2]) : 1.0;
+
+  std::printf("loading %s at scale %.2f ...\n", which.c_str(), scale);
+  Result<Workload> w = which == "mot"     ? MakeMot(scale, 42)
+                       : which == "airca" ? MakeAirca(scale, 42)
+                                          : MakeTpch(scale, 42);
+  if (!w.ok()) {
+    std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
+    return 1;
+  }
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 8});
+  Zidian zidian(&w->catalog, &cluster, w->baav);
+  if (!zidian.LoadTaav(w->data).ok() || !zidian.BuildBaav(w->data).ok()) {
+    std::fprintf(stderr, "load failed\n");
+    return 1;
+  }
+  std::printf("%llu rows across %zu tables; %zu KV schemas (T2B)\n",
+              (unsigned long long)w->TotalRows(), w->catalog.size(),
+              w->baav.all().size());
+  std::printf("type SQL, or \\tables \\schema \\plan \\q\n");
+
+  bool show_plan = false;
+  std::string line;
+  while (true) {
+    std::printf("zidian> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    if (line.empty()) continue;
+    if (line == "\\q") break;
+    if (line == "\\plan") {
+      show_plan = !show_plan;
+      std::printf("plan printing %s\n", show_plan ? "on" : "off");
+      continue;
+    }
+    if (line == "\\tables") {
+      for (const auto& name : w->catalog.TableNames()) {
+        const TableSchema* t = w->catalog.Find(name);
+        std::printf("  %s(%zu attributes, pk", name.c_str(), t->arity());
+        for (const auto& pk : t->primary_key()) std::printf(" %s", pk.c_str());
+        std::printf(")\n");
+      }
+      continue;
+    }
+    if (line == "\\schema") {
+      for (const auto& kv : w->baav.all()) {
+        std::printf("  %s\n", kv.ToString().c_str());
+      }
+      continue;
+    }
+
+    AnswerInfo info;
+    auto result = zidian.Answer(line, /*workers=*/8, &info);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    std::printf("%s", result->ToString(12).c_str());
+    const char* route =
+        info.route == AnswerInfo::Route::kKbaScanFree    ? "KBA scan-free"
+        : info.route == AnswerInfo::Route::kKbaWithScans ? "KBA with scans"
+                                                         : "TaaV fallback";
+    std::printf("(%zu rows) route=%s%s%s | gets=%llu nexts=%llu "
+                "values=%llu comm=%lluB\n",
+                result->size(), route, info.bounded ? " bounded" : "",
+                info.stats_pushdown ? " stats-pushdown" : "",
+                (unsigned long long)info.metrics.get_calls,
+                (unsigned long long)info.metrics.next_calls,
+                (unsigned long long)info.metrics.values_accessed,
+                (unsigned long long)info.metrics.CommBytes());
+    QueryMetrics base;
+    if (zidian.AnswerBaseline(line, 8, &base).ok()) {
+      std::printf("sim time:");
+      for (const auto& backend : AllBackends()) {
+        std::printf("  %s %.4fs (base %.4fs)", backend.name.c_str(),
+                    SimSeconds(info.metrics, backend),
+                    SimSeconds(base, backend));
+      }
+      std::printf("\n");
+    }
+    if (show_plan) std::printf("plan:\n%s", info.plan_text.c_str());
+  }
+  return 0;
+}

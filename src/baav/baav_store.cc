@@ -1,0 +1,350 @@
+#include "baav/baav_store.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/coding.h"
+
+namespace zidian {
+
+BaavStore::BaavStore(Cluster* cluster, BaavSchema schema,
+                     const Catalog* catalog, BaavStoreOptions options)
+    : cluster_(cluster),
+      schema_(std::move(schema)),
+      catalog_(catalog),
+      options_(options) {}
+
+std::string BaavStore::InstancePrefix(const KvSchema& kv) const {
+  std::string key = "B";
+  EncodeOrderedString(&key, kv.name);
+  return key;
+}
+
+std::string BaavStore::SegmentKey(const KvSchema& kv, const Tuple& key,
+                                  uint64_t segment) const {
+  std::string k = InstancePrefix(kv);
+  k += EncodeKeyTuple(key);
+  EncodeOrderedInt64(&k, static_cast<int64_t>(segment));
+  return k;
+}
+
+Result<Tuple> BaavStore::ProjectTuple(
+    const KvSchema& kv, const Tuple& tuple,
+    const std::vector<std::string>& attrs) const {
+  ZIDIAN_ASSIGN_OR_RETURN(TableSchema rel, catalog_->Get(kv.relation));
+  Tuple out;
+  out.reserve(attrs.size());
+  for (const auto& a : attrs) {
+    int i = rel.ColumnIndex(a);
+    if (i < 0) {
+      return Status::InvalidArgument("attribute " + a + " not in " +
+                                     kv.relation);
+    }
+    if (static_cast<size_t>(i) >= tuple.size()) {
+      return Status::InvalidArgument("tuple arity mismatch for " +
+                                     kv.relation);
+    }
+    out.push_back(tuple[static_cast<size_t>(i)]);
+  }
+  return out;
+}
+
+Status BaavStore::WriteBlock(const KvSchema& kv, const Tuple& key,
+                             const std::vector<Tuple>& rows) {
+  // Determine the previous segment count so stale segments get deleted.
+  uint64_t old_segments = 0;
+  {
+    auto res = cluster_->Get(SegmentKey(kv, key, 0), nullptr);
+    if (res.ok()) {
+      std::string_view sv = res.value();
+      GetVarint64(&sv, &old_segments);
+    }
+  }
+
+  if (rows.empty()) {
+    for (uint64_t s = 0; s < old_segments; ++s) {
+      ZIDIAN_RETURN_NOT_OK(cluster_->Delete(SegmentKey(kv, key, s)));
+    }
+    return Status::OK();
+  }
+
+  // Split rows into segments so each encoded segment stays under the
+  // threshold. Estimate rows per segment from average tuple size.
+  size_t arity = kv.value_attrs.size();
+  size_t total_bytes = 0;
+  for (const auto& r : rows) total_bytes += TupleByteSize(r) + 2;
+  size_t threshold = std::max<size_t>(options_.block_split_threshold_bytes, 64);
+  size_t num_segments = (total_bytes + threshold - 1) / threshold;
+  num_segments = std::max<size_t>(num_segments, 1);
+  size_t per_segment = (rows.size() + num_segments - 1) / num_segments;
+
+  uint64_t seg = 0;
+  for (size_t start = 0; start < rows.size(); start += per_segment, ++seg) {
+    size_t end = std::min(rows.size(), start + per_segment);
+    std::vector<Tuple> part(rows.begin() + static_cast<long>(start),
+                            rows.begin() + static_cast<long>(end));
+    std::string value;
+    if (seg == 0) PutVarint64(&value, num_segments);
+    value += EncodeBlock(part, arity, options_.block);
+    ZIDIAN_RETURN_NOT_OK(cluster_->Put(SegmentKey(kv, key, seg), value));
+  }
+  for (uint64_t s = seg; s < old_segments; ++s) {
+    ZIDIAN_RETURN_NOT_OK(cluster_->Delete(SegmentKey(kv, key, s)));
+  }
+
+  auto& deg = degree_[kv.name];
+  deg = std::max<uint64_t>(deg, rows.size());
+  return Status::OK();
+}
+
+Status BaavStore::BuildInstance(const KvSchema& kv, const Relation& data) {
+  ZIDIAN_ASSIGN_OR_RETURN(TableSchema rel, catalog_->Get(kv.relation));
+  // Column indexes of X and Y in the relation layout.
+  std::vector<int> xidx, yidx;
+  for (const auto& a : kv.key_attrs) {
+    int i = data.ColumnIndex(a);
+    if (i < 0) return Status::InvalidArgument("missing key attr " + a);
+    xidx.push_back(i);
+  }
+  for (const auto& a : kv.value_attrs) {
+    int i = data.ColumnIndex(a);
+    if (i < 0) return Status::InvalidArgument("missing value attr " + a);
+    yidx.push_back(i);
+  }
+  // Group by X (the mapping of §4.1: project on XY, group by X). Bag
+  // semantics are preserved; the block codec compresses duplicates.
+  std::unordered_map<Tuple, std::vector<Tuple>, TupleHasher> groups;
+  for (const auto& row : data.rows()) {
+    Tuple x, y;
+    x.reserve(xidx.size());
+    y.reserve(yidx.size());
+    for (int i : xidx) x.push_back(row[static_cast<size_t>(i)]);
+    for (int i : yidx) y.push_back(row[static_cast<size_t>(i)]);
+    groups[std::move(x)].push_back(std::move(y));
+  }
+  uint64_t deg = 0;
+  for (auto& [key, rows] : groups) {
+    deg = std::max<uint64_t>(deg, rows.size());
+    ZIDIAN_RETURN_NOT_OK(WriteBlock(kv, key, rows));
+  }
+  degree_[kv.name] = deg;
+  return Status::OK();
+}
+
+Status BaavStore::BuildAll(const std::map<std::string, Relation>& db) {
+  for (const auto& kv : schema_.all()) {
+    auto it = db.find(kv.relation);
+    if (it == db.end()) {
+      return Status::InvalidArgument("no data for relation " + kv.relation);
+    }
+    ZIDIAN_RETURN_NOT_OK(BuildInstance(kv, it->second));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Tuple>> BaavStore::GetBlock(const KvSchema& kv,
+                                               const Tuple& key,
+                                               QueryMetrics* m) const {
+  std::vector<Tuple> rows;
+  auto first = cluster_->Get(SegmentKey(kv, key, 0), m);
+  if (!first.ok()) return rows;  // absent key: empty block
+  std::string_view sv = first.value();
+  uint64_t segments = 0;
+  if (!GetVarint64(&sv, &segments) || segments == 0) {
+    return Status::Corruption("bad segment header in " + kv.name);
+  }
+  ZIDIAN_RETURN_NOT_OK(DecodeBlock(sv, kv.value_attrs.size(), &rows));
+  for (uint64_t s = 1; s < segments; ++s) {
+    ZIDIAN_ASSIGN_OR_RETURN(std::string data,
+                            cluster_->Get(SegmentKey(kv, key, s), m));
+    std::vector<Tuple> part;
+    ZIDIAN_RETURN_NOT_OK(DecodeBlock(data, kv.value_attrs.size(), &part));
+    rows.insert(rows.end(), std::make_move_iterator(part.begin()),
+                std::make_move_iterator(part.end()));
+  }
+  if (m != nullptr) {
+    m->values_accessed += rows.size() * kv.value_attrs.size() + key.size();
+  }
+  return rows;
+}
+
+Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
+                                            const Tuple& key,
+                                            QueryMetrics* m) const {
+  size_t arity = kv.value_attrs.size();
+  BlockStats total;
+  total.columns.assign(arity, BlockColumnStats{});
+  auto first = cluster_->Get(SegmentKey(kv, key, 0), nullptr);
+  if (!first.ok()) return total;  // absent: zero rows
+  std::string_view sv = first.value();
+  uint64_t segments = 0;
+  if (!GetVarint64(&sv, &segments) || segments == 0) {
+    return Status::Corruption("bad segment header in " + kv.name);
+  }
+  auto merge = [&](const BlockStats& part) {
+    total.row_count += part.row_count;
+    for (size_t c = 0; c < arity; ++c) {
+      const auto& s = part.columns[c];
+      if (!s.numeric) continue;
+      auto& t = total.columns[c];
+      if (t.count == 0) {
+        t = s;
+      } else {
+        t.min = std::min(t.min, s.min);
+        t.max = std::max(t.max, s.max);
+        t.sum += s.sum;
+        t.count += s.count;
+      }
+      t.numeric = true;
+    }
+  };
+  BlockStats part;
+  ZIDIAN_RETURN_NOT_OK(DecodeBlockStats(sv, arity, &part));
+  merge(part);
+  // Meter: one get per segment, but only header-sized payloads move.
+  if (m != nullptr) {
+    m->get_calls += 1;
+    m->bytes_from_storage += 16 + arity * 26;
+    m->values_accessed += arity;
+  }
+  for (uint64_t s = 1; s < segments; ++s) {
+    auto res = cluster_->Get(SegmentKey(kv, key, s), nullptr);
+    if (!res.ok()) return res.status();
+    BlockStats seg_stats;
+    ZIDIAN_RETURN_NOT_OK(
+        DecodeBlockStats(res.value(), arity, &seg_stats));
+    merge(seg_stats);
+    if (m != nullptr) {
+      m->get_calls += 1;
+      m->bytes_from_storage += 16 + arity * 26;
+      m->values_accessed += arity;
+    }
+  }
+  return total;
+}
+
+Status BaavStore::ScanInstance(
+    const KvSchema& kv, QueryMetrics* m,
+    const std::function<void(const Tuple&, const std::vector<Tuple>&)>& fn)
+    const {
+  std::string prefix = InstancePrefix(kv);
+  Status st = Status::OK();
+  // Collect per-key segments: hash partitioning scatters segments across
+  // nodes, so group by X first, then decode in segment order.
+  std::map<std::string, std::map<int64_t, std::string>> by_key;
+  cluster_->ScanPrefix(prefix, m,
+                       [&](std::string_view key, std::string_view value) {
+                         std::string_view rest = key.substr(prefix.size());
+                         // Trailing 8 bytes: ordered int64 segment number.
+                         if (rest.size() < 8) {
+                           st = Status::Corruption("short BaaV key");
+                           return;
+                         }
+                         std::string_view seg_view =
+                             rest.substr(rest.size() - 8);
+                         std::string xpart(rest.substr(0, rest.size() - 8));
+                         int64_t seg;
+                         if (!DecodeOrderedInt64(&seg_view, &seg)) {
+                           st = Status::Corruption("bad segment suffix");
+                           return;
+                         }
+                         by_key[xpart][seg] = std::string(value);
+                       });
+  ZIDIAN_RETURN_NOT_OK(st);
+  for (const auto& [xpart, segments] : by_key) {
+    Tuple key;
+    if (!DecodeKeyTuple(xpart, kv.key_attrs.size(), &key)) {
+      return Status::Corruption("bad BaaV key for " + kv.name);
+    }
+    std::vector<Tuple> rows;
+    for (const auto& [seg_no, data] : segments) {
+      std::string_view sv = data;
+      if (seg_no == 0) {
+        uint64_t n;
+        if (!GetVarint64(&sv, &n)) {
+          return Status::Corruption("bad segment header");
+        }
+      }
+      std::vector<Tuple> part;
+      ZIDIAN_RETURN_NOT_OK(DecodeBlock(sv, kv.value_attrs.size(), &part));
+      rows.insert(rows.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+    }
+    if (m != nullptr) {
+      m->values_accessed += rows.size() * kv.value_attrs.size() + key.size();
+    }
+    fn(key, rows);
+  }
+  return Status::OK();
+}
+
+uint64_t BaavStore::Degree(const KvSchema& kv) const {
+  auto it = degree_.find(kv.name);
+  if (it != degree_.end()) return it->second;
+  uint64_t deg = 0;
+  QueryMetrics scratch;
+  ScanInstance(kv, &scratch, [&](const Tuple&, const std::vector<Tuple>& rows) {
+    deg = std::max<uint64_t>(deg, rows.size());
+  });
+  degree_[kv.name] = deg;
+  return deg;
+}
+
+uint64_t BaavStore::MaxDegree() const {
+  uint64_t deg = 0;
+  for (const auto& kv : schema_.all()) deg = std::max(deg, Degree(kv));
+  return deg;
+}
+
+Result<std::vector<Tuple>> BaavStore::ReadBlockRaw(const KvSchema& kv,
+                                                   const Tuple& key) const {
+  return GetBlock(kv, key, nullptr);
+}
+
+Status BaavStore::ApplyInsert(const std::string& relation,
+                              const Tuple& tuple) {
+  for (const auto* kv : schema_.ForRelation(relation)) {
+    ZIDIAN_ASSIGN_OR_RETURN(Tuple x, ProjectTuple(*kv, tuple, kv->key_attrs));
+    ZIDIAN_ASSIGN_OR_RETURN(Tuple y,
+                            ProjectTuple(*kv, tuple, kv->value_attrs));
+    ZIDIAN_ASSIGN_OR_RETURN(std::vector<Tuple> rows, ReadBlockRaw(*kv, x));
+    rows.push_back(std::move(y));
+    ZIDIAN_RETURN_NOT_OK(WriteBlock(*kv, x, rows));
+  }
+  return Status::OK();
+}
+
+Status BaavStore::ApplyDelete(const std::string& relation,
+                              const Tuple& tuple) {
+  for (const auto* kv : schema_.ForRelation(relation)) {
+    ZIDIAN_ASSIGN_OR_RETURN(Tuple x, ProjectTuple(*kv, tuple, kv->key_attrs));
+    ZIDIAN_ASSIGN_OR_RETURN(Tuple y,
+                            ProjectTuple(*kv, tuple, kv->value_attrs));
+    ZIDIAN_ASSIGN_OR_RETURN(std::vector<Tuple> rows, ReadBlockRaw(*kv, x));
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (rows[i] == y) {
+        rows.erase(rows.begin() + static_cast<long>(i));
+        break;
+      }
+    }
+    ZIDIAN_RETURN_NOT_OK(WriteBlock(*kv, x, rows));
+  }
+  return Status::OK();
+}
+
+int BaavStore::NodeForBlock(const KvSchema& kv, const Tuple& key) const {
+  return cluster_->NodeFor(SegmentKey(kv, key, 0));
+}
+
+uint64_t BaavStore::InstanceBytes(const KvSchema& kv) const {
+  std::string prefix = InstancePrefix(kv);
+  uint64_t bytes = 0;
+  QueryMetrics scratch;
+  cluster_->ScanPrefix(prefix, &scratch,
+                       [&](std::string_view key, std::string_view value) {
+                         bytes += key.size() + value.size();
+                       });
+  return bytes;
+}
+
+}  // namespace zidian

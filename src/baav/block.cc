@@ -1,0 +1,206 @@
+#include "baav/block.h"
+
+#include <algorithm>
+#include <cstring>
+#include <map>
+
+#include "common/coding.h"
+
+namespace zidian {
+
+namespace {
+constexpr uint64_t kFlagCompressed = 1;
+constexpr uint64_t kFlagStats = 2;
+
+void PutDouble(std::string* dst, double d) {
+  uint64_t bits;
+  std::memcpy(&bits, &d, 8);
+  PutFixed64(dst, bits);
+}
+
+bool GetDouble(std::string_view* src, double* d) {
+  uint64_t bits;
+  if (!GetFixed64(src, &bits)) return false;
+  std::memcpy(d, &bits, 8);
+  return true;
+}
+}  // namespace
+
+std::string EncodeBlock(const std::vector<Tuple>& rows, size_t arity,
+                        const BlockOptions& options) {
+  std::string out;
+  // Statistics headers only pay off when they summarize several tuples; for
+  // near-singleton blocks (degree-1 instances) the header would outweigh
+  // the data, so it is omitted and readers recompute on demand.
+  bool with_stats = options.stats && rows.size() >= 4;
+  uint64_t flags = (options.compress ? kFlagCompressed : 0) |
+                   (with_stats ? kFlagStats : 0);
+  PutVarint64(&out, flags);
+  PutVarint64(&out, rows.size());
+
+  // Entry list (and counts if compressing).
+  std::vector<std::pair<const Tuple*, uint64_t>> entries;
+  std::map<std::string, size_t> seen;  // payload -> entry index
+  std::vector<std::string> payloads;
+  if (options.compress) {
+    for (const auto& row : rows) {
+      std::string payload;
+      EncodeTuplePayload(row, &payload);
+      auto [it, inserted] = seen.emplace(std::move(payload), entries.size());
+      if (inserted) {
+        entries.emplace_back(&row, 1);
+      } else {
+        entries[it->second].second += 1;
+      }
+    }
+    payloads.resize(entries.size());
+    for (const auto& [payload, idx] : seen) payloads[idx] = payload;
+  } else {
+    for (const auto& row : rows) {
+      entries.emplace_back(&row, 1);
+      std::string payload;
+      EncodeTuplePayload(row, &payload);
+      payloads.push_back(std::move(payload));
+    }
+  }
+  PutVarint64(&out, entries.size());
+
+  if (with_stats) {
+    std::vector<BlockColumnStats> cols(arity);
+    for (const auto& row : rows) {
+      for (size_t c = 0; c < arity && c < row.size(); ++c) {
+        const Value& v = row[c];
+        if (!v.IsNumeric()) continue;
+        auto& s = cols[c];
+        double d = v.Numeric();
+        if (s.count == 0) {
+          s.min = d;
+          s.max = d;
+        } else {
+          s.min = std::min(s.min, d);
+          s.max = std::max(s.max, d);
+        }
+        s.sum += d;
+        s.count += 1;
+        s.numeric = true;
+      }
+    }
+    for (const auto& s : cols) {
+      out.push_back(s.numeric ? 1 : 0);
+      if (!s.numeric) continue;
+      PutVarint64(&out, s.count);
+      PutDouble(&out, s.min);
+      PutDouble(&out, s.max);
+      PutDouble(&out, s.sum);
+    }
+  }
+
+  for (size_t i = 0; i < entries.size(); ++i) {
+    out += payloads[i];
+    if (options.compress) PutVarint64(&out, entries[i].second);
+  }
+  return out;
+}
+
+namespace {
+
+Status DecodeHeader(std::string_view* sv, uint64_t* flags,
+                    uint64_t* row_count, uint64_t* entry_count) {
+  if (!GetVarint64(sv, flags) || !GetVarint64(sv, row_count) ||
+      !GetVarint64(sv, entry_count)) {
+    return Status::Corruption("bad block header");
+  }
+  return Status::OK();
+}
+
+Status DecodeStatsSection(std::string_view* sv, size_t arity,
+                          BlockStats* out) {
+  out->columns.assign(arity, BlockColumnStats{});
+  for (size_t c = 0; c < arity; ++c) {
+    if (sv->empty()) return Status::Corruption("truncated stats");
+    bool numeric = sv->front() != 0;
+    sv->remove_prefix(1);
+    if (!numeric) continue;
+    auto& s = out->columns[c];
+    s.numeric = true;
+    if (!GetVarint64(sv, &s.count) || !GetDouble(sv, &s.min) ||
+        !GetDouble(sv, &s.max) || !GetDouble(sv, &s.sum)) {
+      return Status::Corruption("truncated stats column");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status DecodeBlock(std::string_view data, size_t arity,
+                   std::vector<Tuple>* rows) {
+  std::string_view sv = data;
+  uint64_t flags, row_count, entry_count;
+  ZIDIAN_RETURN_NOT_OK(DecodeHeader(&sv, &flags, &row_count, &entry_count));
+  if (flags & kFlagStats) {
+    BlockStats scratch;
+    ZIDIAN_RETURN_NOT_OK(DecodeStatsSection(&sv, arity, &scratch));
+  }
+  rows->clear();
+  rows->reserve(row_count);
+  for (uint64_t i = 0; i < entry_count; ++i) {
+    Tuple t;
+    if (!DecodeTuplePayload(&sv, arity, &t)) {
+      return Status::Corruption("bad block entry");
+    }
+    uint64_t mult = 1;
+    if (flags & kFlagCompressed) {
+      if (!GetVarint64(&sv, &mult)) return Status::Corruption("bad count");
+    }
+    for (uint64_t k = 1; k < mult; ++k) rows->push_back(t);
+    rows->push_back(std::move(t));
+  }
+  if (rows->size() != row_count) {
+    return Status::Corruption("block row count mismatch");
+  }
+  return Status::OK();
+}
+
+Status DecodeBlockStats(std::string_view data, size_t arity,
+                        BlockStats* out) {
+  std::string_view sv = data;
+  uint64_t flags, row_count, entry_count;
+  ZIDIAN_RETURN_NOT_OK(DecodeHeader(&sv, &flags, &row_count, &entry_count));
+  out->row_count = row_count;
+  if (!(flags & kFlagStats)) {
+    // Small blocks omit the header (see EncodeBlock): recompute from the
+    // tuples — still cheap, the block is tiny by construction.
+    std::vector<Tuple> rows;
+    ZIDIAN_RETURN_NOT_OK(DecodeBlock(data, arity, &rows));
+    out->columns.assign(arity, BlockColumnStats{});
+    for (const auto& row : rows) {
+      for (size_t c = 0; c < arity && c < row.size(); ++c) {
+        if (!row[c].IsNumeric()) continue;
+        auto& s = out->columns[c];
+        double d = row[c].Numeric();
+        if (s.count == 0) {
+          s.min = d;
+          s.max = d;
+        } else {
+          s.min = std::min(s.min, d);
+          s.max = std::max(s.max, d);
+        }
+        s.sum += d;
+        s.count += 1;
+        s.numeric = true;
+      }
+    }
+    return Status::OK();
+  }
+  return DecodeStatsSection(&sv, arity, out);
+}
+
+Result<uint64_t> BlockRowCount(std::string_view data) {
+  std::string_view sv = data;
+  uint64_t flags, row_count, entry_count;
+  ZIDIAN_RETURN_NOT_OK(DecodeHeader(&sv, &flags, &row_count, &entry_count));
+  return row_count;
+}
+
+}  // namespace zidian

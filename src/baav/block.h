@@ -1,0 +1,58 @@
+// Keyed-block codec (§8.2): a block B of Y-tuples is encapsulated as one KV
+// value. The codec implements the two "added functionality" features:
+//  * Compression: B stores distinct Y-tuples with multiplicity counters,
+//    preserving bag semantics of the source relation.
+//  * Statistics: a header carries per-numeric-column count/min/max/sum so
+//    grouped aggregates keyed on X can be answered from the header alone
+//    (DecodeBlockStats) without materializing the tuples.
+//
+// Layout:
+//   varint  format flags (bit0 compressed, bit1 has stats)
+//   varint  row_count (logical rows incl. multiplicities)
+//   varint  entry_count (distinct rows if compressed, == row_count otherwise)
+//   [stats] per column: 1 byte numeric?, then count/min/max/sum as fixed64
+//   entries: tuple payload [+ varint multiplicity if compressed]
+#ifndef ZIDIAN_BAAV_BLOCK_H_
+#define ZIDIAN_BAAV_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace zidian {
+
+struct BlockOptions {
+  bool compress = true;
+  bool stats = true;
+};
+
+struct BlockColumnStats {
+  bool numeric = false;
+  uint64_t count = 0;  ///< non-null numeric values
+  double min = 0, max = 0, sum = 0;
+};
+
+struct BlockStats {
+  uint64_t row_count = 0;
+  std::vector<BlockColumnStats> columns;  ///< one per Y attribute
+};
+
+/// Serializes `rows` (each of the given arity) into a block value.
+std::string EncodeBlock(const std::vector<Tuple>& rows, size_t arity,
+                        const BlockOptions& options);
+
+/// Full decode; multiplicities are re-expanded (bag semantics).
+Status DecodeBlock(std::string_view data, size_t arity,
+                   std::vector<Tuple>* rows);
+
+/// Header-only decode; touches O(arity) bytes regardless of block size.
+Status DecodeBlockStats(std::string_view data, size_t arity, BlockStats* out);
+
+/// Logical row count without materializing tuples.
+Result<uint64_t> BlockRowCount(std::string_view data);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_BAAV_BLOCK_H_

@@ -1,0 +1,77 @@
+#include "baav/kv_schema.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace zidian {
+
+std::vector<std::string> KvSchema::AllAttrs() const {
+  std::vector<std::string> all = key_attrs;
+  all.insert(all.end(), value_attrs.begin(), value_attrs.end());
+  return all;
+}
+
+bool KvSchema::HasAttr(const std::string& attr) const {
+  return std::find(key_attrs.begin(), key_attrs.end(), attr) !=
+             key_attrs.end() ||
+         std::find(value_attrs.begin(), value_attrs.end(), attr) !=
+             value_attrs.end();
+}
+
+std::string KvSchema::ToString() const {
+  std::ostringstream os;
+  os << name << " = ~" << relation << "<";
+  for (size_t i = 0; i < key_attrs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << key_attrs[i];
+  }
+  os << " | ";
+  for (size_t i = 0; i < value_attrs.size(); ++i) {
+    if (i > 0) os << ",";
+    os << value_attrs[i];
+  }
+  os << ">";
+  return os.str();
+}
+
+Status BaavSchema::Add(KvSchema schema) {
+  if (Find(schema.name) != nullptr) {
+    return Status::AlreadyExists("kv schema " + schema.name);
+  }
+  schemas_.push_back(std::move(schema));
+  return Status::OK();
+}
+
+const KvSchema* BaavSchema::Find(const std::string& name) const {
+  for (const auto& s : schemas_) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+std::vector<const KvSchema*> BaavSchema::ForRelation(
+    const std::string& relation) const {
+  std::vector<const KvSchema*> out;
+  for (const auto& s : schemas_) {
+    if (s.relation == relation) out.push_back(&s);
+  }
+  return out;
+}
+
+KvSchema MakeKvSchema(const std::string& relation,
+                      std::vector<std::string> key_attrs,
+                      std::vector<std::string> value_attrs) {
+  KvSchema s;
+  s.relation = relation;
+  s.key_attrs = std::move(key_attrs);
+  s.value_attrs = std::move(value_attrs);
+  std::string name = relation + "@";
+  for (size_t i = 0; i < s.key_attrs.size(); ++i) {
+    if (i > 0) name += "_";
+    name += s.key_attrs[i];
+  }
+  s.name = std::move(name);
+  return s;
+}
+
+}  // namespace zidian

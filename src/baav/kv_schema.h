@@ -1,0 +1,51 @@
+// BaaV schemas (§4.1): a KV schema ~R<X,Y> declares keyed blocks (k, B)
+// where k is a tuple over key attributes X and B a set of partial tuples
+// over value attributes Y. A BaaV schema ~R is a set of KV schemas; by the
+// paper's convention each KV schema draws its attributes from one relation.
+#ifndef ZIDIAN_BAAV_KV_SCHEMA_H_
+#define ZIDIAN_BAAV_KV_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace zidian {
+
+struct KvSchema {
+  std::string name;                     ///< unique instance id
+  std::string relation;                 ///< source relation schema
+  std::vector<std::string> key_attrs;   ///< X
+  std::vector<std::string> value_attrs; ///< Y
+  /// Optional primary key W subseteq XY (distinctness of Y-tuples per key on
+  /// W ∩ Y, §4.1). Empty = none declared.
+  std::vector<std::string> primary_key;
+
+  /// att(~R) = X ∪ Y, in X-then-Y order.
+  std::vector<std::string> AllAttrs() const;
+  bool HasAttr(const std::string& attr) const;
+
+  std::string ToString() const;
+};
+
+/// A set of KV schemas with name lookup.
+class BaavSchema {
+ public:
+  Status Add(KvSchema schema);
+  const KvSchema* Find(const std::string& name) const;
+  std::vector<const KvSchema*> ForRelation(const std::string& relation) const;
+  const std::vector<KvSchema>& all() const { return schemas_; }
+  size_t size() const { return schemas_.size(); }
+
+ private:
+  std::vector<KvSchema> schemas_;
+};
+
+/// Convenience constructor: derives the name "<relation>@<x1,_x2>".
+KvSchema MakeKvSchema(const std::string& relation,
+                      std::vector<std::string> key_attrs,
+                      std::vector<std::string> value_attrs);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_BAAV_KV_SCHEMA_H_

@@ -1,0 +1,37 @@
+// 64-bit hashing used for DHT partitioning, hash joins and bloom filters.
+#ifndef ZIDIAN_COMMON_HASH_H_
+#define ZIDIAN_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace zidian {
+
+/// SplitMix64 finalizer: a cheap, well-distributed avalanche of a 64-bit int.
+inline uint64_t Mix64(uint64_t x) {
+  x += 0x9E3779B97F4A7C15ull;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ull;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBull;
+  return x ^ (x >> 31);
+}
+
+/// FNV-1a with a SplitMix finalizer; good enough for partitioning and joins,
+/// deterministic across platforms (required for reproducible experiments).
+inline uint64_t Hash64(const void* data, size_t len, uint64_t seed = 0) {
+  const auto* p = static_cast<const uint8_t*>(data);
+  uint64_t h = 0xCBF29CE484222325ull ^ seed;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t Hash64(std::string_view s, uint64_t seed = 0) {
+  return Hash64(s.data(), s.size(), seed);
+}
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_COMMON_HASH_H_

@@ -1,0 +1,15 @@
+#include "common/metrics.h"
+
+#include <sstream>
+
+namespace zidian {
+
+std::string QueryMetrics::ToString() const {
+  std::ostringstream os;
+  os << "gets=" << get_calls << " nexts=" << next_calls
+     << " values=" << values_accessed << " storage_bytes=" << bytes_from_storage
+     << " shuffle_bytes=" << shuffle_bytes << " comm=" << CommBytes();
+  return os.str();
+}
+
+}  // namespace zidian

@@ -1,0 +1,58 @@
+// Cost accounting. The paper's experimental claims are phrased in terms of
+// counts: #get invocations, #values accessed, bytes shipped (communication),
+// and per-worker computation. Every storage and executor path increments
+// these counters; the backend cost model (storage/backend.h) converts them
+// into simulated seconds per SQL-over-NoSQL combination.
+#ifndef ZIDIAN_COMMON_METRICS_H_
+#define ZIDIAN_COMMON_METRICS_H_
+
+#include <cstdint>
+#include <string>
+
+namespace zidian {
+
+/// Counters for one query execution (or one storage workload run).
+struct QueryMetrics {
+  // Storage-layer interaction.
+  uint64_t get_calls = 0;        ///< point get invocations (paper: #get)
+  uint64_t next_calls = 0;       ///< scan iterator advances (blind scans)
+  uint64_t put_calls = 0;
+  uint64_t values_accessed = 0;  ///< attribute values read (paper: #data)
+  uint64_t bytes_from_storage = 0;  ///< storage -> SQL layer traffic
+
+  // SQL-layer work.
+  uint64_t shuffle_bytes = 0;    ///< compute-node <-> compute-node traffic
+  uint64_t compute_values = 0;   ///< values touched by operators
+
+  // Simulated parallel makespan components, filled by the executors:
+  // max over workers of each cost category (in abstract cost units that the
+  // backend profile converts to seconds).
+  double makespan_get = 0;       ///< max per-worker #get
+  double makespan_next = 0;      ///< max per-worker #next (scan advances)
+  double makespan_bytes = 0;     ///< max per-worker bytes moved
+  double makespan_compute = 0;   ///< max per-worker values computed
+
+  /// Total communication in bytes (paper's "comm" column).
+  uint64_t CommBytes() const { return bytes_from_storage + shuffle_bytes; }
+
+  QueryMetrics& operator+=(const QueryMetrics& o) {
+    get_calls += o.get_calls;
+    next_calls += o.next_calls;
+    put_calls += o.put_calls;
+    values_accessed += o.values_accessed;
+    bytes_from_storage += o.bytes_from_storage;
+    shuffle_bytes += o.shuffle_bytes;
+    compute_values += o.compute_values;
+    makespan_get += o.makespan_get;
+    makespan_next += o.makespan_next;
+    makespan_bytes += o.makespan_bytes;
+    makespan_compute += o.makespan_compute;
+    return *this;
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_COMMON_METRICS_H_

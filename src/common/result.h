@@ -1,0 +1,67 @@
+// Result<T>: a Status or a value, in the style of arrow::Result / StatusOr.
+#ifndef ZIDIAN_COMMON_RESULT_H_
+#define ZIDIAN_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace zidian {
+
+/// Holds either a value of type T or an error Status. Never both.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+  /// Implicit from error status. Must not be OK.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T value_or(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+
+ private:
+  Status status_;  // OK iff value_ engaged
+  std::optional<T> value_;
+};
+
+}  // namespace zidian
+
+/// Assigns the value of a Result expression to `lhs`, or propagates the error.
+#define ZIDIAN_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto ZIDIAN_CONCAT_(res_, __LINE__) = (expr);     \
+  if (!ZIDIAN_CONCAT_(res_, __LINE__).ok())         \
+    return ZIDIAN_CONCAT_(res_, __LINE__).status(); \
+  lhs = std::move(ZIDIAN_CONCAT_(res_, __LINE__)).value()
+
+#define ZIDIAN_CONCAT_(a, b) ZIDIAN_CONCAT_IMPL_(a, b)
+#define ZIDIAN_CONCAT_IMPL_(a, b) a##b
+
+#endif  // ZIDIAN_COMMON_RESULT_H_

@@ -1,0 +1,97 @@
+// Deterministic random number generation for the workload generators.
+// Xoshiro256** core plus the distributions the paper's datasets need:
+// uniform ints, Zipf (skewed real-life data, §9), and random strings.
+#ifndef ZIDIAN_COMMON_RNG_H_
+#define ZIDIAN_COMMON_RNG_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/hash.h"
+
+namespace zidian {
+
+/// Xoshiro256** seeded via SplitMix64. Deterministic for a given seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    uint64_t s = seed;
+    for (auto& word : state_) {
+      s += 0x9E3779B97F4A7C15ull;
+      word = Mix64(s);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+    return lo + static_cast<int64_t>(Next() % span);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  /// Bernoulli with probability p.
+  bool Chance(double p) { return NextDouble() < p; }
+
+  /// Lowercase ASCII string of the given length.
+  std::string NextString(size_t len) {
+    std::string s(len, 'a');
+    for (auto& c : s) c = static_cast<char>('a' + Next() % 26);
+    return s;
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Zipf(n, s) sampler over {1..n} using an inverse-CDF table. Exact, O(log n)
+/// per sample after O(n) setup; n is bounded by active-domain sizes in the
+/// generators (<= a few hundred thousand) so the table is affordable.
+class Zipf {
+ public:
+  Zipf(uint64_t n, double s) : cdf_(n) {
+    double sum = 0;
+    for (uint64_t i = 1; i <= n; ++i) sum += 1.0 / std::pow(double(i), s);
+    double acc = 0;
+    for (uint64_t i = 1; i <= n; ++i) {
+      acc += 1.0 / std::pow(double(i), s) / sum;
+      cdf_[i - 1] = acc;
+    }
+    cdf_.back() = 1.0;
+  }
+
+  /// Returns a rank in [1, n]; rank 1 is the most frequent.
+  uint64_t Sample(Rng* rng) const {
+    double u = rng->NextDouble();
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<uint64_t>(it - cdf_.begin()) + 1;
+  }
+
+  uint64_t n() const { return cdf_.size(); }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_COMMON_RNG_H_

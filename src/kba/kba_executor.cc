@@ -1,0 +1,592 @@
+#include "kba/kba_executor.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_map>
+
+#include "ra/eval.h"
+
+namespace zidian {
+
+namespace {
+
+/// Charges a hash-repartition of `bytes` across p workers.
+void ChargeShuffleBytes(size_t bytes, int workers, QueryMetrics* m) {
+  if (m == nullptr || workers <= 1) return;
+  double remote = static_cast<double>(workers - 1) / workers;
+  m->shuffle_bytes += static_cast<uint64_t>(bytes * remote);
+}
+
+std::vector<std::string> QualifyAll(const std::string& alias,
+                                    const std::vector<std::string>& attrs) {
+  std::vector<std::string> out;
+  out.reserve(attrs.size());
+  for (const auto& a : attrs) out.push_back(alias + "." + a);
+  return out;
+}
+
+}  // namespace
+
+Result<KvInst> KbaExecutor::Execute(const KbaPlan& plan, int workers,
+                                    QueryMetrics* m) const {
+  ZIDIAN_ASSIGN_OR_RETURN(KvInst out, Eval(plan, std::max(1, workers), m));
+  if (m != nullptr) {
+    int p = std::max(1, workers);
+    // Scans and compute are spread evenly under the no-skew assumption;
+    // extension gets recorded their true per-worker maxima inside Eval.
+    m->makespan_next = static_cast<double>(m->next_calls) / p;
+    m->makespan_compute = static_cast<double>(m->compute_values) / p;
+    m->makespan_bytes =
+        static_cast<double>(m->bytes_from_storage + m->shuffle_bytes) / p;
+  }
+  return out;
+}
+
+Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
+                                 QueryMetrics* m) const {
+  switch (plan.op) {
+    case KbaOp::kConst:
+      return plan.const_inst;
+
+    case KbaOp::kInstanceScan: {
+      const KvSchema* kv = store_->schema().Find(plan.kv_name);
+      if (kv == nullptr) return Status::NotFound("kv " + plan.kv_name);
+      KvInst out;
+      out.key_cols = QualifyAll(plan.alias, kv->key_attrs);
+      out.value_cols = QualifyAll(plan.alias, kv->value_attrs);
+      out.rel = Relation(out.AllCols());
+      ZIDIAN_RETURN_NOT_OK(store_->ScanInstance(
+          *kv, m, [&](const Tuple& key, const std::vector<Tuple>& rows) {
+            for (const auto& y : rows) {
+              Tuple t = key;
+              t.insert(t.end(), y.begin(), y.end());
+              out.rel.Add(std::move(t));
+            }
+          }));
+      return out;
+    }
+
+    case KbaOp::kExtend:
+      return EvalExtend(plan, workers, m);
+
+    case KbaOp::kShift: {
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      // Re-keying redistributes blocks: charge a repartition.
+      ChargeShuffleBytes(in.rel.ByteSize(), workers, m);
+      std::vector<std::string> rest;
+      for (const auto& c : in.AllCols()) {
+        if (std::find(plan.new_key.begin(), plan.new_key.end(), c) ==
+            plan.new_key.end()) {
+          rest.push_back(c);
+        }
+      }
+      std::vector<std::string> order = plan.new_key;
+      order.insert(order.end(), rest.begin(), rest.end());
+      KvInst out;
+      out.key_cols = plan.new_key;
+      out.value_cols = rest;
+      out.rel = in.rel.Project(order);
+      return out;
+    }
+
+    case KbaOp::kSelect: {
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      ZIDIAN_RETURN_NOT_OK(ApplyFilters(plan.predicates, &in.rel, m));
+      return in;
+    }
+
+    case KbaOp::kProject: {
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      KvInst out;
+      out.key_cols = plan.new_key;
+      for (const auto& c : plan.project_cols) {
+        if (std::find(plan.new_key.begin(), plan.new_key.end(), c) ==
+            plan.new_key.end()) {
+          out.value_cols.push_back(c);
+        }
+      }
+      out.rel = in.rel.Project(plan.project_cols);
+      if (m != nullptr) m->compute_values += out.rel.ValueCount();
+      return out;
+    }
+
+    case KbaOp::kJoin: {
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst l, Eval(*plan.children[0], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst r, Eval(*plan.children[1], workers, m));
+      ChargeShuffleBytes(l.rel.ByteSize(), workers, m);
+      ChargeShuffleBytes(r.rel.ByteSize(), workers, m);
+      ZIDIAN_ASSIGN_OR_RETURN(Relation joined,
+                              HashJoin(l.rel, r.rel, plan.join_pairs, m));
+      // Deduplicate repeated column names (a column may flow in from both
+      // sides); keep the first occurrence.
+      std::vector<std::string> unique_cols;
+      std::set<std::string> seen;
+      for (const auto& c : joined.columns()) {
+        if (seen.insert(c).second) unique_cols.push_back(c);
+      }
+      KvInst out;
+      for (const auto& c : l.key_cols) {
+        if (seen.count(c)) out.key_cols.push_back(c);
+      }
+      for (const auto& c : r.key_cols) {
+        if (seen.count(c) && std::find(out.key_cols.begin(),
+                                       out.key_cols.end(),
+                                       c) == out.key_cols.end()) {
+          out.key_cols.push_back(c);
+        }
+      }
+      for (const auto& c : unique_cols) {
+        if (std::find(out.key_cols.begin(), out.key_cols.end(), c) ==
+            out.key_cols.end()) {
+          out.value_cols.push_back(c);
+        }
+      }
+      std::vector<std::string> order = out.key_cols;
+      order.insert(order.end(), out.value_cols.begin(), out.value_cols.end());
+      out.rel = joined.Project(order);
+      return out;
+    }
+
+    case KbaOp::kGroupAgg: {
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      if (plan.from_stats) return EvalGroupAggFromStats(plan, in, m);
+      ChargeShuffleBytes(in.rel.ByteSize(), workers, m);
+      ZIDIAN_ASSIGN_OR_RETURN(
+          Relation out_rel,
+          GroupAggregate(in.rel, plan.group_by, plan.agg_items, m));
+      KvInst out;
+      for (const auto& g : plan.group_by) {
+        out.key_cols.push_back(g.Qualified());
+      }
+      for (const auto& c : out_rel.columns()) {
+        if (std::find(out.key_cols.begin(), out.key_cols.end(), c) ==
+            out.key_cols.end()) {
+          out.value_cols.push_back(c);
+        }
+      }
+      // GroupAggregate labels group keys with their output names; align the
+      // key columns to whatever it produced.
+      out.key_cols.clear();
+      for (const auto& item : plan.agg_items) {
+        if (item.agg == AggFn::kNone) out.key_cols.push_back(item.output_name);
+      }
+      out.value_cols.clear();
+      for (const auto& c : out_rel.columns()) {
+        if (std::find(out.key_cols.begin(), out.key_cols.end(), c) ==
+            out.key_cols.end()) {
+          out.value_cols.push_back(c);
+        }
+      }
+      out.rel = std::move(out_rel);
+      return out;
+    }
+
+    case KbaOp::kUnion:
+    case KbaOp::kDiff: {
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst l, Eval(*plan.children[0], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst r, Eval(*plan.children[1], workers, m));
+      // Align the right side to the left layout (↑ has already matched key
+      // attributes when the plan was formed).
+      for (const auto& c : l.AllCols()) {
+        if (r.rel.ColumnIndex(c) < 0) {
+          return Status::InvalidArgument("union/diff schema mismatch: " + c);
+        }
+      }
+      Relation right_aligned = r.rel.Project(l.AllCols());
+      KvInst out = std::move(l);
+      if (plan.op == KbaOp::kUnion) {
+        for (auto& row : right_aligned.rows()) {
+          out.rel.Add(std::move(row));
+        }
+        out.rel.Dedup();
+      } else {
+        std::set<std::string> right_rows;
+        for (const auto& row : right_aligned.rows()) {
+          std::string enc;
+          EncodeTuplePayload(row, &enc);
+          right_rows.insert(std::move(enc));
+        }
+        auto& rows = out.rel.rows();
+        size_t kept = 0;
+        for (size_t i = 0; i < rows.size(); ++i) {
+          std::string enc;
+          EncodeTuplePayload(rows[i], &enc);
+          if (right_rows.count(enc)) continue;
+          if (kept != i) rows[kept] = std::move(rows[i]);  // avoid self-move
+          ++kept;
+        }
+        rows.resize(kept);
+        out.rel.Dedup();
+      }
+      if (m != nullptr) m->compute_values += out.rel.ValueCount();
+      return out;
+    }
+  }
+  return Status::Internal("unknown KBA op");
+}
+
+Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
+                                       QueryMetrics* m) const {
+  const KvSchema* kv = store_->schema().Find(plan.kv_name);
+  if (kv == nullptr) return Status::NotFound("kv " + plan.kv_name);
+  if (plan.key_bindings.size() != kv->key_attrs.size()) {
+    return Status::InvalidArgument("extend bindings must cover X of " +
+                                   kv->name);
+  }
+  ZIDIAN_ASSIGN_OR_RETURN(KvInst child, Eval(*plan.children[0], workers, m));
+
+  // Child columns feeding each key attribute, in X order.
+  std::vector<int> bind_idx(kv->key_attrs.size(), -1);
+  for (const auto& [child_col, key_attr] : plan.key_bindings) {
+    int ci = child.rel.ColumnIndex(child_col);
+    if (ci < 0) {
+      return Status::InvalidArgument("extend child column missing: " +
+                                     child_col);
+    }
+    for (size_t k = 0; k < kv->key_attrs.size(); ++k) {
+      if (kv->key_attrs[k] == key_attr) bind_idx[k] = ci;
+    }
+  }
+  for (size_t k = 0; k < bind_idx.size(); ++k) {
+    if (bind_idx[k] < 0) {
+      return Status::InvalidArgument("extend key attr unbound: " +
+                                     kv->key_attrs[k]);
+    }
+  }
+
+  // Interleaved strategy (§7.2): re-partition child rows by the target's
+  // key distribution (shuffle), then issue per-key point gets on the worker
+  // that owns the key.
+  ChargeShuffleBytes(child.rel.ByteSize(), workers, m);
+
+  std::unordered_map<Tuple, std::vector<size_t>, TupleHasher> by_key;
+  for (size_t r = 0; r < child.rel.rows().size(); ++r) {
+    Tuple key;
+    key.reserve(bind_idx.size());
+    for (int i : bind_idx) {
+      key.push_back(child.rel.rows()[r][static_cast<size_t>(i)]);
+    }
+    by_key[std::move(key)].push_back(r);
+  }
+
+  KvInst out;
+  out.key_cols = child.AllCols();
+  std::vector<std::string> fetched_x = QualifyAll(plan.alias, kv->key_attrs);
+  std::vector<std::string> new_cols;
+  if (plan.stats_only) {
+    new_cols = fetched_x;
+    new_cols.push_back(plan.alias + "." + std::string(kStatsRowsCol));
+    for (const auto& y : kv->value_attrs) {
+      new_cols.push_back(plan.alias + "." + y + std::string(kStatsCountSuffix));
+      new_cols.push_back(plan.alias + "." + y + std::string(kStatsMinSuffix));
+      new_cols.push_back(plan.alias + "." + y + std::string(kStatsMaxSuffix));
+      new_cols.push_back(plan.alias + "." + y + std::string(kStatsSumSuffix));
+    }
+  } else {
+    new_cols = fetched_x;
+    auto y_cols = QualifyAll(plan.alias, kv->value_attrs);
+    new_cols.insert(new_cols.end(), y_cols.begin(), y_cols.end());
+  }
+  // Columns that already flowed in are not duplicated; instead the fetched
+  // value must *equal* the existing one (this aligns a re-fetch of an alias
+  // through a second KV schema — a lossless self-join on the shared
+  // attributes, including the primary key the planner guaranteed).
+  std::set<std::string> existing(out.key_cols.begin(), out.key_cols.end());
+  std::vector<bool> keep_new(new_cols.size(), true);
+  std::vector<std::pair<size_t, int>> dup_checks;  // (add pos, child col)
+  for (size_t i = 0; i < new_cols.size(); ++i) {
+    if (existing.count(new_cols[i])) {
+      keep_new[i] = false;
+      int ci = child.rel.ColumnIndex(new_cols[i]);
+      if (ci >= 0) dup_checks.emplace_back(i, ci);
+    }
+  }
+  for (size_t i = 0; i < new_cols.size(); ++i) {
+    if (keep_new[i]) out.value_cols.push_back(new_cols[i]);
+  }
+  out.rel = Relation(out.AllCols());
+
+  // Per-worker accounting for gets and fetched bytes.
+  std::vector<uint64_t> worker_gets(static_cast<size_t>(workers), 0);
+  std::vector<uint64_t> worker_bytes(static_cast<size_t>(workers), 0);
+
+  for (const auto& [key, row_ids] : by_key) {
+    int worker = store_->NodeForBlock(*kv, key) % workers;
+    uint64_t gets_before = m != nullptr ? m->get_calls : 0;
+    uint64_t bytes_before = m != nullptr ? m->bytes_from_storage : 0;
+
+    auto emit = [&](const std::vector<Tuple>& additions) {
+      std::vector<size_t> kept_pos;
+      for (size_t i = 0; i < keep_new.size(); ++i) {
+        if (keep_new[i]) kept_pos.push_back(i);
+      }
+      for (size_t r : row_ids) {
+        const Tuple& base = child.rel.rows()[r];
+        for (const auto& add : additions) {
+          bool aligned = true;
+          for (const auto& [pos, ci] : dup_checks) {
+            if (!(add[pos] == base[static_cast<size_t>(ci)])) {
+              aligned = false;
+              break;
+            }
+          }
+          if (!aligned) continue;
+          Tuple t = base;
+          for (size_t i : kept_pos) t.push_back(add[i]);
+          if (m != nullptr) m->compute_values += t.size();
+          out.rel.Add(std::move(t));
+        }
+      }
+    };
+
+    if (plan.stats_only) {
+      ZIDIAN_ASSIGN_OR_RETURN(BlockStats stats,
+                              store_->GetBlockStats(*kv, key, m));
+      if (stats.row_count > 0) {
+        Tuple add = key;  // fetched X = the key itself
+        add.push_back(Value(static_cast<int64_t>(stats.row_count)));
+        for (const auto& col : stats.columns) {
+          add.push_back(Value(static_cast<int64_t>(col.count)));
+          add.push_back(col.numeric ? Value(col.min) : Value::Null());
+          add.push_back(col.numeric ? Value(col.max) : Value::Null());
+          add.push_back(col.numeric ? Value(col.sum) : Value::Null());
+        }
+        emit({add});
+      }
+    } else {
+      ZIDIAN_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
+                              store_->GetBlock(*kv, key, m));
+      if (!rows.empty()) {
+        std::vector<Tuple> additions;
+        additions.reserve(rows.size());
+        for (const auto& y : rows) {
+          Tuple add = key;
+          add.insert(add.end(), y.begin(), y.end());
+          additions.push_back(std::move(add));
+        }
+        emit(additions);
+      }
+    }
+
+    if (m != nullptr) {
+      worker_gets[static_cast<size_t>(worker)] += m->get_calls - gets_before;
+      worker_bytes[static_cast<size_t>(worker)] +=
+          m->bytes_from_storage - bytes_before;
+    }
+  }
+
+  if (m != nullptr && !worker_gets.empty()) {
+    m->makespan_get += static_cast<double>(
+        *std::max_element(worker_gets.begin(), worker_gets.end()));
+  }
+  return out;
+}
+
+Result<KvInst> KbaExecutor::EvalGroupAggFromStats(const KbaPlan& plan,
+                                                  const KvInst& in,
+                                                  QueryMetrics* m) const {
+  // The child emitted one row per keyed block with partial statistics;
+  // combine the partials per group.
+  std::vector<int> gidx;
+  std::vector<std::string> out_cols;
+  for (const auto& g : plan.group_by) {
+    int i = in.rel.ColumnIndex(g.Qualified());
+    if (i < 0) {
+      return Status::InvalidArgument("group key missing: " + g.Qualified());
+    }
+    gidx.push_back(i);
+  }
+
+  struct Slot {
+    AggFn fn;
+    int col = -1;        // partial column to combine
+    int group_pos = -1;  // for plain keys
+  };
+  std::vector<Slot> slots;
+  for (const auto& item : plan.agg_items) {
+    Slot s;
+    s.fn = item.agg;
+    out_cols.push_back(item.output_name);
+    if (item.agg == AggFn::kNone) {
+      AttrRef ref{item.expr->alias, item.expr->column};
+      for (size_t g = 0; g < plan.group_by.size(); ++g) {
+        if (plan.group_by[g] == ref) s.group_pos = static_cast<int>(g);
+      }
+      if (s.group_pos < 0) {
+        return Status::InvalidArgument("ungrouped select column " +
+                                       ref.Qualified());
+      }
+    } else if (item.agg == AggFn::kCount && !item.expr) {
+      s.col = -2;  // marker: combine the #rows partials
+    } else {
+      if (!item.expr || item.expr->kind != ExprKind::kColumn) {
+        return Status::NotSupported("stats aggregation needs plain columns");
+      }
+      std::string base = item.expr->QualifiedName();
+      std::string_view suffix;
+      switch (item.agg) {
+        case AggFn::kSum:
+        case AggFn::kAvg:
+          suffix = kStatsSumSuffix;
+          break;
+        case AggFn::kCount:
+          suffix = kStatsCountSuffix;
+          break;
+        case AggFn::kMin:
+          suffix = kStatsMinSuffix;
+          break;
+        case AggFn::kMax:
+          suffix = kStatsMaxSuffix;
+          break;
+        default:
+          break;
+      }
+      s.col = in.rel.ColumnIndex(base + std::string(suffix));
+      if (s.col < 0) {
+        return Status::InvalidArgument("missing stats column for " + base);
+      }
+    }
+    slots.push_back(s);
+  }
+  // #rows column and per-attr count columns for COUNT(*) / AVG.
+  int rows_col = -1;
+  for (size_t i = 0; i < in.rel.columns().size(); ++i) {
+    if (in.rel.columns()[i].size() >= 5 &&
+        in.rel.columns()[i].substr(in.rel.columns()[i].size() - 5) ==
+            kStatsRowsCol) {
+      rows_col = static_cast<int>(i);
+    }
+  }
+
+  struct Acc {
+    double sum = 0;
+    uint64_t count = 0;
+    bool any = false;
+    double min = 0, max = 0;
+  };
+  std::unordered_map<Tuple, std::vector<Acc>, TupleHasher> groups;
+  for (const auto& row : in.rel.rows()) {
+    Tuple key;
+    for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
+    auto [it, ins] = groups.emplace(std::move(key),
+                                    std::vector<Acc>(slots.size()));
+    (void)ins;
+    for (size_t s = 0; s < slots.size(); ++s) {
+      const Slot& slot = slots[s];
+      if (slot.fn == AggFn::kNone) continue;
+      Acc& acc = it->second[s];
+      if (m != nullptr) m->compute_values += 1;
+      if (slot.col == -2) {  // COUNT(*)
+        if (rows_col < 0) {
+          return Status::InvalidArgument("no #rows column for COUNT(*)");
+        }
+        acc.count += static_cast<uint64_t>(
+            row[static_cast<size_t>(rows_col)].Numeric());
+        acc.any = true;
+        continue;
+      }
+      const Value& v = row[static_cast<size_t>(slot.col)];
+      if (v.is_null()) continue;
+      double d = v.Numeric();
+      switch (slot.fn) {
+        case AggFn::kSum:
+          acc.sum += d;
+          acc.any = true;
+          break;
+        case AggFn::kAvg: {
+          // sum from #sum; count from the sibling #count column.
+          acc.sum += d;
+          acc.any = true;
+          break;
+        }
+        case AggFn::kCount:
+          acc.count += static_cast<uint64_t>(d);
+          acc.any = true;
+          break;
+        case AggFn::kMin:
+          acc.min = acc.any ? std::min(acc.min, d) : d;
+          acc.any = true;
+          break;
+        case AggFn::kMax:
+          acc.max = acc.any ? std::max(acc.max, d) : d;
+          acc.any = true;
+          break;
+        default:
+          break;
+      }
+    }
+  }
+  // A global aggregate over no blocks still yields one (NULL-ish) row,
+  // matching SQL semantics.
+  if (groups.empty() && gidx.empty()) {
+    groups.emplace(Tuple{}, std::vector<Acc>(slots.size()));
+  }
+
+  // AVG needs the count as well: combine on output using the #count column.
+  // For AVG slots, accumulate counts in a second pass.
+  for (size_t s = 0; s < slots.size(); ++s) {
+    if (slots[s].fn != AggFn::kAvg) continue;
+    const auto& item = plan.agg_items[s];  // slots parallel agg_items
+    std::string base = item.expr->QualifiedName();
+    int ccol = in.rel.ColumnIndex(base + std::string(kStatsCountSuffix));
+    if (ccol < 0) return Status::InvalidArgument("missing #count for AVG");
+    for (const auto& row : in.rel.rows()) {
+      Tuple key;
+      for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
+      auto it = groups.find(key);
+      if (it == groups.end()) continue;
+      const Value& v = row[static_cast<size_t>(ccol)];
+      if (!v.is_null()) {
+        it->second[s].count += static_cast<uint64_t>(v.Numeric());
+      }
+    }
+  }
+
+  KvInst out;
+  for (const auto& item : plan.agg_items) {
+    if (item.agg == AggFn::kNone) out.key_cols.push_back(item.output_name);
+  }
+  for (const auto& c : out_cols) {
+    if (std::find(out.key_cols.begin(), out.key_cols.end(), c) ==
+        out.key_cols.end()) {
+      out.value_cols.push_back(c);
+    }
+  }
+  out.rel = Relation(out_cols);
+  for (const auto& [key, accs] : groups) {
+    Tuple t;
+    for (size_t s = 0; s < slots.size(); ++s) {
+      const Slot& slot = slots[s];
+      if (slot.fn == AggFn::kNone) {
+        t.push_back(key[static_cast<size_t>(slot.group_pos)]);
+        continue;
+      }
+      const Acc& acc = accs[s];
+      switch (slot.fn) {
+        case AggFn::kSum:
+          t.push_back(acc.any ? Value(acc.sum) : Value::Null());
+          break;
+        case AggFn::kCount:
+          t.push_back(Value(static_cast<int64_t>(acc.count)));
+          break;
+        case AggFn::kAvg:
+          t.push_back(acc.count > 0
+                          ? Value(acc.sum / static_cast<double>(acc.count))
+                          : Value::Null());
+          break;
+        case AggFn::kMin:
+          t.push_back(acc.any ? Value(acc.min) : Value::Null());
+          break;
+        case AggFn::kMax:
+          t.push_back(acc.any ? Value(acc.max) : Value::Null());
+          break;
+        default:
+          break;
+      }
+    }
+    out.rel.Add(std::move(t));
+  }
+  return out;
+}
+
+}  // namespace zidian

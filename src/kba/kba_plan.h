@@ -1,0 +1,129 @@
+// KBA: the algebra of keyed blocks (§4.2). A KBA plan is a tree whose leaves
+// are constants (constant keyed blocks) or KV instances, and whose internal
+// nodes are KBA operators:
+//   extension  (∝)  fetch-by-key "join" that never scans its right argument
+//   shift      (↑)  re-key an instance
+//   join/select/project/group-by/union/difference: BaaV versions of RA ops
+//
+// A plan is *scan-free* iff it has no KV-instance leaf (every instance is
+// reached through ∝, Example 3). Intermediate results are represented as
+// flattened KV instances: a relation with a designated key-column prefix —
+// the relational version of the keyed blocks (§4.1), with the grouping
+// recoverable from the key columns.
+#ifndef ZIDIAN_KBA_KBA_PLAN_H_
+#define ZIDIAN_KBA_KBA_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baav/kv_schema.h"
+#include "relational/expression.h"
+#include "relational/relation.h"
+#include "sql/query_spec.h"
+
+namespace zidian {
+
+/// Flattened KV instance: `rel` holds key columns first, then value columns.
+struct KvInst {
+  std::vector<std::string> key_cols;    ///< qualified names
+  std::vector<std::string> value_cols;  ///< qualified names
+  Relation rel;
+
+  std::vector<std::string> AllCols() const {
+    std::vector<std::string> all = key_cols;
+    all.insert(all.end(), value_cols.begin(), value_cols.end());
+    return all;
+  }
+};
+
+enum class KbaOp {
+  kConst,         ///< constant keyed block(s)
+  kInstanceScan,  ///< scan a KV instance (plan is then not scan-free)
+  kExtend,        ///< ∝: child extended with a KV instance
+  kShift,         ///< ↑: re-key
+  kSelect,
+  kProject,
+  kJoin,
+  kGroupAgg,
+  kUnion,
+  kDiff,
+};
+
+struct KbaPlan;
+using KbaPlanPtr = std::shared_ptr<KbaPlan>;
+
+struct KbaPlan {
+  KbaOp op;
+  std::vector<KbaPlanPtr> children;
+
+  /// kConst: the literal block(s).
+  KvInst const_inst;
+
+  /// kInstanceScan / kExtend: target KV instance and the alias under which
+  /// its attributes enter the plan (attributes become "alias.attr").
+  std::string kv_name;
+  std::string alias;
+
+  /// kExtend: child columns supplying each key attribute of the target, as
+  /// (qualified child column, unqualified key attribute) pairs covering all
+  /// of X in order.
+  std::vector<std::pair<std::string, std::string>> key_bindings;
+
+  /// kExtend: fetch only per-block statistics headers (grouped-aggregate
+  /// pushdown, §8.2). The node then emits, per Y attribute A, columns
+  /// "alias.A#count/#min/#max/#sum" instead of tuples.
+  bool stats_only = false;
+
+  /// kShift: the new key columns (must exist in the child).
+  std::vector<std::string> new_key;
+
+  /// kSelect predicates.
+  std::vector<ExprPtr> predicates;
+
+  /// kProject: retained columns; key columns are those listed in new_key.
+  std::vector<std::string> project_cols;
+
+  /// kGroupAgg.
+  std::vector<AttrRef> group_by;
+  std::vector<SelectItem> agg_items;
+  /// kGroupAgg over a stats-only extension: aggregate the partial statistics
+  /// (sum of sums etc.) rather than raw rows.
+  bool from_stats = false;
+
+  /// kJoin: equality pairs (left qualified col, right qualified col).
+  std::vector<std::pair<std::string, std::string>> join_pairs;
+
+  /// True iff no kInstanceScan leaf occurs anywhere in the tree.
+  bool IsScanFree() const;
+
+  /// All KV instance names referenced via extension (for boundedness).
+  void CollectExtendTargets(std::vector<std::string>* out) const;
+
+  std::string ToString(int indent = 0) const;
+
+  // ---- constructors ----
+  static KbaPlanPtr Const(KvInst inst);
+  static KbaPlanPtr InstanceScan(std::string kv_name, std::string alias);
+  static KbaPlanPtr Extend(
+      KbaPlanPtr child, std::string kv_name, std::string alias,
+      std::vector<std::pair<std::string, std::string>> key_bindings,
+      bool stats_only = false);
+  static KbaPlanPtr Shift(KbaPlanPtr child, std::vector<std::string> new_key);
+  static KbaPlanPtr Select(KbaPlanPtr child, std::vector<ExprPtr> predicates);
+  static KbaPlanPtr Project(KbaPlanPtr child,
+                            std::vector<std::string> project_cols,
+                            std::vector<std::string> new_key);
+  static KbaPlanPtr Join(
+      KbaPlanPtr left, KbaPlanPtr right,
+      std::vector<std::pair<std::string, std::string>> join_pairs);
+  static KbaPlanPtr GroupAgg(KbaPlanPtr child, std::vector<AttrRef> group_by,
+                             std::vector<SelectItem> items,
+                             bool from_stats = false);
+  static KbaPlanPtr Union(KbaPlanPtr left, KbaPlanPtr right);
+  static KbaPlanPtr Diff(KbaPlanPtr left, KbaPlanPtr right);
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_KBA_KBA_PLAN_H_

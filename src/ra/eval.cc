@@ -1,0 +1,316 @@
+#include "ra/eval.h"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_map>
+
+namespace zidian {
+
+Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
+                    QueryMetrics* m) {
+  if (predicates.empty()) return Status::OK();
+  std::vector<ExprPtr> bound;
+  bound.reserve(predicates.size());
+  for (const auto& p : predicates) {
+    ExprPtr c = p->Clone();
+    ZIDIAN_RETURN_NOT_OK(c->BindIndices(rel->columns()));
+    bound.push_back(std::move(c));
+  }
+  auto& rows = rel->rows();
+  size_t kept = 0;
+  for (size_t i = 0; i < rows.size(); ++i) {
+    bool pass = true;
+    for (const auto& p : bound) {
+      if (m != nullptr) m->compute_values += 1;
+      if (!p->EvalBool(rows[i])) {
+        pass = false;
+        break;
+      }
+    }
+    if (!pass) continue;
+    if (kept != i) rows[kept] = std::move(rows[i]);  // avoid self-move
+    ++kept;
+  }
+  rows.resize(kept);
+  return Status::OK();
+}
+
+Result<Relation> HashJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    QueryMetrics* m) {
+  std::vector<int> lidx, ridx;
+  for (const auto& [l, r] : keys) {
+    int li = left.ColumnIndex(l), ri = right.ColumnIndex(r);
+    if (li < 0) return Status::InvalidArgument("join column missing: " + l);
+    if (ri < 0) return Status::InvalidArgument("join column missing: " + r);
+    lidx.push_back(li);
+    ridx.push_back(ri);
+  }
+
+  std::vector<std::string> out_cols = left.columns();
+  out_cols.insert(out_cols.end(), right.columns().begin(),
+                  right.columns().end());
+  Relation out(std::move(out_cols));
+
+  if (keys.empty()) {
+    // Cartesian product (used only when the join graph is disconnected).
+    for (const auto& lr : left.rows()) {
+      for (const auto& rr : right.rows()) {
+        Tuple t = lr;
+        t.insert(t.end(), rr.begin(), rr.end());
+        if (m != nullptr) m->compute_values += t.size();
+        out.Add(std::move(t));
+      }
+    }
+    return out;
+  }
+
+  // Build on the smaller side.
+  const bool build_left = left.size() <= right.size();
+  const Relation& build = build_left ? left : right;
+  const Relation& probe = build_left ? right : left;
+  const std::vector<int>& bidx = build_left ? lidx : ridx;
+  const std::vector<int>& pidx = build_left ? ridx : lidx;
+
+  auto key_of = [](const Tuple& row, const std::vector<int>& idx) {
+    Tuple k;
+    k.reserve(idx.size());
+    for (int i : idx) k.push_back(row[static_cast<size_t>(i)]);
+    return k;
+  };
+
+  std::unordered_map<Tuple, std::vector<const Tuple*>, TupleHasher> table;
+  table.reserve(build.size());
+  for (const auto& row : build.rows()) {
+    if (m != nullptr) m->compute_values += bidx.size();
+    table[key_of(row, bidx)].push_back(&row);
+  }
+  for (const auto& row : probe.rows()) {
+    if (m != nullptr) m->compute_values += pidx.size();
+    auto it = table.find(key_of(row, pidx));
+    if (it == table.end()) continue;
+    for (const Tuple* match : it->second) {
+      const Tuple& lr = build_left ? *match : row;
+      const Tuple& rr = build_left ? row : *match;
+      Tuple t = lr;
+      t.insert(t.end(), rr.begin(), rr.end());
+      if (m != nullptr) m->compute_values += t.size();
+      out.Add(std::move(t));
+    }
+  }
+  return out;
+}
+
+Result<Relation> ProjectSelect(const Relation& input,
+                               const std::vector<SelectItem>& items,
+                               QueryMetrics* m) {
+  std::vector<std::string> cols;
+  std::vector<ExprPtr> bound;
+  for (const auto& item : items) {
+    assert(item.agg == AggFn::kNone);
+    cols.push_back(item.output_name);
+    ExprPtr c = item.expr->Clone();
+    ZIDIAN_RETURN_NOT_OK(c->BindIndices(input.columns()));
+    bound.push_back(std::move(c));
+  }
+  Relation out(std::move(cols));
+  out.rows().reserve(input.size());
+  for (const auto& row : input.rows()) {
+    Tuple t;
+    t.reserve(bound.size());
+    for (const auto& e : bound) {
+      if (m != nullptr) m->compute_values += 1;
+      t.push_back(e->Eval(row));
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+
+struct AggState {
+  double sum = 0;
+  uint64_t count = 0;
+  bool any = false;
+  Value min, max;
+
+  void Feed(const Value& v) {
+    if (v.is_null()) return;
+    if (!any) {
+      min = v;
+      max = v;
+      any = true;
+    } else {
+      if (v < min) min = v;
+      if (max < v) max = v;
+    }
+    if (v.IsNumeric()) sum += v.Numeric();
+    ++count;
+  }
+
+  Value Finish(AggFn fn) const {
+    switch (fn) {
+      case AggFn::kSum:
+        return any ? Value(sum) : Value::Null();
+      case AggFn::kCount:
+        return Value(static_cast<int64_t>(count));
+      case AggFn::kAvg:
+        return count > 0 ? Value(sum / static_cast<double>(count))
+                         : Value::Null();
+      case AggFn::kMin:
+        return any ? min : Value::Null();
+      case AggFn::kMax:
+        return any ? max : Value::Null();
+      case AggFn::kNone:
+        break;
+    }
+    return Value::Null();
+  }
+};
+
+}  // namespace
+
+Result<Relation> GroupAggregate(const Relation& input,
+                                const std::vector<AttrRef>& group_by,
+                                const std::vector<SelectItem>& items,
+                                QueryMetrics* m) {
+  std::vector<int> gidx;
+  for (const auto& g : group_by) {
+    int i = input.ColumnIndex(g.Qualified());
+    if (i < 0) return Status::InvalidArgument("group key missing: " + g.Qualified());
+    gidx.push_back(i);
+  }
+  // Bind aggregate argument expressions; COUNT(*) has none.
+  struct BoundItem {
+    AggFn agg;
+    ExprPtr expr;        // bound; null for COUNT(*) / plain group key
+    int group_pos = -1;  // for plain items: index into group_by
+  };
+  std::vector<BoundItem> bound;
+  std::vector<std::string> out_cols;
+  for (const auto& item : items) {
+    BoundItem b{item.agg, nullptr, -1};
+    out_cols.push_back(item.output_name);
+    if (item.expr) {
+      b.expr = item.expr->Clone();
+      ZIDIAN_RETURN_NOT_OK(b.expr->BindIndices(input.columns()));
+    }
+    if (item.agg == AggFn::kNone) {
+      // Must be one of the group keys.
+      if (!item.expr || item.expr->kind != ExprKind::kColumn) {
+        return Status::NotSupported("non-column select with aggregates");
+      }
+      AttrRef ref{item.expr->alias, item.expr->column};
+      for (size_t g = 0; g < group_by.size(); ++g) {
+        if (group_by[g] == ref) b.group_pos = static_cast<int>(g);
+      }
+      if (b.group_pos < 0) {
+        return Status::InvalidArgument("select column not grouped: " +
+                                       ref.Qualified());
+      }
+    }
+    bound.push_back(std::move(b));
+  }
+
+  // Accumulate.
+  size_t num_aggs = 0;
+  for (const auto& b : bound) {
+    if (b.agg != AggFn::kNone) ++num_aggs;
+  }
+  std::unordered_map<Tuple, std::vector<AggState>, TupleHasher> groups;
+  for (const auto& row : input.rows()) {
+    if (row.size() != input.columns().size()) {
+      return Status::Internal(
+          "malformed relation: row arity " + std::to_string(row.size()) +
+          " vs " + std::to_string(input.columns().size()) + " columns");
+    }
+    Tuple key;
+    key.reserve(gidx.size());
+    for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
+    auto [it, inserted] = groups.emplace(std::move(key),
+                                         std::vector<AggState>(num_aggs));
+    size_t slot = 0;
+    for (const auto& b : bound) {
+      if (b.agg == AggFn::kNone) continue;
+      if (m != nullptr) m->compute_values += 1;
+      if (b.agg == AggFn::kCount && !b.expr) {
+        it->second[slot].Feed(Value(static_cast<int64_t>(1)));
+      } else {
+        it->second[slot].Feed(b.expr->Eval(row));
+      }
+      ++slot;
+    }
+    (void)inserted;
+  }
+  // Global aggregate over empty input still yields one row.
+  if (groups.empty() && group_by.empty()) {
+    groups.emplace(Tuple{}, std::vector<AggState>(num_aggs));
+  }
+
+  Relation out(std::move(out_cols));
+  for (const auto& [key, states] : groups) {
+    Tuple t;
+    t.reserve(bound.size());
+    size_t slot = 0;
+    for (const auto& b : bound) {
+      if (b.agg == AggFn::kNone) {
+        t.push_back(key[static_cast<size_t>(b.group_pos)]);
+      } else {
+        t.push_back(states[slot].Finish(b.agg));
+        ++slot;
+      }
+    }
+    out.Add(std::move(t));
+  }
+  return out;
+}
+
+Status OrderAndLimit(const std::vector<OrderKey>& order_by, int64_t limit,
+                     Relation* rel) {
+  if (!order_by.empty()) {
+    std::vector<std::pair<int, bool>> keys;
+    for (const auto& k : order_by) {
+      int i = rel->ColumnIndex(k.output_name);
+      if (i < 0) {
+        return Status::InvalidArgument("order key missing: " + k.output_name);
+      }
+      keys.emplace_back(i, k.ascending);
+    }
+    std::stable_sort(rel->rows().begin(), rel->rows().end(),
+                     [&](const Tuple& a, const Tuple& b) {
+                       for (const auto& [i, asc] : keys) {
+                         int c = a[static_cast<size_t>(i)].Compare(
+                             b[static_cast<size_t>(i)]);
+                         if (c != 0) return asc ? c < 0 : c > 0;
+                       }
+                       return false;
+                     });
+  }
+  if (limit >= 0 && rel->size() > static_cast<size_t>(limit)) {
+    rel->rows().resize(static_cast<size_t>(limit));
+  }
+  return Status::OK();
+}
+
+Result<Relation> FinishQuery(const Relation& joined, const QuerySpec& spec,
+                             QueryMetrics* m) {
+  Relation out;
+  if (spec.HasAggregates()) {
+    ZIDIAN_ASSIGN_OR_RETURN(out, GroupAggregate(joined, spec.group_by,
+                                                spec.select_items, m));
+  } else if (!spec.group_by.empty()) {
+    // GROUP BY without aggregates == DISTINCT over the keys.
+    ZIDIAN_ASSIGN_OR_RETURN(out,
+                            ProjectSelect(joined, spec.select_items, m));
+    out.Dedup();
+  } else {
+    ZIDIAN_ASSIGN_OR_RETURN(out,
+                            ProjectSelect(joined, spec.select_items, m));
+  }
+  ZIDIAN_RETURN_NOT_OK(OrderAndLimit(spec.order_by, spec.limit, &out));
+  return out;
+}
+
+}  // namespace zidian

@@ -1,0 +1,55 @@
+// Shared in-memory relational operators used by both the TaaV baseline
+// executor and the KBA executor: filters, hash join, group-by aggregation,
+// final projection, order-by/limit. Every operator meters the values it
+// touches into QueryMetrics::compute_values.
+#ifndef ZIDIAN_RA_EVAL_H_
+#define ZIDIAN_RA_EVAL_H_
+
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "relational/expression.h"
+#include "relational/relation.h"
+#include "sql/query_spec.h"
+
+namespace zidian {
+
+/// Keeps only rows satisfying every predicate. Predicates are cloned and
+/// bound to `rel`'s layout internally.
+Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
+                    QueryMetrics* m);
+
+/// Hash join on the given column-name pairs (left name, right name).
+/// Output columns = left columns ++ right columns.
+Result<Relation> HashJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    QueryMetrics* m);
+
+/// Evaluates the SELECT list of a non-aggregate query.
+Result<Relation> ProjectSelect(const Relation& input,
+                               const std::vector<SelectItem>& items,
+                               QueryMetrics* m);
+
+/// GROUP BY + aggregates. `group_by` names must exist in `input`;
+/// non-aggregate select items must be group keys. With an empty `group_by`
+/// and aggregate items, produces the single global-aggregate row.
+Result<Relation> GroupAggregate(const Relation& input,
+                                const std::vector<AttrRef>& group_by,
+                                const std::vector<SelectItem>& items,
+                                QueryMetrics* m);
+
+/// ORDER BY (on output column names) then LIMIT (-1 = no limit).
+Status OrderAndLimit(const std::vector<OrderKey>& order_by, int64_t limit,
+                     Relation* rel);
+
+/// Runs the post-join tail of a query: filters were already applied;
+/// performs aggregation or projection, then order/limit.
+Result<Relation> FinishQuery(const Relation& joined, const QuerySpec& spec,
+                             QueryMetrics* m);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_RA_EVAL_H_

@@ -1,0 +1,81 @@
+// TaaV storage layout and the baseline SQL-over-NoSQL executor (§3, §7.1).
+//
+// Layout: a tuple t of relation R is the KV pair
+//     key   = "T" . ordered(R_name) . ordered(pk values of t)
+//     value = payload(all attributes of t)
+// A table scan iterates keys via next() and fetches each tuple with get()
+// (one get per tuple — the "costly scan" the paper sets out to eliminate).
+//
+// The baseline executor follows §7.1: retrieve *all* relations involved in Q
+// from the storage layer, move them to the SQL layer, then evaluate with
+// selections, parallel hash joins and aggregation. Parallelism over p
+// workers is accounted (scan partitioning, shuffle repartitioning for joins
+// and group-by), and recorded as per-worker makespan counters.
+#ifndef ZIDIAN_RA_TAAV_H_
+#define ZIDIAN_RA_TAAV_H_
+
+#include <string>
+
+#include "common/metrics.h"
+#include "common/result.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "sql/query_spec.h"
+#include "storage/cluster.h"
+
+namespace zidian {
+
+/// Key prefix owning all tuples of `table` in the TaaV keyspace.
+std::string TaavPrefix(const std::string& table);
+
+/// Encodes the TaaV key of a tuple given its primary-key values.
+std::string TaavKey(const std::string& table, const Tuple& pk_values);
+
+/// Writes `data` (columns matching schema order, unqualified) into the
+/// cluster under TaaV.
+Status TaavLoadRelation(Cluster* cluster, const TableSchema& schema,
+                        const Relation& data);
+
+/// Deletes one tuple by primary key.
+Status TaavDeleteTuple(Cluster* cluster, const TableSchema& schema,
+                       const Tuple& pk_values);
+
+/// Scans the full table into a relation with columns qualified as
+/// "alias.column". Meters one next() per key, one get() per tuple and all
+/// shipped bytes — the blind-scan cost model of §3.
+Result<Relation> TaavScanTable(const Cluster& cluster,
+                               const TableSchema& schema,
+                               const std::string& alias, QueryMetrics* m);
+
+/// Point lookup of one tuple by primary key (used by KV-workload benches).
+Result<Tuple> TaavGetTuple(const Cluster& cluster, const TableSchema& schema,
+                           const Tuple& pk_values, QueryMetrics* m);
+
+/// Baseline executor: evaluates a bound query directly over TaaV storage.
+class TaavExecutor {
+ public:
+  TaavExecutor(const Catalog* catalog, Cluster* cluster)
+      : catalog_(catalog), cluster_(cluster) {}
+
+  /// Executes with `workers` simulated compute nodes. Fills `m` with counts
+  /// and per-worker makespans.
+  Result<Relation> Execute(const QuerySpec& spec, int workers,
+                           QueryMetrics* m) const;
+
+ private:
+  const Catalog* catalog_;
+  Cluster* cluster_;
+};
+
+/// Joins all aliases of `spec` greedily along equality classes, starting
+/// from per-alias base relations. Shared by both executors' fallback paths.
+/// `per_alias` must contain one filtered relation per alias, with qualified
+/// column names. Shuffle bytes for each join are charged to `m` assuming
+/// hash repartitioning over `workers` nodes.
+Result<Relation> JoinAll(const QuerySpec& spec,
+                         std::vector<Relation> per_alias, int workers,
+                         QueryMetrics* m);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_RA_TAAV_H_

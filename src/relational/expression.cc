@@ -1,0 +1,178 @@
+#include "relational/expression.h"
+
+#include <cmath>
+
+namespace zidian {
+
+ExprPtr Expr::Column(std::string alias, std::string column) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kColumn;
+  e->alias = std::move(alias);
+  e->column = std::move(column);
+  return e;
+}
+
+ExprPtr Expr::Literal(Value v) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kLiteral;
+  e->literal = std::move(v);
+  return e;
+}
+
+ExprPtr Expr::Compare(CmpOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kCompare;
+  e->cmp = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::And(ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kAnd;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::Or(ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kOr;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+ExprPtr Expr::Arith(ArithOp op, ExprPtr l, ExprPtr r) {
+  auto e = std::make_shared<Expr>();
+  e->kind = ExprKind::kArith;
+  e->arith = op;
+  e->lhs = std::move(l);
+  e->rhs = std::move(r);
+  return e;
+}
+
+Status Expr::BindIndices(const std::vector<std::string>& columns) {
+  if (kind == ExprKind::kColumn) {
+    std::string qualified = QualifiedName();
+    for (size_t i = 0; i < columns.size(); ++i) {
+      if (columns[i] == qualified ||
+          (alias.empty() && columns[i] == column)) {
+        bound_index = static_cast<int>(i);
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("unbound column " + qualified);
+  }
+  if (lhs) ZIDIAN_RETURN_NOT_OK(lhs->BindIndices(columns));
+  if (rhs) ZIDIAN_RETURN_NOT_OK(rhs->BindIndices(columns));
+  return Status::OK();
+}
+
+Value Expr::Eval(const Tuple& row) const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      return row[static_cast<size_t>(bound_index)];
+    case ExprKind::kLiteral:
+      return literal;
+    case ExprKind::kCompare: {
+      Value a = lhs->Eval(row), b = rhs->Eval(row);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      int c = a.Compare(b);
+      bool result = false;
+      switch (cmp) {
+        case CmpOp::kEq: result = c == 0; break;
+        case CmpOp::kNe: result = c != 0; break;
+        case CmpOp::kLt: result = c < 0; break;
+        case CmpOp::kLe: result = c <= 0; break;
+        case CmpOp::kGt: result = c > 0; break;
+        case CmpOp::kGe: result = c >= 0; break;
+      }
+      return Value(static_cast<int64_t>(result));
+    }
+    case ExprKind::kAnd: {
+      if (!lhs->EvalBool(row)) return Value(static_cast<int64_t>(0));
+      return Value(static_cast<int64_t>(rhs->EvalBool(row) ? 1 : 0));
+    }
+    case ExprKind::kOr: {
+      if (lhs->EvalBool(row)) return Value(static_cast<int64_t>(1));
+      return Value(static_cast<int64_t>(rhs->EvalBool(row) ? 1 : 0));
+    }
+    case ExprKind::kArith: {
+      Value a = lhs->Eval(row), b = rhs->Eval(row);
+      if (a.is_null() || b.is_null()) return Value::Null();
+      double x = a.Numeric(), y = b.Numeric();
+      double r = 0;
+      switch (arith) {
+        case ArithOp::kAdd: r = x + y; break;
+        case ArithOp::kSub: r = x - y; break;
+        case ArithOp::kMul: r = x * y; break;
+        case ArithOp::kDiv: r = y == 0 ? NAN : x / y; break;
+      }
+      if (a.type() == ValueType::kInt && b.type() == ValueType::kInt &&
+          arith != ArithOp::kDiv) {
+        return Value(static_cast<int64_t>(r));
+      }
+      return Value(r);
+    }
+  }
+  return Value::Null();
+}
+
+bool Expr::EvalBool(const Tuple& row) const {
+  Value v = Eval(row);
+  if (v.is_null()) return false;
+  return v.Numeric() != 0;
+}
+
+ExprPtr Expr::Clone() const {
+  auto e = std::make_shared<Expr>(*this);
+  if (lhs) e->lhs = lhs->Clone();
+  if (rhs) e->rhs = rhs->Clone();
+  return e;
+}
+
+void Expr::CollectColumns(std::vector<const Expr*>* out) const {
+  if (kind == ExprKind::kColumn) out->push_back(this);
+  if (lhs) lhs->CollectColumns(out);
+  if (rhs) rhs->CollectColumns(out);
+}
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq: return "=";
+    case CmpOp::kNe: return "<>";
+    case CmpOp::kLt: return "<";
+    case CmpOp::kLe: return "<=";
+    case CmpOp::kGt: return ">";
+    case CmpOp::kGe: return ">=";
+  }
+  return "?";
+}
+
+std::string Expr::ToString() const {
+  switch (kind) {
+    case ExprKind::kColumn:
+      return QualifiedName();
+    case ExprKind::kLiteral:
+      return literal.ToString();
+    case ExprKind::kCompare:
+      return "(" + lhs->ToString() + " " + std::string(CmpOpName(cmp)) + " " +
+             rhs->ToString() + ")";
+    case ExprKind::kAnd:
+      return "(" + lhs->ToString() + " AND " + rhs->ToString() + ")";
+    case ExprKind::kOr:
+      return "(" + lhs->ToString() + " OR " + rhs->ToString() + ")";
+    case ExprKind::kArith: {
+      const char* op = arith == ArithOp::kAdd   ? "+"
+                       : arith == ArithOp::kSub ? "-"
+                       : arith == ArithOp::kMul ? "*"
+                                                : "/";
+      return "(" + lhs->ToString() + " " + op + " " + rhs->ToString() + ")";
+    }
+  }
+  return "?";
+}
+
+}  // namespace zidian

@@ -1,0 +1,74 @@
+// Scalar expression trees for WHERE predicates and SELECT items.
+// Expressions are built by the SQL parser with (alias, column) references and
+// bound to positional indexes against a concrete column layout before
+// evaluation (BindIndices), so Eval is a cheap index walk.
+#ifndef ZIDIAN_RELATIONAL_EXPRESSION_H_
+#define ZIDIAN_RELATIONAL_EXPRESSION_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/relation.h"
+#include "relational/value.h"
+
+namespace zidian {
+
+enum class ExprKind { kColumn, kLiteral, kCompare, kAnd, kOr, kArith };
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe };
+enum class ArithOp { kAdd, kSub, kMul, kDiv };
+
+struct Expr;
+using ExprPtr = std::shared_ptr<Expr>;
+
+struct Expr {
+  ExprKind kind;
+
+  // kColumn: qualified reference. `bound_index` is set by BindIndices.
+  std::string alias;
+  std::string column;
+  int bound_index = -1;
+
+  Value literal;  // kLiteral
+  CmpOp cmp{};    // kCompare
+  ArithOp arith{};  // kArith
+
+  ExprPtr lhs, rhs;
+
+  static ExprPtr Column(std::string alias, std::string column);
+  static ExprPtr Literal(Value v);
+  static ExprPtr Compare(CmpOp op, ExprPtr l, ExprPtr r);
+  static ExprPtr And(ExprPtr l, ExprPtr r);
+  static ExprPtr Or(ExprPtr l, ExprPtr r);
+  static ExprPtr Arith(ArithOp op, ExprPtr l, ExprPtr r);
+
+  /// Qualified name "alias.column" of a kColumn node.
+  std::string QualifiedName() const { return alias + "." + column; }
+
+  /// Resolves kColumn nodes against a column layout. Errors on missing names.
+  Status BindIndices(const std::vector<std::string>& columns);
+
+  /// Evaluates against a bound tuple. Comparisons yield INT 0/1; comparisons
+  /// and arithmetic over NULL yield NULL (three-valued logic collapses to
+  /// "not true" at the filter boundary).
+  Value Eval(const Tuple& row) const;
+
+  /// True iff Eval(row) is a non-null, non-zero value.
+  bool EvalBool(const Tuple& row) const;
+
+  /// Collects all kColumn nodes.
+  void CollectColumns(std::vector<const Expr*>* out) const;
+
+  /// Deep copy. Executors clone before BindIndices so that a shared tree is
+  /// never bound to two different column layouts at once.
+  ExprPtr Clone() const;
+
+  std::string ToString() const;
+};
+
+std::string_view CmpOpName(CmpOp op);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_RELATIONAL_EXPRESSION_H_

@@ -1,0 +1,80 @@
+#include "relational/relation.h"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace zidian {
+
+int Relation::ColumnIndex(std::string_view name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Relation Relation::Project(const std::vector<std::string>& cols) const {
+  Relation out(cols);
+  std::vector<int> idx;
+  idx.reserve(cols.size());
+  for (const auto& c : cols) {
+    int i = ColumnIndex(c);
+    assert(i >= 0 && "projection column missing");
+    idx.push_back(i);
+  }
+  out.rows_.reserve(rows_.size());
+  for (const auto& row : rows_) {
+    Tuple t;
+    t.reserve(idx.size());
+    for (int i : idx) t.push_back(row[i]);
+    out.rows_.push_back(std::move(t));
+  }
+  return out;
+}
+
+namespace {
+bool TupleLess(const Tuple& a, const Tuple& b) {
+  for (size_t i = 0; i < a.size() && i < b.size(); ++i) {
+    int c = a[i].Compare(b[i]);
+    if (c != 0) return c < 0;
+  }
+  return a.size() < b.size();
+}
+}  // namespace
+
+void Relation::SortRows() {
+  std::sort(rows_.begin(), rows_.end(), TupleLess);
+}
+
+void Relation::Dedup() {
+  SortRows();
+  rows_.erase(std::unique(rows_.begin(), rows_.end()), rows_.end());
+}
+
+size_t Relation::ByteSize() const {
+  size_t n = 0;
+  for (const auto& row : rows_) n += TupleByteSize(row);
+  return n;
+}
+
+std::string Relation::ToString(size_t max_rows) const {
+  std::ostringstream os;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i > 0) os << " | ";
+    os << columns_[i];
+  }
+  os << "\n";
+  for (size_t r = 0; r < rows_.size() && r < max_rows; ++r) {
+    for (size_t i = 0; i < rows_[r].size(); ++i) {
+      if (i > 0) os << " | ";
+      os << rows_[r][i].ToString();
+    }
+    os << "\n";
+  }
+  if (rows_.size() > max_rows) {
+    os << "... (" << rows_.size() << " rows total)\n";
+  }
+  return os.str();
+}
+
+}  // namespace zidian

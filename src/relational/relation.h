@@ -1,0 +1,51 @@
+// In-memory relation (materialized result / intermediate): qualified column
+// names plus rows. Used as the interchange format between executors.
+#ifndef ZIDIAN_RELATIONAL_RELATION_H_
+#define ZIDIAN_RELATIONAL_RELATION_H_
+
+#include <string>
+#include <vector>
+
+#include "relational/value.h"
+
+namespace zidian {
+
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  const std::vector<std::string>& columns() const { return columns_; }
+  std::vector<Tuple>& rows() { return rows_; }
+  const std::vector<Tuple>& rows() const { return rows_; }
+  size_t size() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  int ColumnIndex(std::string_view name) const;
+
+  void Add(Tuple t) { rows_.push_back(std::move(t)); }
+
+  /// Projects onto the named columns (must all exist).
+  Relation Project(const std::vector<std::string>& cols) const;
+
+  /// Sorts rows lexicographically — canonical form for comparisons in tests.
+  void SortRows();
+
+  /// Deduplicates rows (set semantics); sorts as a side effect.
+  void Dedup();
+
+  /// Total number of attribute values (paper's ||D||).
+  size_t ValueCount() const { return rows_.size() * columns_.size(); }
+  size_t ByteSize() const;
+
+  std::string ToString(size_t max_rows = 20) const;
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<Tuple> rows_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_RELATIONAL_RELATION_H_

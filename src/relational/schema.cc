@@ -1,0 +1,44 @@
+#include "relational/schema.h"
+
+namespace zidian {
+
+int TableSchema::ColumnIndex(std::string_view column) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == column) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<std::string> TableSchema::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(columns_.size());
+  for (const auto& c : columns_) names.push_back(c.name);
+  return names;
+}
+
+Status Catalog::AddTable(TableSchema schema) {
+  auto name = schema.name();
+  auto [it, inserted] = tables_.emplace(name, std::move(schema));
+  (void)it;
+  if (!inserted) return Status::AlreadyExists("table " + name);
+  return Status::OK();
+}
+
+const TableSchema* Catalog::Find(const std::string& name) const {
+  auto it = tables_.find(name);
+  return it == tables_.end() ? nullptr : &it->second;
+}
+
+Result<TableSchema> Catalog::Get(const std::string& name) const {
+  const TableSchema* s = Find(name);
+  if (s == nullptr) return Status::NotFound("table " + name);
+  return *s;
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  for (const auto& [name, schema] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace zidian

@@ -1,0 +1,67 @@
+// Relational schemas and the catalog (the interface R exposed to SQL users,
+// Fig. 1). Attribute names inside a table are unqualified; executors qualify
+// them as "alias.column" once a query introduces aliases.
+#ifndef ZIDIAN_RELATIONAL_SCHEMA_H_
+#define ZIDIAN_RELATIONAL_SCHEMA_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace zidian {
+
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt;
+};
+
+/// Schema of one relation R(Z) with a designated primary key (used as the
+/// TaaV key, §3).
+class TableSchema {
+ public:
+  TableSchema() = default;
+  TableSchema(std::string name, std::vector<Column> columns,
+              std::vector<std::string> primary_key)
+      : name_(std::move(name)),
+        columns_(std::move(columns)),
+        primary_key_(std::move(primary_key)) {}
+
+  const std::string& name() const { return name_; }
+  const std::vector<Column>& columns() const { return columns_; }
+  const std::vector<std::string>& primary_key() const { return primary_key_; }
+
+  int ColumnIndex(std::string_view column) const;
+  bool HasColumn(std::string_view column) const {
+    return ColumnIndex(column) >= 0;
+  }
+  size_t arity() const { return columns_.size(); }
+
+  /// All attribute names, att(R).
+  std::vector<std::string> AttributeNames() const;
+
+ private:
+  std::string name_;
+  std::vector<Column> columns_;
+  std::vector<std::string> primary_key_;
+};
+
+/// Name -> schema registry for one database.
+class Catalog {
+ public:
+  Status AddTable(TableSchema schema);
+  const TableSchema* Find(const std::string& name) const;
+  Result<TableSchema> Get(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+  size_t size() const { return tables_.size(); }
+
+ private:
+  std::map<std::string, TableSchema> tables_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,252 @@
+#include "relational/value.h"
+
+#include <cmath>
+#include <cstring>
+#include <sstream>
+
+namespace zidian {
+
+int Value::Compare(const Value& other) const {
+  // NULLs first, then numerics (cross-comparable), then strings.
+  auto rank = [](const Value& v) {
+    switch (v.type()) {
+      case ValueType::kNull:
+        return 0;
+      case ValueType::kInt:
+      case ValueType::kDouble:
+        return 1;
+      case ValueType::kString:
+        return 2;
+    }
+    return 3;
+  };
+  int ra = rank(*this), rb = rank(other);
+  if (ra != rb) return ra < rb ? -1 : 1;
+  switch (ra) {
+    case 0:
+      return 0;
+    case 1: {
+      if (type() == ValueType::kInt && other.type() == ValueType::kInt) {
+        int64_t a = AsInt(), b = other.AsInt();
+        return a < b ? -1 : (a > b ? 1 : 0);
+      }
+      double a = Numeric(), b = other.Numeric();
+      return a < b ? -1 : (a > b ? 1 : 0);
+    }
+    default: {
+      int c = AsString().compare(other.AsString());
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+}
+
+uint64_t Value::Hash(uint64_t seed) const {
+  switch (type()) {
+    case ValueType::kNull:
+      return Mix64(seed ^ 0x9E);
+    case ValueType::kInt:
+      return Mix64(seed ^ static_cast<uint64_t>(AsInt()) ^ 0x11);
+    case ValueType::kDouble: {
+      // Hash doubles through their numeric value so 1 and 1.0 collide with
+      // the same equality class used by Compare.
+      double d = AsDouble();
+      if (d == static_cast<double>(static_cast<int64_t>(d))) {
+        return Mix64(seed ^ static_cast<uint64_t>(static_cast<int64_t>(d)) ^
+                     0x11);
+      }
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, 8);
+      return Mix64(seed ^ bits ^ 0x22);
+    }
+    case ValueType::kString:
+      return Hash64(AsString(), seed ^ 0x33);
+  }
+  return 0;
+}
+
+size_t Value::ByteSize() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return 1;
+    case ValueType::kInt:
+    case ValueType::kDouble:
+      return 8;
+    case ValueType::kString:
+      return AsString().size() + 1;
+  }
+  return 1;
+}
+
+void Value::EncodeOrdered(std::string* dst) const {
+  dst->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      EncodeOrderedInt64(dst, AsInt());
+      break;
+    case ValueType::kDouble:
+      EncodeOrderedDouble(dst, AsDouble());
+      break;
+    case ValueType::kString:
+      EncodeOrderedString(dst, AsString());
+      break;
+  }
+}
+
+bool Value::DecodeOrdered(std::string_view* src, Value* out) {
+  if (src->empty()) return false;
+  auto tag = static_cast<ValueType>(src->front());
+  src->remove_prefix(1);
+  switch (tag) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      int64_t v;
+      if (!DecodeOrderedInt64(src, &v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case ValueType::kDouble: {
+      double v;
+      if (!DecodeOrderedDouble(src, &v)) return false;
+      *out = Value(v);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string s;
+      if (!DecodeOrderedString(src, &s)) return false;
+      *out = Value(std::move(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+void Value::EncodePayload(std::string* dst) const {
+  dst->push_back(static_cast<char>(type()));
+  switch (type()) {
+    case ValueType::kNull:
+      break;
+    case ValueType::kInt:
+      PutVarint64(dst, ZigZagEncode(AsInt()));
+      break;
+    case ValueType::kDouble: {
+      uint64_t bits;
+      double d = AsDouble();
+      std::memcpy(&bits, &d, 8);
+      PutFixed64(dst, bits);
+      break;
+    }
+    case ValueType::kString:
+      PutLengthPrefixed(dst, AsString());
+      break;
+  }
+}
+
+bool Value::DecodePayload(std::string_view* src, Value* out) {
+  if (src->empty()) return false;
+  auto tag = static_cast<ValueType>(src->front());
+  src->remove_prefix(1);
+  switch (tag) {
+    case ValueType::kNull:
+      *out = Value::Null();
+      return true;
+    case ValueType::kInt: {
+      uint64_t z;
+      if (!GetVarint64(src, &z)) return false;
+      *out = Value(ZigZagDecode(z));
+      return true;
+    }
+    case ValueType::kDouble: {
+      uint64_t bits;
+      if (!GetFixed64(src, &bits)) return false;
+      double d;
+      std::memcpy(&d, &bits, 8);
+      *out = Value(d);
+      return true;
+    }
+    case ValueType::kString: {
+      std::string_view s;
+      if (!GetLengthPrefixed(src, &s)) return false;
+      *out = Value(std::string(s));
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case ValueType::kNull:
+      return "NULL";
+    case ValueType::kInt:
+      return std::to_string(AsInt());
+    case ValueType::kDouble: {
+      std::ostringstream os;
+      os << AsDouble();
+      return os.str();
+    }
+    case ValueType::kString:
+      return "'" + AsString() + "'";
+  }
+  return "?";
+}
+
+std::string EncodeKeyTuple(const Tuple& t) {
+  std::string out;
+  for (const auto& v : t) v.EncodeOrdered(&out);
+  return out;
+}
+
+bool DecodeKeyTuple(std::string_view src, size_t arity, Tuple* out) {
+  out->clear();
+  out->reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!Value::DecodeOrdered(&src, &v)) return false;
+    out->push_back(std::move(v));
+  }
+  return src.empty();
+}
+
+void EncodeTuplePayload(const Tuple& t, std::string* dst) {
+  for (const auto& v : t) v.EncodePayload(dst);
+}
+
+bool DecodeTuplePayload(std::string_view* src, size_t arity, Tuple* out) {
+  out->clear();
+  out->reserve(arity);
+  for (size_t i = 0; i < arity; ++i) {
+    Value v;
+    if (!Value::DecodePayload(src, &v)) return false;
+    out->push_back(std::move(v));
+  }
+  return true;
+}
+
+uint64_t HashTuple(const Tuple& t, uint64_t seed) {
+  uint64_t h = Mix64(seed ^ t.size());
+  for (const auto& v : t) h = Mix64(h ^ v.Hash());
+  return h;
+}
+
+size_t TupleByteSize(const Tuple& t) {
+  size_t n = 0;
+  for (const auto& v : t) n += v.ByteSize();
+  return n;
+}
+
+std::string TupleToString(const Tuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace zidian

@@ -1,0 +1,95 @@
+// Value: a dynamically typed SQL scalar (NULL, INT64, DOUBLE, STRING) with
+// total ordering, hashing, and two serializations:
+//  * ordered encoding (type tag + order-preserving bytes) for KV keys, and
+//  * payload encoding (compact varints) for tuple/block values.
+#ifndef ZIDIAN_RELATIONAL_VALUE_H_
+#define ZIDIAN_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+#include <vector>
+
+#include "common/coding.h"
+#include "common/hash.h"
+
+namespace zidian {
+
+enum class ValueType : uint8_t { kNull = 0, kInt = 1, kDouble = 2, kString = 3 };
+
+class Value {
+ public:
+  Value() : data_(std::monostate{}) {}
+  explicit Value(int64_t v) : data_(v) {}
+  explicit Value(double v) : data_(v) {}
+  explicit Value(std::string v) : data_(std::move(v)) {}
+  explicit Value(const char* v) : data_(std::string(v)) {}
+
+  static Value Null() { return Value(); }
+
+  ValueType type() const {
+    return static_cast<ValueType>(data_.index());
+  }
+  bool is_null() const { return type() == ValueType::kNull; }
+
+  int64_t AsInt() const { return std::get<int64_t>(data_); }
+  double AsDouble() const { return std::get<double>(data_); }
+  const std::string& AsString() const { return std::get<std::string>(data_); }
+
+  /// Numeric view: ints widen to double (for arithmetic and aggregates).
+  double Numeric() const {
+    return type() == ValueType::kInt ? static_cast<double>(AsInt())
+                                     : AsDouble();
+  }
+  bool IsNumeric() const {
+    return type() == ValueType::kInt || type() == ValueType::kDouble;
+  }
+
+  /// Total order: NULL < INT/DOUBLE (numeric order) < STRING.
+  int Compare(const Value& other) const;
+  bool operator==(const Value& o) const { return Compare(o) == 0; }
+  bool operator!=(const Value& o) const { return Compare(o) != 0; }
+  bool operator<(const Value& o) const { return Compare(o) < 0; }
+
+  uint64_t Hash(uint64_t seed = 0) const;
+
+  /// Approximate wire size in bytes (used for communication accounting).
+  size_t ByteSize() const;
+
+  /// Order-preserving encoding with a leading type tag.
+  void EncodeOrdered(std::string* dst) const;
+  static bool DecodeOrdered(std::string_view* src, Value* out);
+
+  /// Compact payload encoding (not order-preserving).
+  void EncodePayload(std::string* dst) const;
+  static bool DecodePayload(std::string_view* src, Value* out);
+
+  std::string ToString() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> data_;
+};
+
+using Tuple = std::vector<Value>;
+
+/// Encodes a tuple's values back-to-back with the ordered codec (composite
+/// KV keys) — bytewise order equals lexicographic value order.
+std::string EncodeKeyTuple(const Tuple& t);
+bool DecodeKeyTuple(std::string_view src, size_t arity, Tuple* out);
+
+/// Payload codec for whole tuples (TaaV values and block rows).
+void EncodeTuplePayload(const Tuple& t, std::string* dst);
+bool DecodeTuplePayload(std::string_view* src, size_t arity, Tuple* out);
+
+uint64_t HashTuple(const Tuple& t, uint64_t seed = 0);
+size_t TupleByteSize(const Tuple& t);
+std::string TupleToString(const Tuple& t);
+
+struct TupleHasher {
+  size_t operator()(const Tuple& t) const { return HashTuple(t); }
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_RELATIONAL_VALUE_H_

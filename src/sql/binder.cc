@@ -1,0 +1,157 @@
+#include "sql/binder.h"
+
+#include <set>
+
+namespace zidian {
+
+namespace {
+
+/// Qualifies every kColumn node in-place; empty aliases are resolved by
+/// searching all tables for a unique owner of the column name.
+Status QualifyColumns(const ExprPtr& e, const QuerySpec& spec,
+                      const Catalog& catalog) {
+  if (!e) return Status::OK();
+  if (e->kind == ExprKind::kColumn) {
+    if (e->alias.empty()) {
+      const TableRef* owner = nullptr;
+      for (const auto& t : spec.tables) {
+        const TableSchema* schema = catalog.Find(t.table);
+        if (schema != nullptr && schema->HasColumn(e->column)) {
+          if (owner != nullptr) {
+            return Status::InvalidArgument("ambiguous column " + e->column);
+          }
+          owner = &t;
+        }
+      }
+      if (owner == nullptr) {
+        return Status::InvalidArgument("unknown column " + e->column);
+      }
+      e->alias = owner->alias;
+    } else {
+      const TableRef* t = spec.FindAlias(e->alias);
+      if (t == nullptr) {
+        return Status::InvalidArgument("unknown alias " + e->alias);
+      }
+      const TableSchema* schema = catalog.Find(t->table);
+      if (schema == nullptr || !schema->HasColumn(e->column)) {
+        return Status::InvalidArgument("unknown column " + e->alias + "." +
+                                       e->column);
+      }
+    }
+    return Status::OK();
+  }
+  ZIDIAN_RETURN_NOT_OK(QualifyColumns(e->lhs, spec, catalog));
+  return QualifyColumns(e->rhs, spec, catalog);
+}
+
+/// Splits a predicate tree into top-level conjuncts.
+void SplitConjuncts(const ExprPtr& e, std::vector<ExprPtr>* out) {
+  if (!e) return;
+  if (e->kind == ExprKind::kAnd) {
+    SplitConjuncts(e->lhs, out);
+    SplitConjuncts(e->rhs, out);
+    return;
+  }
+  out->push_back(e);
+}
+
+bool IsColumn(const ExprPtr& e) { return e && e->kind == ExprKind::kColumn; }
+bool IsLiteral(const ExprPtr& e) { return e && e->kind == ExprKind::kLiteral; }
+
+}  // namespace
+
+Result<QuerySpec> Bind(const SelectStmt& stmt, const Catalog& catalog) {
+  QuerySpec spec;
+  std::set<std::string> seen_aliases;
+  for (const auto& t : stmt.tables) {
+    if (catalog.Find(t.table) == nullptr) {
+      return Status::NotFound("table " + t.table);
+    }
+    if (!seen_aliases.insert(t.alias).second) {
+      return Status::InvalidArgument("duplicate alias " + t.alias);
+    }
+    spec.tables.push_back(t);
+  }
+
+  // Conjoin WHERE and all JOIN..ON conditions, then classify conjuncts.
+  std::vector<ExprPtr> conjuncts;
+  SplitConjuncts(stmt.where, &conjuncts);
+  for (const auto& on : stmt.join_on) SplitConjuncts(on, &conjuncts);
+
+  for (const auto& c : conjuncts) {
+    ZIDIAN_RETURN_NOT_OK(QualifyColumns(c, spec, catalog));
+    if (c->kind == ExprKind::kCompare && c->cmp == CmpOp::kEq) {
+      if (IsColumn(c->lhs) && IsColumn(c->rhs)) {
+        spec.eq_joins.push_back({{c->lhs->alias, c->lhs->column},
+                                 {c->rhs->alias, c->rhs->column}});
+        continue;
+      }
+      if (IsColumn(c->lhs) && IsLiteral(c->rhs)) {
+        spec.const_eqs.push_back(
+            {{c->lhs->alias, c->lhs->column}, c->rhs->literal});
+        continue;
+      }
+      if (IsLiteral(c->lhs) && IsColumn(c->rhs)) {
+        spec.const_eqs.push_back(
+            {{c->rhs->alias, c->rhs->column}, c->lhs->literal});
+        continue;
+      }
+    }
+    spec.residual_filters.push_back(c);
+  }
+
+  for (const auto& item : stmt.items) {
+    SelectItem bound = item;
+    ZIDIAN_RETURN_NOT_OK(QualifyColumns(bound.expr, spec, catalog));
+    if (bound.output_name.empty()) {
+      if (bound.agg != AggFn::kNone) {
+        bound.output_name =
+            std::string(AggFnName(bound.agg)) + "(" +
+            (bound.expr ? bound.expr->ToString() : "*") + ")";
+      } else if (bound.expr->kind == ExprKind::kColumn) {
+        bound.output_name = bound.expr->QualifiedName();
+      } else {
+        bound.output_name = bound.expr->ToString();
+      }
+    }
+    spec.select_items.push_back(std::move(bound));
+  }
+
+  for (const auto& g : stmt.group_by) {
+    ExprPtr col = Expr::Column(g.alias, g.column);
+    ZIDIAN_RETURN_NOT_OK(QualifyColumns(col, spec, catalog));
+    spec.group_by.push_back({col->alias, col->column});
+  }
+
+  // Mixing aggregates and plain columns requires the plain columns to be
+  // group-by keys.
+  if (spec.HasAggregates()) {
+    for (const auto& item : spec.select_items) {
+      if (item.agg != AggFn::kNone || !item.expr) continue;
+      if (item.expr->kind != ExprKind::kColumn) {
+        return Status::NotSupported(
+            "non-column select item mixed with aggregates");
+      }
+      AttrRef ref{item.expr->alias, item.expr->column};
+      bool grouped = false;
+      for (const auto& g : spec.group_by) grouped |= (g == ref);
+      if (!grouped) {
+        return Status::InvalidArgument(
+            "column " + ref.Qualified() +
+            " must appear in GROUP BY when aggregates are used");
+      }
+    }
+  }
+
+  spec.order_by = stmt.order_by;
+  spec.limit = stmt.limit;
+  return spec;
+}
+
+Result<QuerySpec> ParseAndBind(const std::string& sql,
+                               const Catalog& catalog) {
+  ZIDIAN_ASSIGN_OR_RETURN(SelectStmt stmt, ParseSelect(sql));
+  return Bind(stmt, catalog);
+}
+
+}  // namespace zidian

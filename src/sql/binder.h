@@ -1,0 +1,24 @@
+// Binder: resolves a parsed SelectStmt against a Catalog into a QuerySpec.
+//  * checks table existence, assigns/validates aliases;
+//  * qualifies unqualified column references (must be unambiguous);
+//  * decomposes WHERE + JOIN..ON into the SPC conjunctive structure:
+//    equality joins (A=B), constant selections (A=c), residual filters;
+//  * names output columns.
+#ifndef ZIDIAN_SQL_BINDER_H_
+#define ZIDIAN_SQL_BINDER_H_
+
+#include "common/result.h"
+#include "relational/schema.h"
+#include "sql/parser.h"
+#include "sql/query_spec.h"
+
+namespace zidian {
+
+Result<QuerySpec> Bind(const SelectStmt& stmt, const Catalog& catalog);
+
+/// Convenience: parse + bind.
+Result<QuerySpec> ParseAndBind(const std::string& sql, const Catalog& catalog);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_SQL_BINDER_H_

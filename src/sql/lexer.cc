@@ -1,0 +1,113 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+
+namespace zidian {
+
+bool Token::IsKeyword(std::string_view kw) const {
+  if (type != TokenType::kIdent || text.size() != kw.size()) return false;
+  for (size_t i = 0; i < kw.size(); ++i) {
+    if (std::toupper(static_cast<unsigned char>(text[i])) !=
+        std::toupper(static_cast<unsigned char>(kw[i]))) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<std::vector<Token>> Lex(const std::string& sql) {
+  std::vector<Token> tokens;
+  size_t i = 0;
+  auto peek = [&](size_t off = 0) -> char {
+    return i + off < sql.size() ? sql[i + off] : '\0';
+  };
+  while (i < sql.size()) {
+    char c = sql[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (c == '-' && peek(1) == '-') {  // line comment
+      while (i < sql.size() && sql[i] != '\n') ++i;
+      continue;
+    }
+    Token tok;
+    tok.pos = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < sql.size() && (std::isalnum(static_cast<unsigned char>(sql[i])) ||
+                                sql[i] == '_')) {
+        ++i;
+      }
+      tok.type = TokenType::kIdent;
+      tok.text = sql.substr(start, i - start);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      size_t start = i;
+      bool is_double = false;
+      while (i < sql.size() &&
+             (std::isdigit(static_cast<unsigned char>(sql[i])) ||
+              sql[i] == '.')) {
+        if (sql[i] == '.') is_double = true;
+        ++i;
+      }
+      std::string num = sql.substr(start, i - start);
+      if (is_double) {
+        tok.type = TokenType::kDouble;
+        tok.double_val = std::stod(num);
+      } else {
+        tok.type = TokenType::kInt;
+        tok.int_val = std::stoll(num);
+      }
+      tok.text = std::move(num);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (c == '\'') {
+      ++i;
+      std::string s;
+      while (i < sql.size() && sql[i] != '\'') {
+        s.push_back(sql[i]);
+        ++i;
+      }
+      if (i >= sql.size()) {
+        return Status::InvalidArgument("unterminated string literal at " +
+                                       std::to_string(tok.pos));
+      }
+      ++i;  // closing quote
+      tok.type = TokenType::kString;
+      tok.text = std::move(s);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    // Two-character operators first.
+    if ((c == '<' && (peek(1) == '=' || peek(1) == '>')) ||
+        (c == '>' && peek(1) == '=')) {
+      tok.type = TokenType::kSymbol;
+      tok.text = sql.substr(i, 2);
+      i += 2;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (std::string_view("(),.*+-/=<>").find(c) != std::string_view::npos) {
+      tok.type = TokenType::kSymbol;
+      tok.text = std::string(1, c);
+      ++i;
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    return Status::InvalidArgument("unexpected character '" +
+                                   std::string(1, c) + "' at offset " +
+                                   std::to_string(i));
+  }
+  Token end;
+  end.type = TokenType::kEnd;
+  end.pos = sql.size();
+  tokens.push_back(std::move(end));
+  return tokens;
+}
+
+}  // namespace zidian

@@ -1,0 +1,39 @@
+// SQL lexer for the SPJ+aggregate subset Zidian accepts (M1 input).
+#ifndef ZIDIAN_SQL_LEXER_H_
+#define ZIDIAN_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+
+namespace zidian {
+
+enum class TokenType {
+  kIdent,    // identifiers and keywords (keywords matched case-insensitively)
+  kInt,
+  kDouble,
+  kString,   // 'quoted'
+  kSymbol,   // ( ) , . * + - / = < > <= >= <>
+  kEnd,
+};
+
+struct Token {
+  TokenType type;
+  std::string text;   // uppercased for idents' keyword check is done lazily
+  int64_t int_val = 0;
+  double double_val = 0;
+  size_t pos = 0;     // byte offset, for error messages
+
+  bool IsKeyword(std::string_view kw) const;
+  bool IsSymbol(std::string_view s) const {
+    return type == TokenType::kSymbol && text == s;
+  }
+};
+
+/// Tokenizes `sql`. The terminal kEnd token is always appended.
+Result<std::vector<Token>> Lex(const std::string& sql);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_SQL_LEXER_H_

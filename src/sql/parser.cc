@@ -1,0 +1,308 @@
+#include "sql/parser.h"
+
+#include "sql/lexer.h"
+
+namespace zidian {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<SelectStmt> Parse() {
+    SelectStmt stmt;
+    ZIDIAN_RETURN_NOT_OK(Expect("SELECT"));
+    ZIDIAN_RETURN_NOT_OK(ParseSelectList(&stmt));
+    ZIDIAN_RETURN_NOT_OK(Expect("FROM"));
+    ZIDIAN_RETURN_NOT_OK(ParseFrom(&stmt));
+    if (AcceptKeyword("WHERE")) {
+      ZIDIAN_ASSIGN_OR_RETURN(stmt.where, ParseExpr());
+    }
+    if (AcceptKeyword("GROUP")) {
+      ZIDIAN_RETURN_NOT_OK(Expect("BY"));
+      do {
+        ZIDIAN_ASSIGN_OR_RETURN(AttrRef ref, ParseColRef());
+        stmt.group_by.push_back(std::move(ref));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("ORDER")) {
+      ZIDIAN_RETURN_NOT_OK(Expect("BY"));
+      do {
+        OrderKey key;
+        ZIDIAN_ASSIGN_OR_RETURN(key.output_name, ParseIdent());
+        // Allow qualified names in ORDER BY; normalize to "a.b".
+        if (AcceptSymbol(".")) {
+          ZIDIAN_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+          key.output_name += "." + col;
+        }
+        if (AcceptKeyword("DESC")) {
+          key.ascending = false;
+        } else {
+          AcceptKeyword("ASC");
+        }
+        stmt.order_by.push_back(std::move(key));
+      } while (AcceptSymbol(","));
+    }
+    if (AcceptKeyword("LIMIT")) {
+      if (Cur().type != TokenType::kInt) {
+        return ErrorHere("LIMIT expects an integer");
+      }
+      stmt.limit = Cur().int_val;
+      ++pos_;
+    }
+    if (Cur().type != TokenType::kEnd) {
+      return ErrorHere("trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Cur() const { return tokens_[pos_]; }
+
+  Status ErrorHere(const std::string& msg) const {
+    return Status::InvalidArgument(msg + " (near '" + Cur().text +
+                                   "' at offset " + std::to_string(Cur().pos) +
+                                   ")");
+  }
+
+  bool AcceptKeyword(std::string_view kw) {
+    if (Cur().IsKeyword(kw)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  bool AcceptSymbol(std::string_view s) {
+    if (Cur().IsSymbol(s)) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(std::string_view kw) {
+    if (!AcceptKeyword(kw)) {
+      return ErrorHere("expected " + std::string(kw));
+    }
+    return Status::OK();
+  }
+
+  Result<std::string> ParseIdent() {
+    if (Cur().type != TokenType::kIdent) {
+      return Status(StatusCode::kInvalidArgument,
+                    "expected identifier near '" + Cur().text + "'");
+    }
+    std::string s = Cur().text;
+    ++pos_;
+    return s;
+  }
+
+  Result<AttrRef> ParseColRef() {
+    ZIDIAN_ASSIGN_OR_RETURN(std::string first, ParseIdent());
+    if (AcceptSymbol(".")) {
+      ZIDIAN_ASSIGN_OR_RETURN(std::string col, ParseIdent());
+      return AttrRef{first, col};
+    }
+    return AttrRef{"", first};  // unqualified; binder resolves
+  }
+
+  static AggFn AggFromKeyword(const Token& t) {
+    if (t.IsKeyword("SUM")) return AggFn::kSum;
+    if (t.IsKeyword("COUNT")) return AggFn::kCount;
+    if (t.IsKeyword("AVG")) return AggFn::kAvg;
+    if (t.IsKeyword("MIN")) return AggFn::kMin;
+    if (t.IsKeyword("MAX")) return AggFn::kMax;
+    return AggFn::kNone;
+  }
+
+  Status ParseSelectList(SelectStmt* stmt) {
+    do {
+      SelectItem item;
+      AggFn agg = AggFromKeyword(Cur());
+      if (agg != AggFn::kNone && tokens_[pos_ + 1].IsSymbol("(")) {
+        ++pos_;  // agg keyword
+        ++pos_;  // (
+        item.agg = agg;
+        if (agg == AggFn::kCount && AcceptSymbol("*")) {
+          item.expr = nullptr;
+        } else {
+          ZIDIAN_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+        }
+        if (!AcceptSymbol(")")) return ErrorHere("expected ')'");
+      } else {
+        ZIDIAN_ASSIGN_OR_RETURN(item.expr, ParseExpr());
+      }
+      if (AcceptKeyword("AS")) {
+        ZIDIAN_ASSIGN_OR_RETURN(item.output_name, ParseIdent());
+      }
+      stmt->items.push_back(std::move(item));
+    } while (AcceptSymbol(","));
+    return Status::OK();
+  }
+
+  Status ParseTableRef(SelectStmt* stmt) {
+    TableRef ref;
+    ZIDIAN_ASSIGN_OR_RETURN(ref.table, ParseIdent());
+    if (AcceptKeyword("AS")) {
+      ZIDIAN_ASSIGN_OR_RETURN(ref.alias, ParseIdent());
+    } else if (Cur().type == TokenType::kIdent && !Cur().IsKeyword("WHERE") &&
+               !Cur().IsKeyword("GROUP") && !Cur().IsKeyword("ORDER") &&
+               !Cur().IsKeyword("LIMIT") && !Cur().IsKeyword("JOIN") &&
+               !Cur().IsKeyword("INNER") && !Cur().IsKeyword("ON")) {
+      ZIDIAN_ASSIGN_OR_RETURN(ref.alias, ParseIdent());
+    } else {
+      ref.alias = ref.table;
+    }
+    stmt->tables.push_back(std::move(ref));
+    return Status::OK();
+  }
+
+  Status ParseFrom(SelectStmt* stmt) {
+    ZIDIAN_RETURN_NOT_OK(ParseTableRef(stmt));
+    while (true) {
+      if (AcceptSymbol(",")) {
+        ZIDIAN_RETURN_NOT_OK(ParseTableRef(stmt));
+        continue;
+      }
+      if (Cur().IsKeyword("INNER") || Cur().IsKeyword("JOIN")) {
+        AcceptKeyword("INNER");
+        ZIDIAN_RETURN_NOT_OK(Expect("JOIN"));
+        ZIDIAN_RETURN_NOT_OK(ParseTableRef(stmt));
+        ZIDIAN_RETURN_NOT_OK(Expect("ON"));
+        ZIDIAN_ASSIGN_OR_RETURN(ExprPtr on, ParseExpr());
+        stmt->join_on.push_back(std::move(on));
+        continue;
+      }
+      break;
+    }
+    return Status::OK();
+  }
+
+  // Precedence: OR < AND < comparison < additive < multiplicative < primary.
+  Result<ExprPtr> ParseExpr() { return ParseOr(); }
+
+  Result<ExprPtr> ParseOr() {
+    ZIDIAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (AcceptKeyword("OR")) {
+      ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAnd());
+      lhs = Expr::Or(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    ZIDIAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseComparison());
+    while (AcceptKeyword("AND")) {
+      ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseComparison());
+      lhs = Expr::And(std::move(lhs), std::move(rhs));
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseComparison() {
+    ZIDIAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdditive());
+    CmpOp op;
+    if (AcceptSymbol("=")) {
+      op = CmpOp::kEq;
+    } else if (AcceptSymbol("<>")) {
+      op = CmpOp::kNe;
+    } else if (AcceptSymbol("<=")) {
+      op = CmpOp::kLe;
+    } else if (AcceptSymbol(">=")) {
+      op = CmpOp::kGe;
+    } else if (AcceptSymbol("<")) {
+      op = CmpOp::kLt;
+    } else if (AcceptSymbol(">")) {
+      op = CmpOp::kGt;
+    } else {
+      return lhs;
+    }
+    ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseAdditive());
+    return Expr::Compare(op, std::move(lhs), std::move(rhs));
+  }
+
+  Result<ExprPtr> ParseAdditive() {
+    ZIDIAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMultiplicative());
+    while (true) {
+      if (AcceptSymbol("+")) {
+        ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Arith(ArithOp::kAdd, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("-")) {
+        ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParseMultiplicative());
+        lhs = Expr::Arith(ArithOp::kSub, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParseMultiplicative() {
+    ZIDIAN_ASSIGN_OR_RETURN(ExprPtr lhs, ParsePrimary());
+    while (true) {
+      if (AcceptSymbol("*")) {
+        ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        lhs = Expr::Arith(ArithOp::kMul, std::move(lhs), std::move(rhs));
+      } else if (AcceptSymbol("/")) {
+        ZIDIAN_ASSIGN_OR_RETURN(ExprPtr rhs, ParsePrimary());
+        lhs = Expr::Arith(ArithOp::kDiv, std::move(lhs), std::move(rhs));
+      } else {
+        return lhs;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    const Token& t = Cur();
+    switch (t.type) {
+      case TokenType::kInt: {
+        ++pos_;
+        return Expr::Literal(Value(t.int_val));
+      }
+      case TokenType::kDouble: {
+        ++pos_;
+        return Expr::Literal(Value(t.double_val));
+      }
+      case TokenType::kString: {
+        ++pos_;
+        return Expr::Literal(Value(t.text));
+      }
+      case TokenType::kIdent: {
+        ZIDIAN_ASSIGN_OR_RETURN(AttrRef ref, ParseColRef());
+        return Expr::Column(ref.alias, ref.column);
+      }
+      case TokenType::kSymbol:
+        if (t.text == "(") {
+          ++pos_;
+          ZIDIAN_ASSIGN_OR_RETURN(ExprPtr inner, ParseExpr());
+          if (!AcceptSymbol(")")) return ErrorHere("expected ')'");
+          return inner;
+        }
+        if (t.text == "-") {  // unary minus
+          ++pos_;
+          ZIDIAN_ASSIGN_OR_RETURN(ExprPtr inner, ParsePrimary());
+          return Expr::Arith(ArithOp::kSub,
+                             Expr::Literal(Value(static_cast<int64_t>(0))),
+                             std::move(inner));
+        }
+        break;
+      default:
+        break;
+    }
+    return ErrorHere("expected expression");
+  }
+
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> ParseSelect(const std::string& sql) {
+  ZIDIAN_ASSIGN_OR_RETURN(std::vector<Token> tokens, Lex(sql));
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+}  // namespace zidian

@@ -1,0 +1,44 @@
+// Recursive-descent parser for the SQL subset:
+//
+//   SELECT item [, item]*
+//   FROM table [AS alias] [, table [AS alias]]*
+//        [ [INNER] JOIN table [AS alias] ON expr ]*
+//   [WHERE expr]
+//   [GROUP BY colref [, colref]*]
+//   [ORDER BY name [ASC|DESC] [, ...]]
+//   [LIMIT n]
+//
+//   item := [SUM|COUNT|AVG|MIN|MAX] '(' expr | '*' ')' [AS name] | expr [AS name]
+//   expr := disjunctions/conjunctions of comparisons over columns, literals
+//           and + - * / arithmetic.
+//
+// The parser produces an *unbound* statement; Bind() (binder.h) resolves
+// column references against a Catalog and yields a QuerySpec.
+#ifndef ZIDIAN_SQL_PARSER_H_
+#define ZIDIAN_SQL_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/expression.h"
+#include "sql/query_spec.h"
+
+namespace zidian {
+
+/// Raw parse result; column refs may be unqualified (empty alias).
+struct SelectStmt {
+  std::vector<SelectItem> items;       // output_name may be empty
+  std::vector<TableRef> tables;
+  ExprPtr where;                       // may be null
+  std::vector<ExprPtr> join_on;        // ON conditions, conjoined with WHERE
+  std::vector<AttrRef> group_by;       // alias may be empty before binding
+  std::vector<OrderKey> order_by;
+  int64_t limit = -1;
+};
+
+Result<SelectStmt> ParseSelect(const std::string& sql);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_SQL_PARSER_H_

@@ -1,0 +1,42 @@
+#include "storage/backend.h"
+
+namespace zidian {
+
+// get_us dominates blind scans (one get per tuple under TaaV, §3);
+// next_us models iterator advances; byte_us network; value_us SQL layer.
+const BackendProfile& SoH() {
+  static const BackendProfile p{"SoH", /*get_us=*/10.0, /*next_us=*/2.0,
+                                /*byte_us=*/0.020, /*value_us=*/0.05,
+                                /*startup_s=*/0.005};
+  return p;
+}
+
+const BackendProfile& SoK() {
+  // Kudu: columnar storage optimized for scans -> cheap get/next.
+  static const BackendProfile p{"SoK", /*get_us=*/3.0, /*next_us=*/0.4,
+                                /*byte_us=*/0.012, /*value_us=*/0.05,
+                                /*startup_s=*/0.003};
+  return p;
+}
+
+const BackendProfile& SoC() {
+  static const BackendProfile p{"SoC", /*get_us=*/7.0, /*next_us=*/1.2,
+                                /*byte_us=*/0.016, /*value_us=*/0.05,
+                                /*startup_s=*/0.004};
+  return p;
+}
+
+const std::vector<BackendProfile>& AllBackends() {
+  static const std::vector<BackendProfile> all{SoH(), SoK(), SoC()};
+  return all;
+}
+
+double SimSeconds(const QueryMetrics& m, const BackendProfile& profile) {
+  double us = m.makespan_get * profile.get_us +
+              m.makespan_next * profile.next_us +
+              m.makespan_bytes * profile.byte_us +
+              m.makespan_compute * profile.value_us;
+  return profile.startup_s + us / 1e6;
+}
+
+}  // namespace zidian

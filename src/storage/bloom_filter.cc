@@ -1,0 +1,33 @@
+#include "storage/bloom_filter.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace zidian {
+
+BloomFilter::BloomFilter(size_t expected_keys, int bits_per_key) {
+  size_t bits = std::max<size_t>(64, expected_keys * size_t(bits_per_key));
+  bits_.assign(bits, false);
+  // k = ln(2) * bits/key, clamped to a sane range.
+  num_probes_ = std::clamp(
+      static_cast<int>(std::round(bits_per_key * 0.69)), 1, 30);
+}
+
+void BloomFilter::Add(std::string_view key) {
+  uint64_t h1 = Hash64(key, /*seed=*/0x1234);
+  uint64_t h2 = Hash64(key, /*seed=*/0x5678) | 1;  // odd => full cycle
+  for (int i = 0; i < num_probes_; ++i) {
+    bits_[(h1 + uint64_t(i) * h2) % NumBits()] = true;
+  }
+}
+
+bool BloomFilter::MayContain(std::string_view key) const {
+  uint64_t h1 = Hash64(key, /*seed=*/0x1234);
+  uint64_t h2 = Hash64(key, /*seed=*/0x5678) | 1;
+  for (int i = 0; i < num_probes_; ++i) {
+    if (!bits_[(h1 + uint64_t(i) * h2) % NumBits()]) return false;
+  }
+  return true;
+}
+
+}  // namespace zidian

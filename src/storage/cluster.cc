@@ -1,0 +1,97 @@
+#include "storage/cluster.h"
+
+namespace zidian {
+
+namespace {
+bool HasPrefix(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+}  // namespace
+
+Cluster::Cluster(ClusterOptions options) {
+  nodes_.reserve(options.num_storage_nodes);
+  for (int i = 0; i < options.num_storage_nodes; ++i) {
+    nodes_.push_back(std::make_unique<LsmStore>(options.lsm));
+  }
+}
+
+Status Cluster::Put(std::string_view key, std::string_view value,
+                    QueryMetrics* m) {
+  if (m != nullptr) m->put_calls += 1;
+  return nodes_[NodeFor(key)]->Put(key, value);
+}
+
+Status Cluster::Delete(std::string_view key) {
+  return nodes_[NodeFor(key)]->Delete(key);
+}
+
+Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m) const {
+  if (m != nullptr) m->get_calls += 1;
+  auto res = nodes_[NodeFor(key)]->Get(key);
+  if (m != nullptr && res.ok()) {
+    m->bytes_from_storage += key.size() + res.value().size();
+  }
+  return res;
+}
+
+void Cluster::ScanPrefix(
+    std::string_view prefix, QueryMetrics* m,
+    const std::function<void(std::string_view, std::string_view)>& fn) const {
+  for (const auto& node : nodes_) {
+    auto it = node->NewIterator();
+    it->Seek(prefix);
+    while (it->Valid() && HasPrefix(it->key(), prefix)) {
+      if (m != nullptr) {
+        m->next_calls += 1;
+        m->bytes_from_storage += it->key().size() + it->value().size();
+      }
+      fn(it->key(), it->value());
+      it->Next();
+    }
+  }
+}
+
+uint64_t Cluster::CountPrefix(std::string_view prefix) const {
+  uint64_t n = 0;
+  for (const auto& node : nodes_) {
+    auto it = node->NewIterator();
+    it->Seek(prefix);
+    while (it->Valid() && HasPrefix(it->key(), prefix)) {
+      ++n;
+      it->Next();
+    }
+  }
+  return n;
+}
+
+void Cluster::FlushAll() {
+  for (auto& node : nodes_) node->Flush();
+}
+
+void Cluster::CompactAll() {
+  for (auto& node : nodes_) node->Compact();
+}
+
+Status Cluster::SaveToDir(const std::string& dir) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    ZIDIAN_RETURN_NOT_OK(
+        nodes_[i]->SaveToFile(dir + "/node-" + std::to_string(i) + ".kv"));
+  }
+  return Status::OK();
+}
+
+Status Cluster::LoadFromDir(const std::string& dir) {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    ZIDIAN_RETURN_NOT_OK(
+        nodes_[i]->LoadFromFile(dir + "/node-" + std::to_string(i) + ".kv"));
+  }
+  return Status::OK();
+}
+
+size_t Cluster::TotalBytes() const {
+  size_t total = 0;
+  for (const auto& node : nodes_) total += node->ApproximateBytes();
+  return total;
+}
+
+}  // namespace zidian

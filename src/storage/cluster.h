@@ -1,0 +1,77 @@
+// Simulated KV cluster: N storage nodes (each an LsmStore) behind a DHT that
+// hash-partitions keys (§3). This is the storage layer of the SQL-over-NoSQL
+// architecture; the SQL layer (executors in src/ra and src/zidian) talks to
+// it exclusively through get / put / prefix scans, and every access is
+// metered into QueryMetrics so the experiments can report #get, #data, comm.
+#ifndef ZIDIAN_STORAGE_CLUSTER_H_
+#define ZIDIAN_STORAGE_CLUSTER_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/hash.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "storage/lsm_store.h"
+
+namespace zidian {
+
+struct ClusterOptions {
+  int num_storage_nodes = 4;
+  LsmOptions lsm;
+};
+
+class Cluster {
+ public:
+  explicit Cluster(ClusterOptions options = {});
+
+  int num_nodes() const { return static_cast<int>(nodes_.size()); }
+
+  /// DHT routing: which storage node owns `key`.
+  int NodeFor(std::string_view key) const {
+    return static_cast<int>(Hash64(key) % nodes_.size());
+  }
+
+  /// Writes a pair; counts one put (and the written bytes) if `m` given.
+  Status Put(std::string_view key, std::string_view value,
+             QueryMetrics* m = nullptr);
+
+  Status Delete(std::string_view key);
+
+  /// Point lookup; counts one get and the returned bytes.
+  Result<std::string> Get(std::string_view key, QueryMetrics* m) const;
+
+  /// Iterates all pairs whose key starts with `prefix`, in key order per
+  /// node. Models the TaaV "blind scan": one next() per visited pair and the
+  /// full pair bytes shipped to the SQL layer.
+  void ScanPrefix(std::string_view prefix, QueryMetrics* m,
+                  const std::function<void(std::string_view key,
+                                           std::string_view value)>& fn) const;
+
+  /// Number of pairs under a prefix (unmetered; used by planners/stats).
+  uint64_t CountPrefix(std::string_view prefix) const;
+
+  LsmStore& node(int i) { return *nodes_[i]; }
+  const LsmStore& node(int i) const { return *nodes_[i]; }
+
+  void FlushAll();
+  void CompactAll();
+
+  /// Total live bytes across nodes (storage footprint).
+  size_t TotalBytes() const;
+
+  /// Persists every node to `dir/node-<i>.kv` / restores from it. The node
+  /// count must match on load (keys are hash-placed per node count).
+  Status SaveToDir(const std::string& dir) const;
+  Status LoadFromDir(const std::string& dir);
+
+ private:
+  std::vector<std::unique_ptr<LsmStore>> nodes_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_STORAGE_CLUSTER_H_

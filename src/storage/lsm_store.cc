@@ -1,0 +1,326 @@
+#include "storage/lsm_store.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <queue>
+
+#include "common/coding.h"
+
+namespace zidian {
+
+LsmStore::LsmStore(LsmOptions options) : options_(options) {}
+
+void LsmStore::Insert(std::string_view key, Entry entry) {
+  size_t add = key.size() + entry.value.size() + 16;
+  auto it = mem_.find(key);
+  if (it != mem_.end()) {
+    mem_bytes_ -= it->first.size() + it->second.value.size() + 16;
+    it->second = std::move(entry);
+  } else {
+    mem_.emplace(std::string(key), std::move(entry));
+  }
+  mem_bytes_ += add;
+  MaybeFlush();
+}
+
+Status LsmStore::Put(std::string_view key, std::string_view value) {
+  Insert(key, Entry{EntryType::kPut, std::string(value)});
+  return Status::OK();
+}
+
+Status LsmStore::Delete(std::string_view key) {
+  Insert(key, Entry{EntryType::kTombstone, ""});
+  return Status::OK();
+}
+
+Result<std::string> LsmStore::Get(std::string_view key) const {
+  auto it = mem_.find(key);
+  if (it != mem_.end()) {
+    if (it->second.type == EntryType::kTombstone) return Status::NotFound();
+    return it->second.value;
+  }
+  // Newest run first.
+  for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
+    if (rit->bloom && !rit->bloom->MayContain(key)) {
+      ++bloom_negatives_;
+      continue;
+    }
+    const auto& entries = rit->entries;
+    auto pos = std::lower_bound(
+        entries.begin(), entries.end(), key,
+        [](const auto& e, std::string_view k) { return e.first < k; });
+    if (pos != entries.end() && pos->first == key) {
+      if (pos->second.type == EntryType::kTombstone) return Status::NotFound();
+      return pos->second.value;
+    }
+  }
+  return Status::NotFound();
+}
+
+void LsmStore::MaybeFlush() {
+  if (mem_bytes_ >= options_.memtable_flush_bytes) Flush();
+  if (static_cast<int>(runs_.size()) >= options_.compaction_trigger_runs) {
+    Compact();
+  }
+}
+
+void LsmStore::Flush() {
+  if (mem_.empty()) return;
+  SortedRun run;
+  run.entries.reserve(mem_.size());
+  run.bloom = std::make_unique<BloomFilter>(mem_.size(),
+                                            options_.bloom_bits_per_key);
+  for (auto& [k, e] : mem_) {
+    run.bloom->Add(k);
+    run.bytes += k.size() + e.value.size() + 16;
+    run.entries.emplace_back(k, std::move(e));
+  }
+  run_bytes_ += run.bytes;
+  runs_.push_back(std::move(run));
+  mem_.clear();
+  mem_bytes_ = 0;
+}
+
+void LsmStore::Compact() {
+  Flush();
+  if (runs_.size() <= 1) {
+    // Single run: still drop tombstones (full compaction semantics).
+    if (runs_.size() == 1) {
+      auto& entries = runs_[0].entries;
+      size_t before = entries.size();
+      entries.erase(std::remove_if(entries.begin(), entries.end(),
+                                   [](const auto& e) {
+                                     return e.second.type ==
+                                            EntryType::kTombstone;
+                                   }),
+                    entries.end());
+      if (entries.size() != before) {
+        // Rebuild bloom + byte count.
+        SortedRun rebuilt;
+        rebuilt.bloom = std::make_unique<BloomFilter>(
+            entries.size(), options_.bloom_bits_per_key);
+        for (auto& [k, e] : entries) {
+          rebuilt.bloom->Add(k);
+          rebuilt.bytes += k.size() + e.value.size() + 16;
+        }
+        rebuilt.entries = std::move(entries);
+        run_bytes_ = rebuilt.bytes;
+        runs_.clear();
+        runs_.push_back(std::move(rebuilt));
+      }
+    }
+    return;
+  }
+  // K-way merge, newest run wins per key. Walk each run with a cursor; pick
+  // the smallest key; among ties the newest (highest run index) survives.
+  struct Cursor {
+    size_t run;
+    size_t pos;
+  };
+  auto cmp = [this](const Cursor& a, const Cursor& b) {
+    const auto& ka = runs_[a.run].entries[a.pos].first;
+    const auto& kb = runs_[b.run].entries[b.pos].first;
+    if (ka != kb) return ka > kb;  // min-heap on key
+    return a.run < b.run;          // newest (larger index) first
+  };
+  std::priority_queue<Cursor, std::vector<Cursor>, decltype(cmp)> heap(cmp);
+  for (size_t r = 0; r < runs_.size(); ++r) {
+    if (!runs_[r].entries.empty()) heap.push({r, 0});
+  }
+  SortedRun merged;
+  std::string last_key;
+  bool has_last = false;
+  while (!heap.empty()) {
+    Cursor c = heap.top();
+    heap.pop();
+    auto& [key, entry] = runs_[c.run].entries[c.pos];
+    if (!has_last || key != last_key) {
+      last_key = key;
+      has_last = true;
+      if (entry.type != EntryType::kTombstone) {
+        merged.entries.emplace_back(std::move(key), std::move(entry));
+      }
+    }
+    if (c.pos + 1 < runs_[c.run].entries.size()) {
+      heap.push({c.run, c.pos + 1});
+    }
+  }
+  merged.bloom = std::make_unique<BloomFilter>(merged.entries.size(),
+                                               options_.bloom_bits_per_key);
+  for (const auto& [k, e] : merged.entries) {
+    merged.bloom->Add(k);
+    merged.bytes += k.size() + e.value.size() + 16;
+  }
+  run_bytes_ = merged.bytes;
+  runs_.clear();
+  runs_.push_back(std::move(merged));
+}
+
+size_t LsmStore::NumLiveEntries() const {
+  size_t n = 0;
+  for (auto it = NewIterator(); it->Valid(); it->Next()) ++n;
+  return n;
+}
+
+namespace {
+
+/// Merging iterator over the memtable and all runs. Sources are ranked by
+/// recency (memtable = highest); for equal keys only the most recent version
+/// is surfaced, and tombstoned keys are skipped entirely.
+class LsmMergingIteratorImpl : public KvIterator {
+ public:
+  struct Source {
+    std::vector<std::pair<std::string, std::string>> entries;  // live+dead
+    std::vector<bool> dead;
+    size_t pos = 0;
+    int rank;  // higher = newer
+  };
+
+  explicit LsmMergingIteratorImpl(std::vector<Source> sources)
+      : sources_(std::move(sources)) {}
+
+  void SeekToFirst() override { Seek(""); }
+
+  void Seek(std::string_view target) override {
+    for (auto& s : sources_) {
+      s.pos = static_cast<size_t>(
+          std::lower_bound(s.entries.begin(), s.entries.end(), target,
+                           [](const auto& e, std::string_view t) {
+                             return e.first < t;
+                           }) -
+          s.entries.begin());
+    }
+    valid_ = true;
+    Advance(/*skip_current=*/false);
+  }
+
+  bool Valid() const override { return valid_; }
+  void Next() override { Advance(/*skip_current=*/true); }
+  std::string_view key() const override { return current_key_; }
+  std::string_view value() const override { return current_value_; }
+
+ private:
+  void Advance(bool skip_current) {
+    std::string last = skip_current ? current_key_ : std::string();
+    bool have_last = skip_current;
+    while (true) {
+      // Find the smallest key among cursors; among ties, the newest rank.
+      int best = -1;
+      for (size_t i = 0; i < sources_.size(); ++i) {
+        auto& s = sources_[i];
+        // Skip over the previously emitted key.
+        while (s.pos < s.entries.size() && have_last &&
+               s.entries[s.pos].first <= last) {
+          ++s.pos;
+        }
+        if (s.pos >= s.entries.size()) continue;
+        if (best < 0) {
+          best = static_cast<int>(i);
+          continue;
+        }
+        auto& b = sources_[best];
+        const auto& ck = s.entries[s.pos].first;
+        const auto& bk = b.entries[b.pos].first;
+        if (ck < bk || (ck == bk && s.rank > b.rank)) {
+          best = static_cast<int>(i);
+        }
+      }
+      if (best < 0) {
+        valid_ = false;
+        return;
+      }
+      auto& s = sources_[best];
+      current_key_ = s.entries[s.pos].first;
+      bool is_dead = s.dead[s.pos];
+      current_value_ = s.entries[s.pos].second;
+      if (is_dead) {
+        last = current_key_;
+        have_last = true;
+        continue;  // tombstone: suppress this key everywhere
+      }
+      valid_ = true;
+      return;
+    }
+  }
+
+  std::vector<Source> sources_;
+  std::string current_key_;
+  std::string current_value_;
+  bool valid_ = false;
+};
+
+}  // namespace
+
+std::unique_ptr<KvIterator> LsmStore::NewIterator() const {
+  std::vector<LsmMergingIteratorImpl::Source> sources;
+  int rank = 0;
+  for (const auto& run : runs_) {
+    LsmMergingIteratorImpl::Source s;
+    s.rank = rank++;
+    s.entries.reserve(run.entries.size());
+    for (const auto& [k, e] : run.entries) {
+      s.entries.emplace_back(k, e.value);
+      s.dead.push_back(e.type == EntryType::kTombstone);
+    }
+    sources.push_back(std::move(s));
+  }
+  {
+    LsmMergingIteratorImpl::Source s;
+    s.rank = rank;
+    s.entries.reserve(mem_.size());
+    for (const auto& [k, e] : mem_) {
+      s.entries.emplace_back(k, e.value);
+      s.dead.push_back(e.type == EntryType::kTombstone);
+    }
+    sources.push_back(std::move(s));
+  }
+  auto it = std::make_unique<LsmMergingIteratorImpl>(std::move(sources));
+  it->SeekToFirst();
+  return it;
+}
+
+Status LsmStore::SaveToFile(const std::string& path) const {
+  std::string buf;
+  uint64_t count = 0;
+  std::string body;
+  for (auto it = NewIterator(); it->Valid(); it->Next()) {
+    PutLengthPrefixed(&body, it->key());
+    PutLengthPrefixed(&body, it->value());
+    ++count;
+  }
+  PutFixed64(&buf, count);
+  buf += body;
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (written != buf.size()) return Status::Internal("short write " + path);
+  return Status::OK();
+}
+
+Status LsmStore::LoadFromFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string buf;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) buf.append(chunk, n);
+  std::fclose(f);
+  std::string_view sv(buf);
+  uint64_t count;
+  if (!GetFixed64(&sv, &count)) return Status::Corruption("bad header");
+  mem_.clear();
+  mem_bytes_ = 0;
+  runs_.clear();
+  run_bytes_ = 0;
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view k, v;
+    if (!GetLengthPrefixed(&sv, &k) || !GetLengthPrefixed(&sv, &v)) {
+      return Status::Corruption("truncated entry");
+    }
+    ZIDIAN_RETURN_NOT_OK(Put(k, v));
+  }
+  return Status::OK();
+}
+
+}  // namespace zidian

@@ -1,0 +1,100 @@
+// An embedded LSM-style key-value store: the "NoSQL storage" substrate of the
+// paper (§3). One LsmStore backs one storage node of the simulated cluster.
+//
+// Architecture (RocksDB-lite):
+//   writes -> MemTable (ordered map) -> Flush() -> immutable SortedRun
+//   SortedRun: sorted (key, entry) vector + Bloom filter for point lookups
+//   Get: memtable, then runs newest -> oldest, short-circuited by Bloom
+//   Compact(): k-way merges all runs, dropping shadowed entries/tombstones
+//   NewIterator(): merging iterator over memtable + runs in key order,
+//                  newest version wins, tombstones suppressed
+#ifndef ZIDIAN_STORAGE_LSM_STORE_H_
+#define ZIDIAN_STORAGE_LSM_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "storage/bloom_filter.h"
+
+namespace zidian {
+
+struct LsmOptions {
+  /// MemTable is flushed to a sorted run once it holds this many bytes.
+  size_t memtable_flush_bytes = 4 << 20;
+  /// Bloom filter density for flushed runs.
+  int bloom_bits_per_key = 10;
+  /// Merge all runs into one when their count reaches this threshold.
+  int compaction_trigger_runs = 8;
+};
+
+/// Ordered iteration over live (non-deleted) entries.
+class KvIterator {
+ public:
+  virtual ~KvIterator() = default;
+  /// Positions at the first key >= target.
+  virtual void Seek(std::string_view target) = 0;
+  virtual void SeekToFirst() = 0;
+  virtual bool Valid() const = 0;
+  virtual void Next() = 0;
+  virtual std::string_view key() const = 0;
+  virtual std::string_view value() const = 0;
+};
+
+class LsmStore {
+ public:
+  explicit LsmStore(LsmOptions options = {});
+
+  Status Put(std::string_view key, std::string_view value);
+  Status Delete(std::string_view key);
+  /// NotFound if the key is absent or tombstoned.
+  Result<std::string> Get(std::string_view key) const;
+
+  std::unique_ptr<KvIterator> NewIterator() const;
+
+  /// Makes the current memtable an immutable sorted run.
+  void Flush();
+  /// Full compaction: merges every run, discards shadowed versions.
+  void Compact();
+
+  /// Serializes all live entries to `path` / restores from it.
+  Status SaveToFile(const std::string& path) const;
+  Status LoadFromFile(const std::string& path);
+
+  size_t ApproximateBytes() const { return mem_bytes_ + run_bytes_; }
+  size_t NumRuns() const { return runs_.size(); }
+  size_t NumLiveEntries() const;
+  uint64_t bloom_negative_count() const { return bloom_negatives_; }
+
+ private:
+  enum class EntryType : uint8_t { kPut = 0, kTombstone = 1 };
+  struct Entry {
+    EntryType type;
+    std::string value;
+  };
+  struct SortedRun {
+    std::vector<std::pair<std::string, Entry>> entries;
+    std::unique_ptr<BloomFilter> bloom;
+    size_t bytes = 0;
+  };
+
+  void Insert(std::string_view key, Entry entry);
+  void MaybeFlush();
+
+  friend class LsmMergingIterator;
+
+  LsmOptions options_;
+  std::map<std::string, Entry, std::less<>> mem_;
+  size_t mem_bytes_ = 0;
+  size_t run_bytes_ = 0;
+  std::vector<SortedRun> runs_;  // oldest first; back() is newest
+  mutable uint64_t bloom_negatives_ = 0;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_STORAGE_LSM_STORE_H_

@@ -1,0 +1,276 @@
+// US air-carrier-shaped workload (§9 "AIRCA"): 7 tables, 358 attributes.
+// The real dataset joins Flight On-Time Performance with Carrier Statistics;
+// its defining property for Zidian is *width* — very wide fact tables of
+// which a query touches a handful of columns — plus skewed carriers/airports.
+// Filler metric columns (f01, f02, ...) reproduce the width; a BaaV store
+// fetches only the partial tuples a query needs, while the TaaV baseline
+// ships whole 50-90-attribute tuples.
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace zidian {
+
+namespace {
+
+Value I(int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+const char* kStates[] = {"CA", "TX", "NY", "FL", "IL", "GA", "WA", "CO",
+                         "AZ", "NC", "MA", "PA"};
+const char* kCauses[] = {"CARRIER", "WEATHER", "NAS", "SECURITY",
+                         "LATE_AIRCRAFT"};
+
+/// Builds a schema of named leading columns plus integer filler columns
+/// "fNN" up to `total` attributes.
+TableSchema WideSchema(const std::string& name,
+                       std::vector<std::pair<std::string, ValueType>> lead,
+                       size_t total, std::vector<std::string> pk) {
+  std::vector<Column> columns;
+  for (auto& [n, t] : lead) columns.push_back({n, t});
+  for (size_t i = columns.size(); i < total; ++i) {
+    std::string f = "f" + std::string(i < 10 ? "0" : "") + std::to_string(i);
+    columns.push_back({f, ValueType::kInt});
+  }
+  return TableSchema(name, std::move(columns), std::move(pk));
+}
+
+/// Appends filler values for the columns beyond the leading ones.
+void Fill(Tuple* t, size_t total, Rng* rng) {
+  while (t->size() < total) t->push_back(Value(rng->Uniform(0, 999)));
+}
+
+}  // namespace
+
+Result<Workload> MakeAirca(double scale, uint64_t seed) {
+  Workload w;
+  w.name = "AIRCA";
+  Rng rng(seed);
+  using VT = ValueType;
+
+  // 7 tables: 20 + 20 + 30 + 30 + 80 + 90 + 88 = 358 attributes.
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "carrier",
+      {{"carrier_id", VT::kInt}, {"carrier_name", VT::kString},
+       {"country", VT::kString}, {"fleet_size", VT::kInt}},
+      20, {"carrier_id"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "airport",
+      {{"airport_id", VT::kInt}, {"city", VT::kString}, {"state", VT::kString},
+       {"hub_rank", VT::kInt}},
+      20, {"airport_id"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "aircraft",
+      {{"aircraft_id", VT::kInt}, {"carrier_id", VT::kInt},
+       {"model", VT::kString}, {"seats", VT::kInt}, {"year_built", VT::kInt}},
+      30, {"aircraft_id"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "route",
+      {{"route_id", VT::kInt}, {"origin_id", VT::kInt}, {"dest_id", VT::kInt},
+       {"distance_mi", VT::kInt}},
+      30, {"route_id"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "flight",
+      {{"flight_id", VT::kInt}, {"carrier_id", VT::kInt},
+       {"route_id", VT::kInt}, {"aircraft_id", VT::kInt},
+       {"flight_date", VT::kInt}, {"dep_delay", VT::kInt},
+       {"arr_delay", VT::kInt}, {"cancelled", VT::kInt},
+       {"air_time", VT::kInt}, {"taxi_out", VT::kInt}},
+      80, {"flight_id"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "performance",
+      {{"perf_id", VT::kInt}, {"carrier_id", VT::kInt},
+       {"airport_id", VT::kInt}, {"year", VT::kInt}, {"month", VT::kInt},
+       {"ontime_pct", VT::kDouble}, {"flights_total", VT::kInt},
+       {"flights_delayed", VT::kInt}},
+      90, {"perf_id"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(WideSchema(
+      "delay_cause",
+      {{"delay_id", VT::kInt}, {"flight_id", VT::kInt}, {"cause", VT::kString},
+       {"minutes", VT::kInt}},
+      88, {"delay_id"})));
+
+  int64_t n_carriers = 15;
+  int64_t n_airports = 40;
+  int64_t n_aircraft = std::max<int64_t>(10,
+                                         static_cast<int64_t>(100 * scale));
+  int64_t n_routes = std::max<int64_t>(12, static_cast<int64_t>(120 * scale));
+  int64_t flights_per_aircraft = 20;  // bounded, independent of |D|
+  int64_t n_flights = n_aircraft * flights_per_aircraft;
+  int64_t n_perf = std::max<int64_t>(30, static_cast<int64_t>(600 * scale));
+
+  Zipf carrier_zipf(static_cast<uint64_t>(n_carriers), 1.3);
+  Zipf airport_zipf(static_cast<uint64_t>(n_airports), 1.2);
+
+  auto arity = [&](const char* t) { return w.catalog.Find(t)->arity(); };
+
+  {
+    Relation r(w.catalog.Find("carrier")->AttributeNames());
+    for (int64_t i = 1; i <= n_carriers; ++i) {
+      Tuple t{I(i), S("Carrier-" + std::to_string(i)), S("US"),
+              I(rng.Uniform(40, 900))};
+      Fill(&t, arity("carrier"), &rng);
+      r.Add(std::move(t));
+    }
+    w.data.emplace("carrier", std::move(r));
+  }
+  {
+    Relation r(w.catalog.Find("airport")->AttributeNames());
+    for (int64_t i = 1; i <= n_airports; ++i) {
+      Tuple t{I(i), S("City" + std::to_string(i)),
+              S(kStates[rng.Uniform(0, 11)]), I(rng.Uniform(1, 40))};
+      Fill(&t, arity("airport"), &rng);
+      r.Add(std::move(t));
+    }
+    w.data.emplace("airport", std::move(r));
+  }
+  {
+    Relation r(w.catalog.Find("aircraft")->AttributeNames());
+    for (int64_t i = 1; i <= n_aircraft; ++i) {
+      Tuple t{I(i), I(static_cast<int64_t>(carrier_zipf.Sample(&rng))),
+              S(rng.Chance(0.5) ? "B737" : "A320"), I(rng.Uniform(120, 220)),
+              I(rng.Uniform(1990, 2018))};
+      Fill(&t, arity("aircraft"), &rng);
+      r.Add(std::move(t));
+    }
+    w.data.emplace("aircraft", std::move(r));
+  }
+  {
+    Relation r(w.catalog.Find("route")->AttributeNames());
+    for (int64_t i = 1; i <= n_routes; ++i) {
+      int64_t origin = static_cast<int64_t>(airport_zipf.Sample(&rng));
+      int64_t dest = 1 + (origin + rng.Uniform(0, n_airports - 2)) %
+                             n_airports;
+      Tuple t{I(i), I(origin), I(dest), I(rng.Uniform(120, 2800))};
+      Fill(&t, arity("route"), &rng);
+      r.Add(std::move(t));
+    }
+    w.data.emplace("route", std::move(r));
+  }
+  {
+    Relation fl(w.catalog.Find("flight")->AttributeNames());
+    Relation dc(w.catalog.Find("delay_cause")->AttributeNames());
+    int64_t fid = 1, did = 1;
+    for (int64_t a = 1; a <= n_aircraft; ++a) {
+      for (int64_t k = 0; k < flights_per_aircraft; ++k, ++fid) {
+        int64_t dep_delay = rng.Chance(0.35) ? rng.Uniform(1, 180) : 0;
+        int64_t arr_delay =
+            dep_delay > 0 ? dep_delay + rng.Uniform(-20, 40) : 0;
+        Tuple t{I(fid),
+                I(static_cast<int64_t>(carrier_zipf.Sample(&rng))),
+                I(rng.Uniform(1, n_routes)),
+                I(a),
+                I(17897 + rng.Uniform(0, 365)),
+                I(dep_delay),
+                I(arr_delay),
+                I(rng.Chance(0.02) ? 1 : 0),
+                I(rng.Uniform(35, 400)),
+                I(rng.Uniform(5, 45))};
+        Fill(&t, arity("flight"), &rng);
+        fl.Add(std::move(t));
+        if (dep_delay > 15) {  // at most 2 causes per flight: bounded
+          Tuple d{I(did++), I(fid), S(kCauses[rng.Uniform(0, 4)]),
+                  I(dep_delay)};
+          Fill(&d, arity("delay_cause"), &rng);
+          dc.Add(std::move(d));
+          if (rng.Chance(0.3)) {
+            Tuple d2{I(did++), I(fid), S(kCauses[rng.Uniform(0, 4)]),
+                     I(rng.Uniform(1, 30))};
+            Fill(&d2, arity("delay_cause"), &rng);
+            dc.Add(std::move(d2));
+          }
+        }
+      }
+    }
+    w.data.emplace("flight", std::move(fl));
+    w.data.emplace("delay_cause", std::move(dc));
+  }
+  {
+    Relation r(w.catalog.Find("performance")->AttributeNames());
+    for (int64_t i = 1; i <= n_perf; ++i) {
+      Tuple t{I(i),
+              I(static_cast<int64_t>(carrier_zipf.Sample(&rng))),
+              I(static_cast<int64_t>(airport_zipf.Sample(&rng))),
+              I(rng.Uniform(1999, 2001)),
+              I(rng.Uniform(1, 12)),
+              D(rng.Uniform(55, 98) / 1.0),
+              I(rng.Uniform(100, 4000)),
+              I(rng.Uniform(5, 900))};
+      Fill(&t, arity("performance"), &rng);
+      r.Add(std::move(t));
+    }
+    w.data.emplace("performance", std::move(r));
+  }
+
+  int64_t f1 = 1 + static_cast<int64_t>(rng.Next() % uint64_t(n_flights));
+  int64_t a1 = 1 + static_cast<int64_t>(rng.Next() % uint64_t(n_aircraft));
+  int64_t r1 = 1 + static_cast<int64_t>(rng.Next() % uint64_t(n_routes));
+  auto add = [&](std::string name, std::string sql, bool sf, bool bounded) {
+    w.queries.push_back({std::move(name), std::move(sql), sf, bounded});
+  };
+  // q1-q6: scan-free + bounded point lookups.
+  add("air-q1",
+      "SELECT f.flight_date, f.dep_delay, f.arr_delay, c.carrier_name "
+      "FROM flight f, carrier c WHERE f.carrier_id = c.carrier_id "
+      "AND f.flight_id = " + std::to_string(f1),
+      true, true);
+  add("air-q2",
+      "SELECT a.model, f.flight_date, f.air_time FROM aircraft a, flight f "
+      "WHERE a.aircraft_id = f.aircraft_id AND a.aircraft_id = " +
+          std::to_string(a1),
+      true, true);
+  add("air-q3",
+      "SELECT f.flight_id, d.cause, d.minutes FROM flight f, delay_cause d "
+      "WHERE f.flight_id = d.flight_id AND f.flight_id = " +
+          std::to_string(f1),
+      true, true);
+  add("air-q4",
+      "SELECT r.distance_mi, o.city, x.city FROM route r, airport o, "
+      "airport x WHERE r.origin_id = o.airport_id "
+      "AND r.dest_id = x.airport_id AND r.route_id = " + std::to_string(r1),
+      true, true);
+  add("air-q5",
+      "SELECT a.model, COUNT(*), AVG(f.arr_delay) FROM aircraft a, flight f "
+      "WHERE a.aircraft_id = f.aircraft_id AND a.aircraft_id = " +
+          std::to_string(a1) + " GROUP BY a.model",
+      true, true);
+  add("air-q6",
+      "SELECT c.carrier_name, f.flight_date, f.dep_delay, d.cause "
+      "FROM carrier c, flight f, delay_cause d "
+      "WHERE c.carrier_id = f.carrier_id AND f.flight_id = d.flight_id "
+      "AND f.flight_id = " + std::to_string(f1),
+      true, true);
+  // q7-q12: global / range aggregates, not scan-free.
+  add("air-q7",
+      "SELECT f.carrier_id, COUNT(*), AVG(f.arr_delay) FROM flight f "
+      "GROUP BY f.carrier_id",
+      false, false);
+  add("air-q8",
+      "SELECT c.carrier_name, AVG(p.ontime_pct) "
+      "FROM carrier c, performance p WHERE c.carrier_id = p.carrier_id "
+      "GROUP BY c.carrier_name",
+      false, false);
+  add("air-q9",
+      "SELECT d.cause, COUNT(*), SUM(d.minutes) FROM delay_cause d "
+      "WHERE d.minutes > 30 GROUP BY d.cause",
+      false, false);
+  add("air-q10",
+      "SELECT f.route_id, AVG(f.dep_delay) FROM flight f "
+      "WHERE f.cancelled < 1 AND f.dep_delay > 0 GROUP BY f.route_id",
+      false, false);
+  add("air-q11",
+      "SELECT a.model, AVG(f.air_time) FROM aircraft a, flight f "
+      "WHERE a.aircraft_id = f.aircraft_id AND f.air_time > 100 "
+      "GROUP BY a.model",
+      false, false);
+  add("air-q12",
+      "SELECT p.airport_id, SUM(p.flights_delayed) FROM performance p "
+      "WHERE p.year >= 2000 AND p.month <= 6 GROUP BY p.airport_id "
+      "ORDER BY p.airport_id LIMIT 10",
+      false, false);
+
+  ZIDIAN_RETURN_NOT_OK(DeriveBaavSchema(&w));
+  return w;
+}
+
+}  // namespace zidian

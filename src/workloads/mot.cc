@@ -1,0 +1,220 @@
+// UK MOT-shaped workload (§9): 3 tables, 42 attributes. Vehicle makes,
+// models, regions and stations are Zipf-skewed with small active domains —
+// the two properties §9 credits for Zidian's largest gains. Queries q1-q6
+// are scan-free and bounded (vehicle-history point lookups whose chase
+// targets have degrees independent of |D|); q7-q12 are not scan-free
+// (range/global aggregates with no constant-equality seed).
+#include "common/rng.h"
+#include "workloads/workload.h"
+
+namespace zidian {
+
+namespace {
+
+const char* kMakes[] = {"FORD",   "VAUXHALL", "VOLKSWAGEN", "BMW",
+                        "TOYOTA", "AUDI",     "MERCEDES",   "NISSAN",
+                        "PEUGEOT", "HONDA",   "RENAULT",    "CITROEN",
+                        "SKODA",  "KIA",      "HYUNDAI",    "MAZDA",
+                        "SEAT",   "VOLVO",    "FIAT",       "MINI"};
+const char* kFuels[] = {"PETROL", "DIESEL", "HYBRID", "ELECTRIC", "LPG"};
+const char* kColors[] = {"BLACK", "WHITE", "SILVER", "BLUE", "RED", "GREY"};
+const char* kRegionsMot[] = {"LONDON", "SCOTLAND", "WALES", "MIDLANDS",
+                             "NORTH WEST", "NORTH EAST", "SOUTH WEST",
+                             "SOUTH EAST", "EAST", "YORKSHIRE", "ULSTER",
+                             "HIGHLANDS"};
+const char* kResults[] = {"PASS", "FAIL", "PRS", "ABANDONED"};
+const char* kWeather[] = {"DRY", "WET", "FOG", "SNOW", "ICE"};
+
+Value I(int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+}  // namespace
+
+Result<Workload> MakeMot(double scale, uint64_t seed) {
+  Workload w;
+  w.name = "MOT";
+  Rng rng(seed);
+  using VT = ValueType;
+
+  auto table = [&](const std::string& name,
+                   std::vector<std::pair<std::string, VT>> cols,
+                   std::vector<std::string> pk) {
+    std::vector<Column> columns;
+    for (auto& [n, t] : cols) columns.push_back({n, t});
+    return w.catalog.AddTable(TableSchema(name, std::move(columns),
+                                          std::move(pk)));
+  };
+
+  // 3 tables x 14 attributes = 42 attributes (matching the dataset shape).
+  ZIDIAN_RETURN_NOT_OK(table(
+      "vehicle",
+      {{"vehicle_id", VT::kInt}, {"make", VT::kString}, {"model", VT::kString},
+       {"fuel_type", VT::kString}, {"color", VT::kString},
+       {"first_use_year", VT::kInt}, {"engine_cc", VT::kInt},
+       {"region", VT::kString}, {"weight_kg", VT::kInt}, {"doors", VT::kInt},
+       {"body_type", VT::kString}, {"transmission", VT::kString},
+       {"co2_gkm", VT::kInt}, {"seats", VT::kInt}},
+      {"vehicle_id"}));
+  ZIDIAN_RETURN_NOT_OK(table(
+      "mot_test",
+      {{"test_id", VT::kInt}, {"vehicle_id", VT::kInt},
+       {"test_date", VT::kInt}, {"test_result", VT::kString},
+       {"test_mileage", VT::kInt}, {"station_id", VT::kInt},
+       {"test_class", VT::kInt}, {"test_type", VT::kString},
+       {"cost", VT::kDouble}, {"duration_min", VT::kInt},
+       {"inspector_id", VT::kInt}, {"retest_flag", VT::kInt},
+       {"advisory_count", VT::kInt}, {"fail_count", VT::kInt}},
+      {"test_id"}));
+  ZIDIAN_RETURN_NOT_OK(table(
+      "observation",
+      {{"obs_id", VT::kInt}, {"vehicle_id", VT::kInt}, {"road_id", VT::kInt},
+       {"obs_date", VT::kInt}, {"speed_mph", VT::kInt},
+       {"direction", VT::kString}, {"lane", VT::kInt},
+       {"weather", VT::kString}, {"temperature_c", VT::kInt},
+       {"congestion", VT::kDouble}, {"camera_id", VT::kInt},
+       {"region", VT::kString}, {"axle_count", VT::kInt},
+       {"occupancy", VT::kInt}},
+      {"obs_id"}));
+
+  int64_t n_vehicles =
+      std::max<int64_t>(20, static_cast<int64_t>(500 * scale));
+  int64_t tests_per_vehicle = 5;     // bounded, independent of |D|
+  int64_t obs_per_vehicle = 6;       // bounded, independent of |D|
+
+  Zipf make_zipf(20, 1.25);
+  Zipf model_zipf(60, 1.15);
+  Zipf region_zipf(12, 1.1);
+  Zipf station_zipf(80, 1.2);
+  Zipf road_zipf(150, 1.3);
+
+  {
+    Relation v(w.catalog.Find("vehicle")->AttributeNames());
+    for (int64_t i = 1; i <= n_vehicles; ++i) {
+      int64_t make = static_cast<int64_t>(make_zipf.Sample(&rng)) - 1;
+      v.Add({I(i), S(kMakes[make]),
+             S(std::string(kMakes[make]) + "-M" +
+               std::to_string(model_zipf.Sample(&rng))),
+             S(kFuels[rng.Uniform(0, 4)]), S(kColors[rng.Uniform(0, 5)]),
+             I(rng.Uniform(1995, 2011)), I(rng.Uniform(900, 3200)),
+             S(kRegionsMot[region_zipf.Sample(&rng) - 1]),
+             I(rng.Uniform(850, 2600)), I(rng.Uniform(2, 5)),
+             S(rng.Chance(0.6) ? "HATCHBACK" : "SALOON"),
+             S(rng.Chance(0.7) ? "MANUAL" : "AUTO"), I(rng.Uniform(90, 280)),
+             I(rng.Uniform(2, 7))});
+    }
+    w.data.emplace("vehicle", std::move(v));
+  }
+  {
+    Relation t(w.catalog.Find("mot_test")->AttributeNames());
+    int64_t tid = 1;
+    for (int64_t v = 1; v <= n_vehicles; ++v) {
+      int64_t mileage = rng.Uniform(5000, 30000);
+      for (int64_t k = 0; k < tests_per_vehicle; ++k, ++tid) {
+        mileage += rng.Uniform(4000, 14000);
+        const char* result =
+            rng.Chance(0.62) ? "PASS" : kResults[rng.Uniform(1, 3)];
+        t.Add({I(tid), I(v), I(13514 + 365 * k + rng.Uniform(0, 300)),
+               S(result), I(mileage),
+               I(static_cast<int64_t>(station_zipf.Sample(&rng))),
+               I(rng.Uniform(3, 7)), S(rng.Chance(0.9) ? "NORMAL" : "RETEST"),
+               D(rng.Uniform(2995, 5485) / 100.0), I(rng.Uniform(20, 75)),
+               I(rng.Uniform(1, 400)), I(rng.Chance(0.12) ? 1 : 0),
+               I(rng.Uniform(0, 5)), I(rng.Uniform(0, 4))});
+      }
+    }
+    w.data.emplace("mot_test", std::move(t));
+  }
+  {
+    Relation o(w.catalog.Find("observation")->AttributeNames());
+    int64_t oid = 1;
+    for (int64_t v = 1; v <= n_vehicles; ++v) {
+      for (int64_t k = 0; k < obs_per_vehicle; ++k, ++oid) {
+        o.Add({I(oid), I(v), I(static_cast<int64_t>(road_zipf.Sample(&rng))),
+               I(13514 + rng.Uniform(0, 1800)), I(rng.Uniform(15, 95)),
+               S(rng.Chance(0.5) ? "NB" : "SB"), I(rng.Uniform(1, 4)),
+               S(kWeather[rng.Uniform(0, 4)]), I(rng.Uniform(-5, 32)),
+               D(rng.Uniform(0, 100) / 100.0), I(rng.Uniform(1, 500)),
+               S(kRegionsMot[region_zipf.Sample(&rng) - 1]),
+               I(rng.Uniform(2, 6)), I(rng.Uniform(1, 5))});
+      }
+    }
+    w.data.emplace("observation", std::move(o));
+  }
+
+  // Query templates. Parameters are instantiated with in-domain values so
+  // every point lookup hits data.
+  int64_t v1 = 1 + static_cast<int64_t>(rng.Next() % uint64_t(n_vehicles));
+  int64_t v2 = 1 + static_cast<int64_t>(rng.Next() % uint64_t(n_vehicles));
+  int64_t t1 = 1 + static_cast<int64_t>(
+                       rng.Next() % uint64_t(n_vehicles * tests_per_vehicle));
+  int64_t o1 = 1 + static_cast<int64_t>(
+                       rng.Next() % uint64_t(n_vehicles * obs_per_vehicle));
+  auto add = [&](std::string name, std::string sql, bool sf, bool bounded) {
+    w.queries.push_back({std::move(name), std::move(sql), sf, bounded});
+  };
+  // q1-q6: scan-free and bounded (point lookups along bounded-degree keys).
+  add("mot-q1",
+      "SELECT v.make, v.model, t.test_date, t.test_result, t.test_mileage "
+      "FROM vehicle v, mot_test t WHERE v.vehicle_id = t.vehicle_id "
+      "AND v.vehicle_id = " + std::to_string(v1),
+      true, true);
+  add("mot-q2",
+      "SELECT v.make, o.obs_date, o.speed_mph, o.road_id "
+      "FROM vehicle v, observation o WHERE v.vehicle_id = o.vehicle_id "
+      "AND v.vehicle_id = " + std::to_string(v2),
+      true, true);
+  add("mot-q3",
+      "SELECT t.test_result, COUNT(*), MAX(t.test_mileage) "
+      "FROM vehicle v, mot_test t WHERE v.vehicle_id = t.vehicle_id "
+      "AND v.vehicle_id = " + std::to_string(v1) + " GROUP BY t.test_result",
+      true, true);
+  add("mot-q4",
+      "SELECT t.test_date, t.test_result, v.make, v.fuel_type "
+      "FROM mot_test t, vehicle v WHERE t.vehicle_id = v.vehicle_id "
+      "AND t.test_id = " + std::to_string(t1),
+      true, true);
+  add("mot-q5",
+      "SELECT o.speed_mph, o.weather, v.make, v.engine_cc "
+      "FROM observation o, vehicle v WHERE o.vehicle_id = v.vehicle_id "
+      "AND o.obs_id = " + std::to_string(o1),
+      true, true);
+  add("mot-q6",
+      "SELECT v.model, SUM(t.cost), COUNT(o.obs_id) "
+      "FROM vehicle v, mot_test t, observation o "
+      "WHERE v.vehicle_id = t.vehicle_id AND v.vehicle_id = o.vehicle_id "
+      "AND v.vehicle_id = " + std::to_string(v2) + " GROUP BY v.model",
+      true, true);
+  // q7-q12: no constant-equality seed -> not scan-free.
+  add("mot-q7",
+      "SELECT v.make, COUNT(*) FROM vehicle v GROUP BY v.make",
+      false, false);
+  add("mot-q8",
+      "SELECT v.make, AVG(t.test_mileage) FROM vehicle v, mot_test t "
+      "WHERE v.vehicle_id = t.vehicle_id AND v.first_use_year < 2005 "
+      "GROUP BY v.make",
+      false, false);
+  add("mot-q9",
+      "SELECT t.test_result, COUNT(*) FROM mot_test t "
+      "WHERE t.test_date >= 14000 AND t.test_date < 14400 "
+      "GROUP BY t.test_result",
+      false, false);
+  add("mot-q10",
+      "SELECT o.region, AVG(o.speed_mph) FROM observation o "
+      "WHERE o.speed_mph > 60 GROUP BY o.region",
+      false, false);
+  add("mot-q11",
+      "SELECT v.fuel_type, AVG(t.cost) FROM vehicle v, mot_test t "
+      "WHERE v.vehicle_id = t.vehicle_id AND t.test_mileage > 60000 "
+      "GROUP BY v.fuel_type",
+      false, false);
+  add("mot-q12",
+      "SELECT t.station_id, COUNT(*), AVG(t.duration_min) FROM mot_test t "
+      "GROUP BY t.station_id ORDER BY t.station_id LIMIT 10",
+      false, false);
+
+  ZIDIAN_RETURN_NOT_OK(DeriveBaavSchema(&w));
+  return w;
+}
+
+}  // namespace zidian

@@ -1,0 +1,396 @@
+// TPC-H dbgen-style generator (8 relations, 61 attributes) and the 22
+// benchmark queries in the SPJ+aggregate form our SQL subset accepts.
+// Per §9, over the derived BaaV schema queries q2, q3, q5, q7, q8, q10, q11,
+// q12, q17, q19 and q21 are scan-free (seeded by constant equalities that
+// chase through the join graph) and none are bounded (TPC-H's uniform data
+// gives KV instances degrees comparable to relation sizes).
+#include <algorithm>
+
+#include "common/rng.h"
+#include "sql/binder.h"
+#include "workloads/workload.h"
+
+namespace zidian {
+
+namespace {
+
+constexpr int kDateLo = 8035;   // 1992-01-01 as day number
+constexpr int kDateHi = 10591;  // 1998-12-31
+
+const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY",
+                           "HOUSEHOLD"};
+const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                             "4-NOT SPECIFIED", "5-LOW"};
+const char* kShipModes[] = {"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL",
+                            "FOB"};
+const char* kContainers[] = {"SM CASE", "SM BOX", "MED BOX", "MED BAG",
+                             "LG CASE", "LG BOX", "JUMBO PKG", "WRAP JAR"};
+const char* kTypes[] = {"STANDARD ANODIZED TIN",  "SMALL PLATED COPPER",
+                        "MEDIUM POLISHED STEEL",  "PROMO BURNISHED NICKEL",
+                        "ECONOMY BRUSHED BRASS",  "LARGE ANODIZED STEEL"};
+const char* kNations[] = {"ALGERIA",      "ARGENTINA", "BRAZIL",  "CANADA",
+                          "EGYPT",        "ETHIOPIA",  "FRANCE",  "GERMANY",
+                          "INDIA",        "INDONESIA", "IRAN",    "IRAQ",
+                          "JAPAN",        "JORDAN",    "KENYA",   "MOROCCO",
+                          "MOZAMBIQUE",   "PERU",      "CHINA",   "ROMANIA",
+                          "SAUDI ARABIA", "VIETNAM",   "RUSSIA",  "UNITED KINGDOM",
+                          "UNITED STATES"};
+const char* kRegions[] = {"AFRICA", "AMERICA", "ASIA", "EUROPE",
+                          "MIDDLE EAST"};
+// region of each nation, aligned with kNations.
+const int kNationRegion[] = {0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2,
+                             4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1};
+
+Value I(int64_t v) { return Value(v); }
+Value D(double v) { return Value(v); }
+Value S(std::string v) { return Value(std::move(v)); }
+
+TableSchema Schema(const std::string& name,
+                   std::vector<std::pair<std::string, ValueType>> cols,
+                   std::vector<std::string> pk) {
+  std::vector<Column> columns;
+  for (auto& [n, t] : cols) columns.push_back({n, t});
+  return TableSchema(name, std::move(columns), std::move(pk));
+}
+
+}  // namespace
+
+Result<Workload> MakeTpch(double sf, uint64_t seed) {
+  Workload w;
+  w.name = "TPC-H";
+  Rng rng(seed);
+
+  using VT = ValueType;
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "region",
+      {{"regionkey", VT::kInt}, {"name", VT::kString}, {"comment", VT::kString}},
+      {"regionkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "nation",
+      {{"nationkey", VT::kInt}, {"name", VT::kString},
+       {"regionkey", VT::kInt}, {"comment", VT::kString}},
+      {"nationkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "supplier",
+      {{"suppkey", VT::kInt}, {"name", VT::kString}, {"address", VT::kString},
+       {"nationkey", VT::kInt}, {"phone", VT::kString},
+       {"acctbal", VT::kDouble}, {"comment", VT::kString}},
+      {"suppkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "part",
+      {{"partkey", VT::kInt}, {"name", VT::kString}, {"mfgr", VT::kString},
+       {"brand", VT::kString}, {"type", VT::kString}, {"size", VT::kInt},
+       {"container", VT::kString}, {"retailprice", VT::kDouble},
+       {"comment", VT::kString}},
+      {"partkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "partsupp",
+      {{"partkey", VT::kInt}, {"suppkey", VT::kInt}, {"availqty", VT::kInt},
+       {"supplycost", VT::kDouble}, {"comment", VT::kString}},
+      {"partkey", "suppkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "customer",
+      {{"custkey", VT::kInt}, {"name", VT::kString}, {"address", VT::kString},
+       {"nationkey", VT::kInt}, {"phone", VT::kString},
+       {"acctbal", VT::kDouble}, {"mktsegment", VT::kString},
+       {"comment", VT::kString}},
+      {"custkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "orders",
+      {{"orderkey", VT::kInt}, {"custkey", VT::kInt},
+       {"orderstatus", VT::kString}, {"totalprice", VT::kDouble},
+       {"orderdate", VT::kInt}, {"orderpriority", VT::kString},
+       {"clerk", VT::kString}, {"shippriority", VT::kInt},
+       {"comment", VT::kString}},
+      {"orderkey"})));
+  ZIDIAN_RETURN_NOT_OK(w.catalog.AddTable(Schema(
+      "lineitem",
+      {{"orderkey", VT::kInt}, {"partkey", VT::kInt}, {"suppkey", VT::kInt},
+       {"linenumber", VT::kInt}, {"quantity", VT::kDouble},
+       {"extendedprice", VT::kDouble}, {"discount", VT::kDouble},
+       {"tax", VT::kDouble}, {"returnflag", VT::kString},
+       {"linestatus", VT::kString}, {"shipdate", VT::kInt},
+       {"commitdate", VT::kInt}, {"receiptdate", VT::kInt},
+       {"shipinstruct", VT::kString}, {"shipmode", VT::kString},
+       {"comment", VT::kString}},
+      {"orderkey", "linenumber"})));
+
+  // Row counts: spec ratios scaled so sf=1 -> ~8.7k rows.
+  auto n_of = [&](double base) {
+    return std::max<int64_t>(1, static_cast<int64_t>(base * sf));
+  };
+  int64_t n_supp = n_of(10), n_part = n_of(200), n_ps_per_part = 4;
+  int64_t n_cust = n_of(150), n_orders = n_of(1500);
+
+  // region / nation.
+  {
+    Relation r({"regionkey", "name", "comment"});
+    for (int64_t i = 0; i < 5; ++i) {
+      r.Add({I(i), S(kRegions[i]), S(rng.NextString(12))});
+    }
+    w.data.emplace("region", std::move(r));
+    Relation n({"nationkey", "name", "regionkey", "comment"});
+    for (int64_t i = 0; i < 25; ++i) {
+      n.Add({I(i), S(kNations[i]), I(kNationRegion[i]),
+             S(rng.NextString(12))});
+    }
+    w.data.emplace("nation", std::move(n));
+  }
+  // supplier.
+  {
+    Relation s({"suppkey", "name", "address", "nationkey", "phone", "acctbal",
+                "comment"});
+    for (int64_t i = 1; i <= n_supp; ++i) {
+      s.Add({I(i), S("Supplier#" + std::to_string(i)), S(rng.NextString(10)),
+             I(rng.Uniform(0, 24)), S(rng.NextString(10)),
+             D(rng.Uniform(-999, 9999) / 1.0), S(rng.NextString(12))});
+    }
+    w.data.emplace("supplier", std::move(s));
+  }
+  // part.
+  {
+    Relation p({"partkey", "name", "mfgr", "brand", "type", "size",
+                "container", "retailprice", "comment"});
+    for (int64_t i = 1; i <= n_part; ++i) {
+      int m = static_cast<int>(rng.Uniform(1, 5));
+      int b = static_cast<int>(rng.Uniform(1, 5));
+      p.Add({I(i), S("part " + rng.NextString(8)),
+             S("Manufacturer#" + std::to_string(m)),
+             S("Brand#" + std::to_string(m) + std::to_string(b)),
+             S(kTypes[rng.Uniform(0, 5)]), I(rng.Uniform(1, 50)),
+             S(kContainers[rng.Uniform(0, 7)]),
+             D(900 + static_cast<double>(i % 1000)), S(rng.NextString(10))});
+    }
+    w.data.emplace("part", std::move(p));
+  }
+  // partsupp: up to 4 distinct suppliers per part (capped by supplier count
+  // so the (partkey, suppkey) primary key stays unique at tiny scales).
+  int64_t supps_per_part = std::min<int64_t>(n_ps_per_part, n_supp);
+  {
+    Relation ps({"partkey", "suppkey", "availqty", "supplycost", "comment"});
+    for (int64_t p = 1; p <= n_part; ++p) {
+      for (int64_t k = 0; k < supps_per_part; ++k) {
+        int64_t s = 1 + (p + k) % n_supp;
+        ps.Add({I(p), I(s), I(rng.Uniform(1, 9999)),
+                D(rng.Uniform(100, 100000) / 100.0), S(rng.NextString(12))});
+      }
+    }
+    w.data.emplace("partsupp", std::move(ps));
+  }
+  // customer.
+  {
+    Relation c({"custkey", "name", "address", "nationkey", "phone", "acctbal",
+                "mktsegment", "comment"});
+    for (int64_t i = 1; i <= n_cust; ++i) {
+      c.Add({I(i), S("Customer#" + std::to_string(i)), S(rng.NextString(10)),
+             I(rng.Uniform(0, 24)), S(rng.NextString(10)),
+             D(rng.Uniform(-999, 9999) / 1.0), S(kSegments[rng.Uniform(0, 4)]),
+             S(rng.NextString(12))});
+    }
+    w.data.emplace("customer", std::move(c));
+  }
+  // orders + lineitem.
+  {
+    Relation o({"orderkey", "custkey", "orderstatus", "totalprice",
+                "orderdate", "orderpriority", "clerk", "shippriority",
+                "comment"});
+    Relation l({"orderkey", "partkey", "suppkey", "linenumber", "quantity",
+                "extendedprice", "discount", "tax", "returnflag", "linestatus",
+                "shipdate", "commitdate", "receiptdate", "shipinstruct",
+                "shipmode", "comment"});
+    for (int64_t i = 1; i <= n_orders; ++i) {
+      int64_t odate = rng.Uniform(kDateLo, kDateHi - 151);
+      const char* status = rng.Chance(0.49)   ? "F"
+                           : rng.Chance(0.96) ? "O"
+                                              : "P";
+      o.Add({I(i), I(rng.Uniform(1, n_cust)), S(status),
+             D(rng.Uniform(1000, 450000) / 1.0), I(odate),
+             S(kPriorities[rng.Uniform(0, 4)]),
+             S("Clerk#" + std::to_string(rng.Uniform(1, 1000))), I(0),
+             S(rng.NextString(12))});
+      int64_t lines = rng.Uniform(1, 7);
+      for (int64_t ln = 1; ln <= lines; ++ln) {
+        int64_t pkey = rng.Uniform(1, n_part);
+        // Pick one of the part's partsupp suppliers (referential integrity).
+        int64_t skey = 1 + (pkey + rng.Uniform(0, supps_per_part - 1)) % n_supp;
+        double qty = static_cast<double>(rng.Uniform(1, 50));
+        double price = qty * (900 + static_cast<double>(pkey % 1000)) / 10.0;
+        int64_t sdate = odate + rng.Uniform(1, 121);
+        const char* rflag = sdate <= 9314 ? (rng.Chance(0.5) ? "R" : "A") : "N";
+        l.Add({I(i), I(pkey), I(skey), I(ln), D(qty), D(price),
+               D(rng.Uniform(0, 10) / 100.0), D(rng.Uniform(0, 8) / 100.0),
+               S(rflag), S(sdate <= 9314 ? "F" : "O"), I(sdate),
+               I(odate + rng.Uniform(30, 90)), I(sdate + rng.Uniform(1, 30)),
+               S("DELIVER IN PERSON"), S(kShipModes[rng.Uniform(0, 6)]),
+               S(rng.NextString(10))});
+      }
+    }
+    w.data.emplace("orders", std::move(o));
+    w.data.emplace("lineitem", std::move(l));
+  }
+
+  // --- the 22 queries (simplified to the SPJ+aggregate subset) -------------
+  auto add = [&](std::string name, std::string sql, bool sf_free) {
+    // No TPC-H query is bounded: degrees grow with the data (§9).
+    w.queries.push_back({std::move(name), std::move(sql), sf_free, false});
+  };
+  add("q1",
+      "SELECT l.returnflag, l.linestatus, SUM(l.quantity), "
+      "SUM(l.extendedprice), AVG(l.discount), COUNT(*) "
+      "FROM lineitem l WHERE l.shipdate <= 10471 "
+      "GROUP BY l.returnflag, l.linestatus",
+      false);
+  add("q2",
+      "SELECT s.name, s.acctbal, n.name, p.partkey, ps.supplycost "
+      "FROM part p, supplier s, partsupp ps, nation n, region r "
+      "WHERE p.partkey = ps.partkey AND s.suppkey = ps.suppkey "
+      "AND s.nationkey = n.nationkey AND n.regionkey = r.regionkey "
+      "AND r.name = 'EUROPE' AND p.size = 15",
+      true);
+  add("q3",
+      "SELECT o.orderkey, SUM(l.extendedprice), o.orderdate "
+      "FROM customer c, orders o, lineitem l "
+      "WHERE c.mktsegment = 'BUILDING' AND c.custkey = o.custkey "
+      "AND l.orderkey = o.orderkey AND o.orderdate < 9204 "
+      "AND l.shipdate > 9204 GROUP BY o.orderkey, o.orderdate",
+      true);
+  add("q4",
+      "SELECT o.orderpriority, COUNT(*) FROM orders o "
+      "WHERE o.orderdate >= 9131 AND o.orderdate < 9223 "
+      "GROUP BY o.orderpriority",
+      false);
+  add("q5",
+      "SELECT n.name, SUM(l.extendedprice) "
+      "FROM customer c, orders o, lineitem l, supplier s, nation n, region r "
+      "WHERE c.custkey = o.custkey AND l.orderkey = o.orderkey "
+      "AND l.suppkey = s.suppkey AND c.nationkey = s.nationkey "
+      "AND s.nationkey = n.nationkey AND n.regionkey = r.regionkey "
+      "AND r.name = 'ASIA' AND o.orderdate >= 9131 AND o.orderdate < 9496 "
+      "GROUP BY n.name",
+      true);
+  add("q6",
+      "SELECT SUM(l.extendedprice * l.discount) FROM lineitem l "
+      "WHERE l.shipdate >= 8766 AND l.shipdate < 9131 "
+      "AND l.discount >= 0.05 AND l.discount <= 0.07 AND l.quantity < 24",
+      false);
+  add("q7",
+      "SELECT n1.name, n2.name, SUM(l.extendedprice) "
+      "FROM supplier s, lineitem l, orders o, customer c, nation n1, "
+      "nation n2 "
+      "WHERE s.suppkey = l.suppkey AND o.orderkey = l.orderkey "
+      "AND c.custkey = o.custkey AND s.nationkey = n1.nationkey "
+      "AND c.nationkey = n2.nationkey AND n1.name = 'FRANCE' "
+      "AND n2.name = 'GERMANY' GROUP BY n1.name, n2.name",
+      true);
+  add("q8",
+      "SELECT o.orderdate, SUM(l.extendedprice) "
+      "FROM part p, supplier s, lineitem l, orders o, nation n, region r "
+      "WHERE p.partkey = l.partkey AND s.suppkey = l.suppkey "
+      "AND l.orderkey = o.orderkey AND s.nationkey = n.nationkey "
+      "AND n.regionkey = r.regionkey AND r.name = 'AMERICA' "
+      "AND p.type = 'ECONOMY BRUSHED BRASS' GROUP BY o.orderdate",
+      true);
+  add("q9",
+      "SELECT n.name, SUM(l.extendedprice - ps.supplycost * l.quantity) "
+      "FROM part p, supplier s, lineitem l, partsupp ps, nation n "
+      "WHERE s.suppkey = l.suppkey AND ps.suppkey = l.suppkey "
+      "AND ps.partkey = l.partkey AND p.partkey = l.partkey "
+      "AND s.nationkey = n.nationkey AND p.size > 40 GROUP BY n.name",
+      false);
+  add("q10",
+      "SELECT c.custkey, c.name, SUM(l.extendedprice), n.name "
+      "FROM customer c, orders o, lineitem l, nation n "
+      "WHERE c.custkey = o.custkey AND l.orderkey = o.orderkey "
+      "AND c.nationkey = n.nationkey AND l.returnflag = 'R' "
+      "AND o.orderdate >= 8857 AND o.orderdate < 8948 "
+      "GROUP BY c.custkey, c.name, n.name",
+      true);
+  add("q11",
+      "SELECT ps.partkey, SUM(ps.supplycost * ps.availqty) "
+      "FROM partsupp ps, supplier s, nation n "
+      "WHERE ps.suppkey = s.suppkey AND s.nationkey = n.nationkey "
+      "AND n.name = 'GERMANY' GROUP BY ps.partkey",
+      true);
+  add("q12",
+      "SELECT l.shipmode, COUNT(*) FROM orders o, lineitem l "
+      "WHERE o.orderkey = l.orderkey AND l.shipmode = 'MAIL' "
+      "AND l.receiptdate >= 8766 AND l.receiptdate < 9131 "
+      "GROUP BY l.shipmode",
+      true);
+  add("q13",
+      "SELECT c.custkey, COUNT(*) FROM customer c, orders o "
+      "WHERE c.custkey = o.custkey GROUP BY c.custkey",
+      false);
+  add("q14",
+      "SELECT SUM(l.extendedprice * l.discount) "
+      "FROM lineitem l, part p WHERE l.partkey = p.partkey "
+      "AND l.shipdate >= 9374 AND l.shipdate < 9404",
+      false);
+  add("q15",
+      "SELECT l.suppkey, SUM(l.extendedprice) FROM lineitem l "
+      "WHERE l.shipdate >= 9496 AND l.shipdate < 9587 GROUP BY l.suppkey",
+      false);
+  add("q16",
+      "SELECT p.brand, p.type, COUNT(ps.suppkey) FROM partsupp ps, part p "
+      "WHERE p.partkey = ps.partkey AND p.size > 35 "
+      "GROUP BY p.brand, p.type",
+      false);
+  add("q17",
+      "SELECT AVG(l.quantity) FROM lineitem l, part p "
+      "WHERE p.partkey = l.partkey AND p.brand = 'Brand#23' "
+      "AND p.container = 'MED BOX'",
+      true);
+  add("q18",
+      "SELECT c.custkey, o.orderkey, SUM(l.quantity) "
+      "FROM customer c, orders o, lineitem l "
+      "WHERE c.custkey = o.custkey AND o.orderkey = l.orderkey "
+      "AND o.totalprice > 400000 GROUP BY c.custkey, o.orderkey",
+      false);
+  add("q19",
+      "SELECT SUM(l.extendedprice) FROM lineitem l, part p "
+      "WHERE p.partkey = l.partkey AND p.brand = 'Brand#12' "
+      "AND l.quantity >= 1 AND l.quantity <= 30 AND p.size <= 15",
+      true);
+  add("q20",
+      "SELECT s.name, s.address FROM supplier s, partsupp ps "
+      "WHERE s.suppkey = ps.suppkey AND ps.availqty > 9000",
+      false);
+  add("q21",
+      "SELECT s.name, COUNT(*) FROM supplier s, lineitem l, orders o, "
+      "nation n "
+      "WHERE s.suppkey = l.suppkey AND o.orderkey = l.orderkey "
+      "AND o.orderstatus = 'F' AND s.nationkey = n.nationkey "
+      "AND n.name = 'SAUDI ARABIA' GROUP BY s.name",
+      true);
+  add("q22",
+      "SELECT c.nationkey, COUNT(*), SUM(c.acctbal) FROM customer c "
+      "WHERE c.acctbal > 7000 GROUP BY c.nationkey",
+      false);
+
+  ZIDIAN_RETURN_NOT_OK(DeriveBaavSchema(&w));
+  return w;
+}
+
+Status DeriveBaavSchema(Workload* w, double budget_multiplier) {
+  std::vector<Qcs> all;
+  for (const auto& q : w->queries) {
+    auto spec = ParseAndBind(q.sql, w->catalog);
+    if (!spec.ok()) {
+      return Status::Internal("workload query " + q.name +
+                              " failed to bind: " + spec.status().ToString());
+    }
+    auto qcs = ExtractQcs(*spec, w->catalog);
+    all.insert(all.end(), qcs.begin(), qcs.end());
+  }
+  uint64_t data_bytes = 0;
+  for (const auto& [name, rel] : w->data) data_bytes += rel.ByteSize();
+  uint64_t budget =
+      static_cast<uint64_t>(static_cast<double>(data_bytes) *
+                            budget_multiplier);
+  ZIDIAN_ASSIGN_OR_RETURN(T2BResult t2b,
+                          RunT2B(w->catalog, w->data, all, budget));
+  w->baav = std::move(t2b.schema);
+  return Status::OK();
+}
+
+}  // namespace zidian

@@ -1,0 +1,83 @@
+#include "zidian/preservation.h"
+
+#include <algorithm>
+
+namespace zidian {
+
+std::set<std::string> Closure(const KvSchema& start, const BaavSchema& all) {
+  std::set<std::string> clo;
+  for (const auto& a : start.AllAttrs()) clo.insert(a);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const auto* other : all.ForRelation(start.relation)) {
+      // Chase key: declared primary key if present, else key attributes X.
+      const auto& chase_key =
+          other->primary_key.empty() ? other->key_attrs : other->primary_key;
+      bool covered = !chase_key.empty();
+      for (const auto& k : chase_key) covered &= clo.count(k) > 0;
+      if (!covered) continue;
+      for (const auto& a : other->AllAttrs()) {
+        if (clo.insert(a).second) changed = true;
+      }
+    }
+  }
+  return clo;
+}
+
+PreservationReport CheckDataPreserving(const Catalog& catalog,
+                                       const BaavSchema& baav) {
+  for (const auto& name : catalog.TableNames()) {
+    const TableSchema* rel = catalog.Find(name);
+    std::set<std::string> att_r;
+    for (const auto& c : rel->columns()) att_r.insert(c.name);
+
+    bool found = false;
+    for (const auto* kv : baav.ForRelation(name)) {
+      if (Closure(*kv, baav) == att_r) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      return {false, "relation " + name +
+                         ": no KV schema closure equals att(" + name + ")"};
+    }
+  }
+  return {true, ""};
+}
+
+PreservationReport CheckResultPreserving(const MinimizedSPC& min_spc,
+                                         const BaavSchema& baav) {
+  for (const auto& t : min_spc.tables) {
+    std::set<std::string> needed;  // unqualified X^{min(Q)}_R
+    for (const auto& a : min_spc.NeededAttrs(t.alias)) {
+      needed.insert(a.column);
+    }
+    bool found = false;
+    for (const auto* kv : baav.ForRelation(t.table)) {
+      std::set<std::string> clo = Closure(*kv, baav);
+      if (std::includes(clo.begin(), clo.end(), needed.begin(),
+                        needed.end())) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      std::string attrs;
+      for (const auto& a : needed) attrs += a + " ";
+      return {false, "alias " + t.alias + " (" + t.table +
+                         "): no closure covers { " + attrs + "}"};
+    }
+  }
+  return {true, ""};
+}
+
+Result<PreservationReport> CheckResultPreserving(const QuerySpec& spec,
+                                                 const Catalog& catalog,
+                                                 const BaavSchema& baav) {
+  ZIDIAN_ASSIGN_OR_RETURN(MinimizedSPC min_spc, MinimizeSPC(spec, catalog));
+  return CheckResultPreserving(min_spc, baav);
+}
+
+}  // namespace zidian

@@ -1,0 +1,329 @@
+#include "zidian/t2b.h"
+
+#include <algorithm>
+#include <set>
+#include <unordered_set>
+
+namespace zidian {
+
+std::string Qcs::ToString() const {
+  std::string out = relation + ": {";
+  for (size_t i = 0; i < accessed.size(); ++i) {
+    if (i > 0) out += ",";
+    out += accessed[i];
+  }
+  out += "}[";
+  for (size_t i = 0; i < known.size(); ++i) {
+    if (i > 0) out += ",";
+    out += known[i];
+  }
+  out += "]";
+  return out;
+}
+
+bool QcsSupported(const Qcs& qcs, const BaavSchema& schema) {
+  // GET-like reachability: which attributes can be fetched starting from the
+  // known X-values.
+  std::set<std::string> avail(qcs.known.begin(), qcs.known.end());
+  bool grow = true;
+  while (grow) {
+    grow = false;
+    for (const auto* kv : schema.ForRelation(qcs.relation)) {
+      bool covered = !kv->key_attrs.empty();
+      for (const auto& x : kv->key_attrs) covered &= avail.count(x) > 0;
+      if (!covered) continue;
+      for (const auto& a : kv->AllAttrs()) {
+        if (avail.insert(a).second) grow = true;
+      }
+    }
+  }
+  // VC-like verifiability (§6.1): reachability alone is not enough — the
+  // *combination* of Z-values with the known X-values must be checkable.
+  // Mirror VC: consider schemas fully inside `avail`, close each under
+  // key-coverage, and require Z to fit inside one closure.
+  std::vector<const KvSchema*> rq;
+  for (const auto* kv : schema.ForRelation(qcs.relation)) {
+    bool inside = true;
+    for (const auto& a : kv->AllAttrs()) inside &= avail.count(a) > 0;
+    if (inside) rq.push_back(kv);
+  }
+  for (const auto* seed : rq) {
+    std::set<std::string> clo;
+    for (const auto& a : seed->AllAttrs()) clo.insert(a);
+    bool g = true;
+    while (g) {
+      g = false;
+      for (const auto* kv : rq) {
+        bool covered = true;
+        for (const auto& x : kv->key_attrs) covered &= clo.count(x) > 0;
+        if (!covered) continue;
+        for (const auto& a : kv->AllAttrs()) {
+          if (clo.insert(a).second) g = true;
+        }
+      }
+    }
+    bool fits = true;
+    for (const auto& z : qcs.accessed) fits &= clo.count(z) > 0;
+    if (fits) return true;
+  }
+  return false;
+}
+
+uint64_t EstimateInstanceBytes(const KvSchema& kv, const Relation& data) {
+  std::vector<int> xidx, yidx;
+  for (const auto& a : kv.key_attrs) {
+    int i = data.ColumnIndex(a);
+    if (i < 0) return 0;
+    xidx.push_back(i);
+  }
+  for (const auto& a : kv.value_attrs) {
+    int i = data.ColumnIndex(a);
+    if (i < 0) return 0;
+    yidx.push_back(i);
+  }
+  std::unordered_set<std::string> distinct_keys;
+  uint64_t key_bytes = 0, value_bytes = 0;
+  for (const auto& row : data.rows()) {
+    Tuple x;
+    for (int i : xidx) x.push_back(row[static_cast<size_t>(i)]);
+    std::string enc = EncodeKeyTuple(x);
+    if (distinct_keys.insert(enc).second) key_bytes += enc.size() + 24;
+    for (int i : yidx) {
+      value_bytes += row[static_cast<size_t>(i)].ByteSize();
+    }
+  }
+  return key_bytes + value_bytes + 2 * data.size();
+}
+
+namespace {
+
+struct Candidate {
+  KvSchema kv;
+  uint64_t bytes = 0;
+};
+
+BaavSchema ToSchema(const std::vector<Candidate>& cands) {
+  BaavSchema s;
+  for (const auto& c : cands) {
+    (void)s.Add(c.kv);  // names deduplicated upstream
+  }
+  return s;
+}
+
+bool AllSupported(const std::vector<Qcs>& workload, const BaavSchema& s) {
+  for (const auto& q : workload) {
+    if (!QcsSupported(q, s)) return false;
+  }
+  return true;
+}
+
+/// Assigns the relation's primary key to the KV schema when contained.
+void AttachPrimaryKey(KvSchema* kv, const Catalog& catalog) {
+  const TableSchema* rel = catalog.Find(kv->relation);
+  if (rel == nullptr) return;
+  for (const auto& pk : rel->primary_key()) {
+    if (!kv->HasAttr(pk)) return;
+  }
+  kv->primary_key = rel->primary_key();
+}
+
+}  // namespace
+
+Result<T2BResult> RunT2B(const Catalog& catalog,
+                         const std::map<std::string, Relation>& data,
+                         const std::vector<Qcs>& workload,
+                         uint64_t budget_bytes) {
+  T2BResult out;
+
+  // (1) Initial schema: one KV schema per distinct QCS.
+  std::vector<Candidate> cands;
+  std::set<std::string> seen;
+  for (const auto& q : workload) {
+    if (catalog.Find(q.relation) == nullptr) {
+      return Status::NotFound("relation " + q.relation);
+    }
+    std::vector<std::string> y;
+    for (const auto& z : q.accessed) {
+      if (std::find(q.known.begin(), q.known.end(), z) == q.known.end()) {
+        y.push_back(z);
+      }
+    }
+    if (q.known.empty() || y.empty()) continue;
+    KvSchema kv = MakeKvSchema(q.relation, q.known, y);
+    if (!seen.insert(kv.name).second) {
+      // Same relation+key: merge value attrs into the existing candidate.
+      for (auto& c : cands) {
+        if (c.kv.name != kv.name) continue;
+        for (const auto& a : y) {
+          if (!c.kv.HasAttr(a)) c.kv.value_attrs.push_back(a);
+        }
+      }
+      continue;
+    }
+    AttachPrimaryKey(&kv, catalog);
+    cands.push_back({std::move(kv), 0});
+  }
+  auto re_estimate = [&]() {
+    uint64_t total = 0;
+    for (auto& c : cands) {
+      auto it = data.find(c.kv.relation);
+      c.bytes = it == data.end() ? 0 : EstimateInstanceBytes(c.kv, it->second);
+      total += c.bytes;
+    }
+    return total;
+  };
+  uint64_t total = re_estimate();
+  out.log.push_back("initial schemas: " + std::to_string(cands.size()) +
+                    ", est bytes: " + std::to_string(total));
+
+  // (2) Redundancy removal, largest first.
+  bool removed = true;
+  while (removed) {
+    removed = false;
+    // Try candidates in decreasing size order.
+    std::vector<size_t> order(cands.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return cands[a].bytes > cands[b].bytes;
+    });
+    for (size_t i : order) {
+      std::vector<Candidate> without = cands;
+      without.erase(without.begin() + static_cast<long>(i));
+      if (AllSupported(workload, ToSchema(without))) {
+        out.log.push_back("drop redundant " + cands[i].kv.name);
+        cands = std::move(without);
+        removed = true;
+        break;
+      }
+    }
+  }
+  total = re_estimate();
+
+  // (3) Budget-driven merging (same relation + same key), then drops.
+  while (total > budget_bytes) {
+    bool merged = false;
+    for (size_t i = 0; i < cands.size() && !merged; ++i) {
+      for (size_t j = i + 1; j < cands.size() && !merged; ++j) {
+        if (cands[i].kv.relation != cands[j].kv.relation) continue;
+        if (cands[i].kv.key_attrs != cands[j].kv.key_attrs) continue;
+        for (const auto& a : cands[j].kv.value_attrs) {
+          if (!cands[i].kv.HasAttr(a)) cands[i].kv.value_attrs.push_back(a);
+        }
+        out.log.push_back("merge " + cands[j].kv.name + " into " +
+                          cands[i].kv.name);
+        cands.erase(cands.begin() + static_cast<long>(j));
+        merged = true;
+      }
+    }
+    if (!merged) {
+      // Drop the largest schema whose removal keeps all QCS *answerable*:
+      // some remaining schema still carries the accessed attributes.
+      std::vector<size_t> order(cands.size());
+      for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+      std::sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+        return cands[a].bytes > cands[b].bytes;
+      });
+      bool dropped = false;
+      for (size_t i : order) {
+        std::vector<Candidate> without = cands;
+        without.erase(without.begin() + static_cast<long>(i));
+        BaavSchema s = ToSchema(without);
+        bool answerable = true;
+        for (const auto& q : workload) {
+          bool covered = false;
+          for (const auto* kv : s.ForRelation(q.relation)) {
+            bool all = true;
+            for (const auto& z : q.accessed) all &= kv->HasAttr(z);
+            covered |= all;
+          }
+          answerable &= covered;
+        }
+        if (answerable) {
+          out.log.push_back("drop (budget) " + cands[i].kv.name);
+          cands = std::move(without);
+          dropped = true;
+          break;
+        }
+      }
+      if (!dropped) break;  // cannot shrink further without losing queries
+    }
+    total = re_estimate();
+  }
+
+  out.schema = ToSchema(cands);
+  out.estimated_bytes = total;
+  out.all_supported = AllSupported(workload, out.schema);
+  out.log.push_back("final schemas: " + std::to_string(cands.size()) +
+                    ", est bytes: " + std::to_string(total));
+  return out;
+}
+
+std::vector<Qcs> ExtractQcs(const QuerySpec& spec, const Catalog& catalog) {
+  // The access pattern of a plan is directional: an alias is reached either
+  // through its constant-bound attributes or through join attributes shared
+  // with an *already reached* alias (the §8.1 example: for
+  // πF(σA=1 R(A,B,C) ⋈B=E S(E,F,G)) the QCS are AB[A] and EF[E]).
+  // We therefore simulate the chase: seed with constant-selected aliases,
+  // then BFS along equality edges, recording for each alias the attribute
+  // set through which it was first reached.
+  std::vector<Qcs> out;
+  std::map<std::string, std::set<std::string>> known;  // alias -> X
+  for (const auto& [a, v] : spec.const_eqs) {
+    (void)v;
+    known[a.alias].insert(a.column);
+  }
+  std::set<std::string> reached;
+  for (const auto& [alias, attrs] : known) reached.insert(alias);
+  bool grow = true;
+  while (grow) {
+    grow = false;
+    for (const auto& [a, b] : spec.eq_joins) {
+      if (reached.count(a.alias) && !reached.count(b.alias)) {
+        known[b.alias].insert(b.column);
+        reached.insert(b.alias);
+        grow = true;
+      } else if (reached.count(b.alias) && !reached.count(a.alias)) {
+        known[a.alias].insert(a.column);
+        reached.insert(a.alias);
+        grow = true;
+      } else if (reached.count(a.alias) && reached.count(b.alias)) {
+        // Both reached: the edge still refines access (multi-key patterns)
+        // but we keep the first-reach key to stay chase-startable.
+      }
+    }
+  }
+
+  for (const auto& t : spec.tables) {
+    Qcs q;
+    q.relation = t.table;
+    std::set<AttrRef> needed = spec.NeededAttrs(t.alias);
+    for (const auto& a : needed) q.accessed.push_back(a.column);
+    auto it = known.find(t.alias);
+    if (it != known.end() && !it->second.empty()) {
+      q.known.assign(it->second.begin(), it->second.end());
+    } else {
+      // Unreachable via constants: fall back to a primary-key pattern so the
+      // relation stays result preserving (answerable with instance scans).
+      const TableSchema* rel = catalog.Find(t.table);
+      if (rel == nullptr || rel->primary_key().empty()) continue;
+      q.known = rel->primary_key();
+      for (const auto& pk : q.known) {
+        if (std::find(q.accessed.begin(), q.accessed.end(), pk) ==
+            q.accessed.end()) {
+          q.accessed.push_back(pk);
+        }
+      }
+    }
+    // `known` must be part of `accessed` (Z[X] requires X ⊆ Z).
+    for (const auto& k : q.known) {
+      if (std::find(q.accessed.begin(), q.accessed.end(), k) ==
+          q.accessed.end()) {
+        q.accessed.push_back(k);
+      }
+    }
+    out.push_back(std::move(q));
+  }
+  return out;
+}
+
+}  // namespace zidian

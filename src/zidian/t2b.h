@@ -1,0 +1,67 @@
+// Module M4 (§8.1): BaaV schema design with algorithm T2B.
+//
+// A QCS (query column set) Z[X] abstracts an access pattern of historical
+// query plans over one relation: "plans often access attributes Z when
+// X-values are already known". T2B turns a set of QCS into a BaaV schema:
+//   (1) initialize one KV schema <X, Z\X> per QCS (every abstracted query is
+//       then scan-free over the initial schema);
+//   (2) drop redundant KV schemas — ones whose removal keeps every QCS
+//       supported — largest first (minimum impact per storage saved);
+//   (3) while the estimated mapped size exceeds the budget, merge KV schemas
+//       of the same relation and key (union of value attributes), then, if
+//       still over, drop the largest schema that keeps every QCS answerable
+//       (possibly with scans).
+#ifndef ZIDIAN_ZIDIAN_T2B_H_
+#define ZIDIAN_ZIDIAN_T2B_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "baav/kv_schema.h"
+#include "common/result.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "sql/query_spec.h"
+
+namespace zidian {
+
+/// Z[X]: access pattern over `relation`; known ⊆ accessed.
+struct Qcs {
+  std::string relation;
+  std::vector<std::string> known;     ///< X
+  std::vector<std::string> accessed;  ///< Z
+
+  std::string ToString() const;
+};
+
+/// Is `qcs` supported by `schema` (its Z reachable from X via key-covered
+/// KV schemas of the relation, without scans)?
+bool QcsSupported(const Qcs& qcs, const BaavSchema& schema);
+
+/// Estimated mapped size in bytes of one KV schema over `data` (columns in
+/// relation-schema order).
+uint64_t EstimateInstanceBytes(const KvSchema& kv, const Relation& data);
+
+struct T2BResult {
+  BaavSchema schema;
+  uint64_t estimated_bytes = 0;
+  bool all_supported = false;  ///< every QCS scan-free over the result
+  std::vector<std::string> log;
+};
+
+/// Runs T2B. `data` maps relation name -> sample data used for size
+/// estimation (full data works too; estimation cost is one pass).
+Result<T2BResult> RunT2B(const Catalog& catalog,
+                         const std::map<std::string, Relation>& data,
+                         const std::vector<Qcs>& workload,
+                         uint64_t budget_bytes);
+
+/// Extracts the QCS abstraction of a bound query (one QCS per alias):
+/// Z = the alias's needed attributes, X = attributes bound by constants or
+/// reachable join keys (the access-pattern derivation of §8.1's example).
+std::vector<Qcs> ExtractQcs(const QuerySpec& spec, const Catalog& catalog);
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_ZIDIAN_T2B_H_

@@ -1,0 +1,127 @@
+#include "zidian/zidian.h"
+
+#include <algorithm>
+
+#include "kba/kba_executor.h"
+#include "ra/eval.h"
+
+namespace zidian {
+
+Zidian::Zidian(const Catalog* catalog, Cluster* cluster,
+               BaavSchema baav_schema, ZidianOptions options)
+    : catalog_(catalog),
+      cluster_(cluster),
+      store_(cluster, std::move(baav_schema), catalog, options.store),
+      options_(options),
+      baseline_(catalog, cluster) {}
+
+Status Zidian::LoadTaav(const std::map<std::string, Relation>& db) {
+  for (const auto& [name, data] : db) {
+    ZIDIAN_ASSIGN_OR_RETURN(TableSchema schema, catalog_->Get(name));
+    ZIDIAN_RETURN_NOT_OK(TaavLoadRelation(cluster_, schema, data));
+  }
+  cluster_->FlushAll();
+  return Status::OK();
+}
+
+Status Zidian::BuildBaav(const std::map<std::string, Relation>& db) {
+  ZIDIAN_RETURN_NOT_OK(store_.BuildAll(db));
+  cluster_->FlushAll();
+  return Status::OK();
+}
+
+Status Zidian::Insert(const std::string& relation, const Tuple& tuple) {
+  ZIDIAN_ASSIGN_OR_RETURN(TableSchema schema, catalog_->Get(relation));
+  Relation one(schema.AttributeNames());
+  one.Add(tuple);
+  ZIDIAN_RETURN_NOT_OK(TaavLoadRelation(cluster_, schema, one));
+  return store_.ApplyInsert(relation, tuple);
+}
+
+Status Zidian::Delete(const std::string& relation, const Tuple& tuple) {
+  ZIDIAN_ASSIGN_OR_RETURN(TableSchema schema, catalog_->Get(relation));
+  std::vector<int> pk_idx;
+  Tuple pk;
+  for (const auto& k : schema.primary_key()) {
+    int i = schema.ColumnIndex(k);
+    pk.push_back(tuple[static_cast<size_t>(i)]);
+  }
+  ZIDIAN_RETURN_NOT_OK(TaavDeleteTuple(cluster_, schema, pk));
+  return store_.ApplyDelete(relation, tuple);
+}
+
+Result<Relation> Zidian::Answer(const std::string& sql, int workers,
+                                AnswerInfo* info) {
+  ZIDIAN_ASSIGN_OR_RETURN(QuerySpec spec, ParseAndBind(sql, *catalog_));
+  return AnswerSpec(spec, workers, info);
+}
+
+Result<Relation> Zidian::AnswerSpec(const QuerySpec& spec, int workers,
+                                    AnswerInfo* info) {
+  AnswerInfo local;
+  AnswerInfo* out = info != nullptr ? info : &local;
+  *out = AnswerInfo{};
+
+  // M1: can the query be answered on the BaaV store at all?
+  ZIDIAN_ASSIGN_OR_RETURN(
+      PreservationReport preserve,
+      CheckResultPreserving(spec, *catalog_, store_.schema()));
+  out->result_preserving = preserve.preserving;
+  if (!preserve.preserving) {
+    out->route = AnswerInfo::Route::kTaavFallback;
+    out->detail = preserve.detail;
+    return AnswerBaseline(spec, workers, &out->metrics);
+  }
+
+  // M2: plan generation (scan-free / bounded when the query is).
+  ZIDIAN_ASSIGN_OR_RETURN(
+      PlannedQuery planned,
+      GenerateKbaPlan(spec, *catalog_, store_, options_.planner));
+  out->scan_free = planned.scan_free;
+  out->bounded = planned.bounded;
+  out->stats_pushdown = planned.stats_pushdown;
+  out->plan_text = planned.plan->ToString();
+  out->route = planned.scan_free ? AnswerInfo::Route::kKbaScanFree
+                                 : AnswerInfo::Route::kKbaWithScans;
+
+  // M3: interleaved parallel execution.
+  KbaExecutor executor(&store_);
+  ZIDIAN_ASSIGN_OR_RETURN(
+      KvInst chain, executor.Execute(*planned.plan, workers, &out->metrics));
+
+  Relation result;
+  if (planned.stats_pushdown) {
+    // The plan already aggregated from block statistics.
+    result = std::move(chain.rel);
+    ZIDIAN_RETURN_NOT_OK(OrderAndLimit(planned.exec_spec.order_by,
+                                       planned.exec_spec.limit, &result));
+  } else {
+    ZIDIAN_ASSIGN_OR_RETURN(
+        result, FinishQuery(chain.rel, planned.exec_spec, &out->metrics));
+  }
+
+  // Refresh per-worker makespans with the post-aggregation compute counts.
+  int p = std::max(1, workers);
+  out->metrics.makespan_next = static_cast<double>(out->metrics.next_calls) / p;
+  out->metrics.makespan_compute =
+      static_cast<double>(out->metrics.compute_values) / p;
+  out->metrics.makespan_bytes =
+      static_cast<double>(out->metrics.bytes_from_storage +
+                          out->metrics.shuffle_bytes) /
+      p;
+  return result;
+}
+
+Result<Relation> Zidian::AnswerBaseline(const QuerySpec& spec, int workers,
+                                        QueryMetrics* m) const {
+  QueryMetrics local;
+  return baseline_.Execute(spec, workers, m != nullptr ? m : &local);
+}
+
+Result<Relation> Zidian::AnswerBaseline(const std::string& sql, int workers,
+                                        QueryMetrics* m) const {
+  ZIDIAN_ASSIGN_OR_RETURN(QuerySpec spec, ParseAndBind(sql, *catalog_));
+  return AnswerBaseline(spec, workers, m);
+}
+
+}  // namespace zidian

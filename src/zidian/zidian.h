@@ -1,0 +1,105 @@
+// The Zidian middleware facade (§5.1, Fig. 1b): the public entry point a
+// downstream user programs against.
+//
+//   Catalog + Cluster  ->  Zidian(catalog, cluster, baav_schema)
+//     LoadTaav(db)          store the relations under TaaV (the existing
+//                           SQL-over-NoSQL layout)
+//     BuildBaav(db)         map the database onto the BaaV schema (M4)
+//     Answer(sql, p)        module M1 decides whether the query can be
+//                           answered on the BaaV store (Condition II); if so
+//                           M2 generates a (scan-free / bounded when
+//                           possible) KBA plan and M3 executes it with the
+//                           interleaved parallel strategy; otherwise the
+//                           query falls back to the TaaV baseline.
+//     AnswerBaseline(...)   the SQL-over-NoSQL baseline path, for
+//                           experiments ("without Zidian").
+#ifndef ZIDIAN_ZIDIAN_ZIDIAN_H_
+#define ZIDIAN_ZIDIAN_ZIDIAN_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baav/baav_store.h"
+#include "common/metrics.h"
+#include "common/result.h"
+#include "ra/taav.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "sql/binder.h"
+#include "storage/backend.h"
+#include "storage/cluster.h"
+#include "zidian/planner.h"
+#include "zidian/preservation.h"
+
+namespace zidian {
+
+struct ZidianOptions {
+  BaavStoreOptions store;
+  PlannerOptions planner;
+};
+
+struct AnswerInfo {
+  enum class Route {
+    kKbaScanFree,   ///< scan-free KBA plan (no table touched by scans)
+    kKbaWithScans,  ///< KBA plan with instance-scan fallbacks
+    kTaavFallback,  ///< not result preserving: baseline execution
+  };
+  Route route = Route::kTaavFallback;
+  bool result_preserving = false;
+  bool scan_free = false;
+  bool bounded = false;
+  bool stats_pushdown = false;
+  QueryMetrics metrics;
+  std::string plan_text;
+  std::string detail;
+
+  /// Simulated wall-clock under a backend profile (Table 2/3 "time").
+  double SimSecondsFor(const BackendProfile& profile) const {
+    return SimSeconds(metrics, profile);
+  }
+};
+
+class Zidian {
+ public:
+  Zidian(const Catalog* catalog, Cluster* cluster, BaavSchema baav_schema,
+         ZidianOptions options = {});
+
+  const Catalog& catalog() const { return *catalog_; }
+  BaavStore& store() { return store_; }
+  const BaavStore& store() const { return store_; }
+  Cluster& cluster() { return *cluster_; }
+
+  /// Loads every relation of `db` into the cluster under TaaV.
+  Status LoadTaav(const std::map<std::string, Relation>& db);
+
+  /// Maps `db` onto the BaaV schema (module M4's data plane).
+  Status BuildBaav(const std::map<std::string, Relation>& db);
+
+  /// Keeps both layouts in sync with one tuple-level update (§8.2).
+  Status Insert(const std::string& relation, const Tuple& tuple);
+  Status Delete(const std::string& relation, const Tuple& tuple);
+
+  /// Full pipeline: parse, bind, route, execute with `workers` nodes.
+  Result<Relation> Answer(const std::string& sql, int workers,
+                          AnswerInfo* info);
+  Result<Relation> AnswerSpec(const QuerySpec& spec, int workers,
+                              AnswerInfo* info);
+
+  /// The SQL-over-NoSQL baseline (no Zidian), for comparison runs.
+  Result<Relation> AnswerBaseline(const QuerySpec& spec, int workers,
+                                  QueryMetrics* m) const;
+  Result<Relation> AnswerBaseline(const std::string& sql, int workers,
+                                  QueryMetrics* m) const;
+
+ private:
+  const Catalog* catalog_;
+  Cluster* cluster_;
+  BaavStore store_;
+  ZidianOptions options_;
+  TaavExecutor baseline_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_ZIDIAN_ZIDIAN_H_

