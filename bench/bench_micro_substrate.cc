@@ -11,6 +11,7 @@
 #include "storage/bloom_filter.h"
 #include "storage/cluster.h"
 #include "storage/lsm_store.h"
+#include "storage/mem_backend.h"
 
 namespace zidian {
 namespace {
@@ -57,6 +58,81 @@ void BM_LsmGetAbsentWithBloom(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations());
 }
 BENCHMARK(BM_LsmGetAbsentWithBloom);
+
+void BM_MemBackendGet(benchmark::State& state) {
+  MemBackend store;
+  for (int i = 0; i < 20000; ++i) {
+    (void)store.Put("key" + std::to_string(i), "value" + std::to_string(i));
+  }
+  Rng rng(2);
+  for (auto _ : state) {
+    std::string key = "key" + std::to_string(rng.Uniform(0, 19999));
+    benchmark::DoNotOptimize(store.Get(key));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MemBackendGet);
+
+/// Batched vs single-key point access against the cluster: the §7.2 claim
+/// that one MultiGet per (worker, node) is never slower than a get loop.
+class ClusterPointFixture {
+ public:
+  explicit ClusterPointFixture(BackendKind kind) {
+    ClusterOptions opts;
+    opts.num_storage_nodes = 8;
+    opts.backend = kind;
+    cluster_ = std::make_unique<Cluster>(opts);
+    for (int i = 0; i < 50000; ++i) {
+      (void)cluster_->Put("key" + std::to_string(i),
+                          "value-payload-0123456789", nullptr);
+    }
+    cluster_->FlushAll();
+    Rng rng(9);
+    for (int i = 0; i < 256; ++i) {
+      probe_.push_back("key" + std::to_string(rng.Uniform(0, 49999)));
+    }
+  }
+  std::unique_ptr<Cluster> cluster_;
+  std::vector<std::string> probe_;
+};
+
+void BM_ClusterSingleGetLoop(benchmark::State& state) {
+  ClusterPointFixture fixture(static_cast<BackendKind>(state.range(0)));
+  for (auto _ : state) {
+    QueryMetrics m;
+    // Materialize the fetched values, as the batched call does (and as any
+    // real consumer of a point-get fan-out must).
+    std::vector<std::optional<std::string>> results;
+    results.reserve(fixture.probe_.size());
+    for (const auto& k : fixture.probe_) {
+      auto res = fixture.cluster_->Get(k, &m);
+      if (res.ok()) {
+        results.emplace_back(std::move(res).value());
+      } else {
+        results.emplace_back(std::nullopt);
+      }
+    }
+    benchmark::DoNotOptimize(results);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.probe_.size()));
+}
+BENCHMARK(BM_ClusterSingleGetLoop)
+    ->Arg(static_cast<int>(BackendKind::kLsm))
+    ->Arg(static_cast<int>(BackendKind::kMem));
+
+void BM_ClusterMultiGet(benchmark::State& state) {
+  ClusterPointFixture fixture(static_cast<BackendKind>(state.range(0)));
+  for (auto _ : state) {
+    QueryMetrics m;
+    benchmark::DoNotOptimize(fixture.cluster_->MultiGet(fixture.probe_, &m));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.probe_.size()));
+}
+BENCHMARK(BM_ClusterMultiGet)
+    ->Arg(static_cast<int>(BackendKind::kLsm))
+    ->Arg(static_cast<int>(BackendKind::kMem));
 
 void BM_OrderedKeyEncode(benchmark::State& state) {
   Rng rng(4);

@@ -11,6 +11,7 @@
 
 #include "storage/backend.h"
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/zidian.h"
 
 namespace zidian {
@@ -53,27 +54,41 @@ struct RunStats {
   QueryMetrics baseline_m;
 };
 
-/// Runs one query through both routes under one backend profile.
+/// Runs one query through both routes under one backend profile. The query
+/// is prepared once (parse/bind/route/plan) and executed twice — with the
+/// automatic route and with the baseline forced — exactly how a harness
+/// should use the Connection/PreparedQuery API.
 inline RunStats RunBoth(Instance& inst, const std::string& sql,
                         const BackendProfile& profile, int workers) {
   RunStats out;
+  auto prepared = inst.zidian->Connect().Prepare(sql);
+  if (!prepared.ok()) {
+    std::fprintf(stderr, "prepare failed on %s: %s\n", sql.c_str(),
+                 prepared.status().ToString().c_str());
+    std::abort();
+  }
   AnswerInfo info;
-  auto zr = inst.zidian->Answer(sql, workers, &info);
+  auto zr = prepared->Execute(
+      ExecOptions{.workers = workers, .backend_profile = &profile}, &info);
   if (!zr.ok()) {
     std::fprintf(stderr, "zidian failed on %s: %s\n", sql.c_str(),
                  zr.status().ToString().c_str());
     std::abort();
   }
   out.zidian_m = info.metrics;
-  out.zidian_s = SimSeconds(info.metrics, profile);
-  QueryMetrics bm;
-  auto br = inst.zidian->AnswerBaseline(sql, workers, &bm);
+  out.zidian_s = info.sim_seconds;
+  AnswerInfo base;
+  auto br = prepared->Execute(
+      ExecOptions{.workers = workers,
+                  .route_policy = RoutePolicy::kForceBaseline,
+                  .backend_profile = &profile},
+      &base);
   if (!br.ok()) {
     std::fprintf(stderr, "baseline failed on %s\n", sql.c_str());
     std::abort();
   }
-  out.baseline_m = bm;
-  out.baseline_s = SimSeconds(bm, profile);
+  out.baseline_m = base.metrics;
+  out.baseline_s = base.sim_seconds;
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/zidian.h"
 
 using namespace zidian;
@@ -26,11 +27,11 @@ int main() {
       return 1;
     }
     AnswerInfo info;
-    auto r = zidian.Answer(
+    auto r = zidian.Connect().Execute(
         "SELECT v.make, v.model, t.test_date, t.test_result, t.test_mileage "
         "FROM vehicle v, mot_test t WHERE v.vehicle_id = t.vehicle_id "
         "AND v.vehicle_id = 11 ORDER BY t.test_date",
-        /*workers=*/4, &info);
+        ExecOptions{.workers = 4}, &info);
     if (!r.ok()) {
       std::fprintf(stderr, "%s\n", r.status().ToString().c_str());
       return 1;
@@ -51,9 +52,18 @@ int main() {
   (void)zidian.LoadTaav(w->data);
   (void)zidian.BuildBaav(w->data);
 
+  // The dashboard's recurring lookups are prepared once and re-executed:
+  // the same plan reads fresh data after the incremental maintenance.
+  Connection conn = zidian.Connect();
+  auto count_q = conn.Prepare(
+      "SELECT COUNT(*) FROM mot_test t WHERE t.vehicle_id = 11");
+  auto latest_q = conn.Prepare(
+      "SELECT t.test_date, t.test_result FROM mot_test t "
+      "WHERE t.vehicle_id = 11 ORDER BY t.test_date DESC LIMIT 1");
+  if (!count_q.ok() || !latest_q.ok()) return 1;
+
   std::printf("\nvehicle 11 before insert:\n");
-  auto before = zidian.Answer(
-      "SELECT COUNT(*) FROM mot_test t WHERE t.vehicle_id = 11", 1, nullptr);
+  auto before = count_q->Execute();
   if (before.ok()) std::printf("  tests: %s\n",
                                before->rows()[0][0].ToString().c_str());
 
@@ -64,10 +74,7 @@ int main() {
               Value(int64_t{0}),     Value(int64_t{2}), Value(int64_t{1})};
   if (!zidian.Insert("mot_test", fresh).ok()) return 1;
 
-  auto after = zidian.Answer(
-      "SELECT t.test_date, t.test_result FROM mot_test t "
-      "WHERE t.vehicle_id = 11 ORDER BY t.test_date DESC LIMIT 1",
-      1, nullptr);
+  auto after = latest_q->Execute();
   if (after.ok()) {
     std::printf("after insert, latest test:\n%s", after->ToString().c_str());
   }

@@ -3,12 +3,14 @@
 //  1. declare a relational schema (the interface SQL users see),
 //  2. declare a BaaV schema — which keyed-block views the KV store keeps,
 //  3. load data into both layouts,
-//  4. ask SQL; Zidian routes it through a scan-free KBA plan when it can.
+//  4. ask SQL through a Connection; Prepare() routes and plans once (a
+//     scan-free KBA plan when the query allows it), Execute() runs it.
 //
 // Build: cmake --build build && ./build/examples/quickstart
 #include <cstdio>
 
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/zidian.h"
 
 using namespace zidian;
@@ -52,12 +54,19 @@ int main() {
   std::map<std::string, Relation> db{{"albums", albums}};
   if (!zidian.LoadTaav(db).ok() || !zidian.BuildBaav(db).ok()) return 1;
 
-  // 4. SQL in, keyed blocks out.
-  AnswerInfo info;
-  auto result = zidian.Answer(
+  // 4. SQL in, keyed blocks out. Prepare once: the route decision and the
+  //    KBA plan are reused by every Execute.
+  Connection conn = zidian.Connect();
+  auto query = conn.Prepare(
       "SELECT a.title, a.year FROM albums a WHERE a.artist = 'Coltrane' "
-      "ORDER BY a.year",
-      /*workers=*/2, &info);
+      "ORDER BY a.year");
+  if (!query.ok()) {
+    std::fprintf(stderr, "prepare failed: %s\n",
+                 query.status().ToString().c_str());
+    return 1;
+  }
+  AnswerInfo info;
+  auto result = query->Execute(ExecOptions{.workers = 2}, &info);
   if (!result.ok()) {
     std::fprintf(stderr, "query failed: %s\n",
                  result.status().ToString().c_str());
@@ -77,11 +86,14 @@ int main() {
               (unsigned long long)info.metrics.values_accessed);
   std::printf("\nplan:\n%s", info.plan_text.c_str());
 
-  // Updates keep both layouts fresh (O(deg) incremental maintenance, §8.2).
+  // Updates keep both layouts fresh (O(deg) incremental maintenance, §8.2);
+  // a prepared count re-executes against the fresh data, no re-planning.
+  auto count = conn.Prepare(
+      "SELECT COUNT(*) FROM albums a WHERE a.artist = 'Coltrane'");
+  if (!count.ok()) return 1;
   (void)zidian.Insert("albums", {Value(int64_t{5}), Value("Coltrane"),
                                  Value(int64_t{1960}), Value("Giant Steps")});
-  auto again = zidian.Answer(
-      "SELECT COUNT(*) FROM albums a WHERE a.artist = 'Coltrane'", 1, &info);
+  auto again = count->Execute();
   if (again.ok()) {
     std::printf("\nafter insert, Coltrane albums: %s\n",
                 again->rows()[0][0].ToString().c_str());

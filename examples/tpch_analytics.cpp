@@ -9,6 +9,7 @@
 
 #include "storage/backend.h"
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/zidian.h"
 
 using namespace zidian;
@@ -26,42 +27,55 @@ int main() {
     return 1;
   }
 
+  // One Connection for the whole session; each query is prepared once and
+  // executed through both routes from the same PreparedQuery.
+  Connection conn = zidian.Connect();
+
   std::printf("%-5s %-10s %10s %10s %12s %12s %9s\n", "query", "route",
               "Zid gets", "base gets", "Zid comm B", "base comm B",
               "speedup");
   for (const auto& q : w->queries) {
+    auto prepared = conn.Prepare(q.sql);
+    if (!prepared.ok()) {
+      std::printf("%-5s failed: %s\n", q.name.c_str(),
+                  prepared.status().ToString().c_str());
+      continue;
+    }
     AnswerInfo info;
-    auto zr = zidian.Answer(q.sql, /*workers=*/8, &info);
+    auto zr = prepared->Execute(ExecOptions{.workers = 8}, &info);
     if (!zr.ok()) {
       std::printf("%-5s failed: %s\n", q.name.c_str(),
                   zr.status().ToString().c_str());
       continue;
     }
-    QueryMetrics base;
-    auto br = zidian.AnswerBaseline(q.sql, 8, &base);
+    AnswerInfo base;
+    auto br = prepared->Execute(
+        ExecOptions{.workers = 8,
+                    .route_policy = RoutePolicy::kForceBaseline},
+        &base);
     if (!br.ok()) continue;
     const char* route =
         info.route == AnswerInfo::Route::kKbaScanFree    ? "scan-free"
         : info.route == AnswerInfo::Route::kKbaWithScans ? "kba+scan"
                                                          : "fallback";
     double speedup =
-        SimSeconds(base, SoH()) / SimSeconds(info.metrics, SoH());
+        SimSeconds(base.metrics, SoH()) / SimSeconds(info.metrics, SoH());
     std::printf("%-5s %-10s %10llu %10llu %12llu %12llu %8.1fx\n",
                 q.name.c_str(), route,
                 (unsigned long long)info.metrics.get_calls,
-                (unsigned long long)base.get_calls,
+                (unsigned long long)base.metrics.get_calls,
                 (unsigned long long)info.metrics.CommBytes(),
-                (unsigned long long)base.CommBytes(), speedup);
+                (unsigned long long)base.metrics.CommBytes(), speedup);
   }
 
   // Deep dive: the paper's running example (Example 3 / Table 2).
   std::printf("\n-- Q1 of Example 3 in detail --\n");
   AnswerInfo info;
-  auto r = zidian.Answer(
+  auto r = conn.Execute(
       "SELECT ps.suppkey, SUM(ps.supplycost) FROM partsupp ps, supplier s, "
       "nation n WHERE ps.suppkey = s.suppkey AND s.nationkey = n.nationkey "
       "AND n.name = 'GERMANY' GROUP BY ps.suppkey",
-      8, &info);
+      ExecOptions{.workers = 8}, &info);
   if (r.ok()) {
     std::printf("%s\nplan:\n%s", r->ToString(5).c_str(),
                 info.plan_text.c_str());

@@ -3,7 +3,8 @@
 // chose (scan-free / KBA with scans / TaaV fallback), the storage counters,
 // and the simulated time per backend, with the baseline run alongside.
 //
-// Usage:  ./build/examples/zidian_shell [tpch|mot|airca] [scale]
+// Usage:  ./build/examples/zidian_shell [tpch|mot|airca] [scale] [lsm|mem]
+// (the third argument picks the per-node KvBackend engine)
 // Meta commands: \plan (toggle plan printing), \schema (BaaV schema),
 //                \tables (catalog), \q (quit).
 #include <cstdio>
@@ -12,6 +13,7 @@
 
 #include "storage/backend.h"
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/zidian.h"
 
 using namespace zidian;
@@ -28,15 +30,21 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", w.status().ToString().c_str());
     return 1;
   }
-  Cluster cluster(ClusterOptions{.num_storage_nodes = 8});
+  ClusterOptions cluster_opts{.num_storage_nodes = 8};
+  if (argc > 3 && std::string(argv[3]) == "mem") {
+    cluster_opts.backend = BackendKind::kMem;
+  }
+  Cluster cluster(cluster_opts);
   Zidian zidian(&w->catalog, &cluster, w->baav);
   if (!zidian.LoadTaav(w->data).ok() || !zidian.BuildBaav(w->data).ok()) {
     std::fprintf(stderr, "load failed\n");
     return 1;
   }
-  std::printf("%llu rows across %zu tables; %zu KV schemas (T2B)\n",
+  std::printf("%llu rows across %zu tables; %zu KV schemas (T2B); "
+              "%s storage nodes\n",
               (unsigned long long)w->TotalRows(), w->catalog.size(),
-              w->baav.all().size());
+              w->baav.all().size(),
+              std::string(BackendKindName(cluster_opts.backend)).c_str());
   std::printf("type SQL, or \\tables \\schema \\plan \\q\n");
 
   bool show_plan = false;
@@ -68,8 +76,13 @@ int main(int argc, char** argv) {
       continue;
     }
 
+    auto prepared = zidian.Connect().Prepare(line);
+    if (!prepared.ok()) {
+      std::printf("error: %s\n", prepared.status().ToString().c_str());
+      continue;
+    }
     AnswerInfo info;
-    auto result = zidian.Answer(line, /*workers=*/8, &info);
+    auto result = prepared->Execute(ExecOptions{.workers = 8}, &info);
     if (!result.ok()) {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
@@ -87,13 +100,17 @@ int main(int argc, char** argv) {
                 (unsigned long long)info.metrics.next_calls,
                 (unsigned long long)info.metrics.values_accessed,
                 (unsigned long long)info.metrics.CommBytes());
-    QueryMetrics base;
-    if (zidian.AnswerBaseline(line, 8, &base).ok()) {
+    AnswerInfo base;
+    if (prepared
+            ->Execute(ExecOptions{.workers = 8,
+                                  .route_policy = RoutePolicy::kForceBaseline},
+                      &base)
+            .ok()) {
       std::printf("sim time:");
       for (const auto& backend : AllBackends()) {
         std::printf("  %s %.4fs (base %.4fs)", backend.name.c_str(),
                     SimSeconds(info.metrics, backend),
-                    SimSeconds(base, backend));
+                    SimSeconds(base.metrics, backend));
       }
       std::printf("\n");
     }

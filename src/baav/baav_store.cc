@@ -168,6 +168,29 @@ Result<std::vector<Tuple>> BaavStore::GetBlock(const KvSchema& kv,
   return rows;
 }
 
+namespace {
+
+/// Combines one segment's statistics into the block total.
+void MergeBlockStats(BlockStats* total, const BlockStats& part, size_t arity) {
+  total->row_count += part.row_count;
+  for (size_t c = 0; c < arity; ++c) {
+    const auto& s = part.columns[c];
+    if (!s.numeric) continue;
+    auto& t = total->columns[c];
+    if (t.count == 0) {
+      t = s;
+    } else {
+      t.min = std::min(t.min, s.min);
+      t.max = std::max(t.max, s.max);
+      t.sum += s.sum;
+      t.count += s.count;
+    }
+    t.numeric = true;
+  }
+}
+
+}  // namespace
+
 Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
                                             const Tuple& key,
                                             QueryMetrics* m) const {
@@ -181,29 +204,13 @@ Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
   if (!GetVarint64(&sv, &segments) || segments == 0) {
     return Status::Corruption("bad segment header in " + kv.name);
   }
-  auto merge = [&](const BlockStats& part) {
-    total.row_count += part.row_count;
-    for (size_t c = 0; c < arity; ++c) {
-      const auto& s = part.columns[c];
-      if (!s.numeric) continue;
-      auto& t = total.columns[c];
-      if (t.count == 0) {
-        t = s;
-      } else {
-        t.min = std::min(t.min, s.min);
-        t.max = std::max(t.max, s.max);
-        t.sum += s.sum;
-        t.count += s.count;
-      }
-      t.numeric = true;
-    }
-  };
   BlockStats part;
   ZIDIAN_RETURN_NOT_OK(DecodeBlockStats(sv, arity, &part));
-  merge(part);
+  MergeBlockStats(&total, part, arity);
   // Meter: one get per segment, but only header-sized payloads move.
   if (m != nullptr) {
     m->get_calls += 1;
+    m->get_round_trips += 1;
     m->bytes_from_storage += 16 + arity * 26;
     m->values_accessed += arity;
   }
@@ -213,14 +220,126 @@ Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
     BlockStats seg_stats;
     ZIDIAN_RETURN_NOT_OK(
         DecodeBlockStats(res.value(), arity, &seg_stats));
-    merge(seg_stats);
+    MergeBlockStats(&total, seg_stats, arity);
     if (m != nullptr) {
       m->get_calls += 1;
+      m->get_round_trips += 1;
       m->bytes_from_storage += 16 + arity * 26;
       m->values_accessed += arity;
     }
   }
   return total;
+}
+
+Result<std::vector<std::vector<Tuple>>> BaavStore::MultiGetBlocks(
+    const KvSchema& kv, const std::vector<Tuple>& keys,
+    QueryMetrics* m) const {
+  std::vector<std::vector<Tuple>> out(keys.size());
+  if (keys.empty()) return out;
+  size_t arity = kv.value_attrs.size();
+
+  std::vector<std::string> seg0;
+  seg0.reserve(keys.size());
+  for (const auto& key : keys) seg0.push_back(SegmentKey(kv, key, 0));
+  auto first = cluster_->MultiGet(seg0, m);
+
+  // Blocks split across segments need a second round for the overflow keys.
+  std::vector<std::string> extra_keys;
+  std::vector<size_t> extra_owner;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!first[i].has_value()) continue;  // absent key: empty block
+    std::string_view sv = *first[i];
+    uint64_t segments = 0;
+    if (!GetVarint64(&sv, &segments) || segments == 0) {
+      return Status::Corruption("bad segment header in " + kv.name);
+    }
+    ZIDIAN_RETURN_NOT_OK(DecodeBlock(sv, arity, &out[i]));
+    for (uint64_t s = 1; s < segments; ++s) {
+      extra_keys.push_back(SegmentKey(kv, keys[i], s));
+      extra_owner.push_back(i);
+    }
+  }
+  if (!extra_keys.empty()) {
+    auto rest = cluster_->MultiGet(extra_keys, m);
+    for (size_t j = 0; j < extra_keys.size(); ++j) {
+      if (!rest[j].has_value()) {
+        return Status::Corruption("missing segment in " + kv.name);
+      }
+      std::vector<Tuple> part;
+      ZIDIAN_RETURN_NOT_OK(DecodeBlock(*rest[j], arity, &part));
+      auto& rows = out[extra_owner[j]];
+      rows.insert(rows.end(), std::make_move_iterator(part.begin()),
+                  std::make_move_iterator(part.end()));
+    }
+  }
+  if (m != nullptr) {
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (!first[i].has_value()) continue;
+      m->values_accessed += out[i].size() * arity + keys[i].size();
+    }
+  }
+  return out;
+}
+
+Result<std::vector<BlockStats>> BaavStore::MultiGetBlockStats(
+    const KvSchema& kv, const std::vector<Tuple>& keys,
+    QueryMetrics* m) const {
+  size_t arity = kv.value_attrs.size();
+  std::vector<BlockStats> out(keys.size());
+  for (auto& st : out) st.columns.assign(arity, BlockColumnStats{});
+  if (keys.empty()) return out;
+
+  // Fetch through a scratch meter: a stats read ships only header-sized
+  // payloads, so the cluster-level byte charge must not be recorded.
+  QueryMetrics scratch;
+  uint64_t segments_fetched = 0;
+
+  std::vector<std::string> seg0;
+  seg0.reserve(keys.size());
+  for (const auto& key : keys) seg0.push_back(SegmentKey(kv, key, 0));
+  auto first = cluster_->MultiGet(seg0, &scratch);
+
+  std::vector<std::string> extra_keys;
+  std::vector<size_t> extra_owner;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    if (!first[i].has_value()) continue;  // absent: zero rows
+    std::string_view sv = *first[i];
+    uint64_t segments = 0;
+    if (!GetVarint64(&sv, &segments) || segments == 0) {
+      return Status::Corruption("bad segment header in " + kv.name);
+    }
+    BlockStats part;
+    ZIDIAN_RETURN_NOT_OK(DecodeBlockStats(sv, arity, &part));
+    MergeBlockStats(&out[i], part, arity);
+    ++segments_fetched;
+    for (uint64_t s = 1; s < segments; ++s) {
+      extra_keys.push_back(SegmentKey(kv, keys[i], s));
+      extra_owner.push_back(i);
+    }
+  }
+  if (!extra_keys.empty()) {
+    auto rest = cluster_->MultiGet(extra_keys, &scratch);
+    for (size_t j = 0; j < extra_keys.size(); ++j) {
+      if (!rest[j].has_value()) {
+        return Status::Corruption("missing segment in " + kv.name);
+      }
+      BlockStats part;
+      ZIDIAN_RETURN_NOT_OK(DecodeBlockStats(*rest[j], arity, &part));
+      MergeBlockStats(&out[extra_owner[j]], part, arity);
+      ++segments_fetched;
+    }
+  }
+  if (m != nullptr) {
+    // Mirror GetBlockStats: one get per fetched segment (absent keys charge
+    // nothing), header-sized payloads only. Round trips come from the
+    // batched fetches that actually went out.
+    m->get_calls += segments_fetched;
+    m->get_round_trips += scratch.get_round_trips;
+    m->multiget_calls += scratch.multiget_calls;
+    m->bytes_from_storage += segments_fetched * (16 + arity * 26);
+    m->values_accessed += segments_fetched * arity;
+  }
+  return out;
 }
 
 Status BaavStore::ScanInstance(

@@ -62,10 +62,25 @@ class BaavStore {
   Result<std::vector<Tuple>> GetBlock(const KvSchema& kv, const Tuple& key,
                                       QueryMetrics* m) const;
 
+  /// Batched block fetch (§7.2): all first segments in one Cluster::MultiGet
+  /// round, overflow segments in a second. Returns one row vector per key,
+  /// aligned with `keys` (empty for absent keys). Meters one get per segment
+  /// key but only one round trip per touched storage node — the batched hot
+  /// path the interleaved extension strategy runs on.
+  Result<std::vector<std::vector<Tuple>>> MultiGetBlocks(
+      const KvSchema& kv, const std::vector<Tuple>& keys,
+      QueryMetrics* m) const;
+
   /// Header-only fetch: per-Y-column aggregates of the block. Meters one get
   /// per segment but only the header bytes / one value per column.
   Result<BlockStats> GetBlockStats(const KvSchema& kv, const Tuple& key,
                                    QueryMetrics* m) const;
+
+  /// Batched header-only fetch: MultiGetBlocks' counterpart for the stats
+  /// pushdown path. One BlockStats per key, aligned with `keys`.
+  Result<std::vector<BlockStats>> MultiGetBlockStats(
+      const KvSchema& kv, const std::vector<Tuple>& keys,
+      QueryMetrics* m) const;
 
   /// Full scan of a KV instance (the non-scan-free path): one next() per
   /// block segment plus the shipped bytes.

@@ -6,7 +6,8 @@ namespace zidian {
 
 std::string QueryMetrics::ToString() const {
   std::ostringstream os;
-  os << "gets=" << get_calls << " nexts=" << next_calls
+  os << "gets=" << get_calls << " round_trips=" << get_round_trips
+     << " multigets=" << multiget_calls << " nexts=" << next_calls
      << " values=" << values_accessed << " storage_bytes=" << bytes_from_storage
      << " shuffle_bytes=" << shuffle_bytes << " comm=" << CommBytes();
   return os.str();

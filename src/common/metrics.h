@@ -14,11 +14,17 @@ namespace zidian {
 /// Counters for one query execution (or one storage workload run).
 struct QueryMetrics {
   // Storage-layer interaction.
-  uint64_t get_calls = 0;        ///< point get invocations (paper: #get)
+  uint64_t get_calls = 0;        ///< point-key lookups (paper: #get); a
+                                 ///< MultiGet of K keys counts K
+  uint64_t get_round_trips = 0;  ///< storage round trips: one per single
+                                 ///< Get, one per node batch in a MultiGet
+  uint64_t multiget_calls = 0;   ///< batched MultiGet invocations
   uint64_t next_calls = 0;       ///< scan iterator advances (blind scans)
   uint64_t put_calls = 0;
+  uint64_t delete_calls = 0;
   uint64_t values_accessed = 0;  ///< attribute values read (paper: #data)
   uint64_t bytes_from_storage = 0;  ///< storage -> SQL layer traffic
+  uint64_t bytes_to_storage = 0;    ///< SQL layer -> storage (puts/deletes)
 
   // SQL-layer work.
   uint64_t shuffle_bytes = 0;    ///< compute-node <-> compute-node traffic
@@ -37,8 +43,12 @@ struct QueryMetrics {
 
   QueryMetrics& operator+=(const QueryMetrics& o) {
     get_calls += o.get_calls;
+    get_round_trips += o.get_round_trips;
+    multiget_calls += o.multiget_calls;
     next_calls += o.next_calls;
     put_calls += o.put_calls;
+    delete_calls += o.delete_calls;
+    bytes_to_storage += o.bytes_to_storage;
     values_accessed += o.values_accessed;
     bytes_from_storage += o.bytes_from_storage;
     shuffle_bytes += o.shuffle_bytes;

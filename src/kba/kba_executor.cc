@@ -306,72 +306,85 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
   }
   out.rel = Relation(out.AllCols());
 
-  // Per-worker accounting for gets and fetched bytes.
+  // Per-worker accounting for the point gets behind makespan_get.
   std::vector<uint64_t> worker_gets(static_cast<size_t>(workers), 0);
-  std::vector<uint64_t> worker_bytes(static_cast<size_t>(workers), 0);
 
-  for (const auto& [key, row_ids] : by_key) {
-    int worker = store_->NodeForBlock(*kv, key) % workers;
-    uint64_t gets_before = m != nullptr ? m->get_calls : 0;
-    uint64_t bytes_before = m != nullptr ? m->bytes_from_storage : 0;
-
-    auto emit = [&](const std::vector<Tuple>& additions) {
-      std::vector<size_t> kept_pos;
-      for (size_t i = 0; i < keep_new.size(); ++i) {
-        if (keep_new[i]) kept_pos.push_back(i);
-      }
-      for (size_t r : row_ids) {
-        const Tuple& base = child.rel.rows()[r];
-        for (const auto& add : additions) {
-          bool aligned = true;
-          for (const auto& [pos, ci] : dup_checks) {
-            if (!(add[pos] == base[static_cast<size_t>(ci)])) {
-              aligned = false;
-              break;
-            }
+  std::vector<size_t> kept_pos;
+  for (size_t i = 0; i < keep_new.size(); ++i) {
+    if (keep_new[i]) kept_pos.push_back(i);
+  }
+  auto emit = [&](const std::vector<size_t>& row_ids,
+                  const std::vector<Tuple>& additions) {
+    for (size_t r : row_ids) {
+      const Tuple& base = child.rel.rows()[r];
+      for (const auto& add : additions) {
+        bool aligned = true;
+        for (const auto& [pos, ci] : dup_checks) {
+          if (!(add[pos] == base[static_cast<size_t>(ci)])) {
+            aligned = false;
+            break;
           }
-          if (!aligned) continue;
-          Tuple t = base;
-          for (size_t i : kept_pos) t.push_back(add[i]);
-          if (m != nullptr) m->compute_values += t.size();
-          out.rel.Add(std::move(t));
         }
+        if (!aligned) continue;
+        Tuple t = base;
+        for (size_t i : kept_pos) t.push_back(add[i]);
+        if (m != nullptr) m->compute_values += t.size();
+        out.rel.Add(std::move(t));
       }
-    };
+    }
+  };
+
+  // Assign each distinct key to the worker owning its block, then issue one
+  // batched request per worker against the target instance — never a
+  // single-key get. Each worker's MultiGet fans out to at most one round
+  // trip per storage node it touches.
+  std::vector<std::vector<const std::vector<size_t>*>> worker_rows(
+      static_cast<size_t>(workers));
+  std::vector<std::vector<Tuple>> worker_keys(static_cast<size_t>(workers));
+  for (const auto& [key, row_ids] : by_key) {
+    size_t w = static_cast<size_t>(store_->NodeForBlock(*kv, key) % workers);
+    worker_keys[w].push_back(key);
+    worker_rows[w].push_back(&row_ids);
+  }
+
+  for (size_t w = 0; w < worker_keys.size(); ++w) {
+    const auto& keys = worker_keys[w];
+    if (keys.empty()) continue;
+    uint64_t gets_before = m != nullptr ? m->get_calls : 0;
 
     if (plan.stats_only) {
-      ZIDIAN_ASSIGN_OR_RETURN(BlockStats stats,
-                              store_->GetBlockStats(*kv, key, m));
-      if (stats.row_count > 0) {
-        Tuple add = key;  // fetched X = the key itself
-        add.push_back(Value(static_cast<int64_t>(stats.row_count)));
-        for (const auto& col : stats.columns) {
+      ZIDIAN_ASSIGN_OR_RETURN(std::vector<BlockStats> stats,
+                              store_->MultiGetBlockStats(*kv, keys, m));
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (stats[i].row_count == 0) continue;
+        Tuple add = keys[i];  // fetched X = the key itself
+        add.push_back(Value(static_cast<int64_t>(stats[i].row_count)));
+        for (const auto& col : stats[i].columns) {
           add.push_back(Value(static_cast<int64_t>(col.count)));
           add.push_back(col.numeric ? Value(col.min) : Value::Null());
           add.push_back(col.numeric ? Value(col.max) : Value::Null());
           add.push_back(col.numeric ? Value(col.sum) : Value::Null());
         }
-        emit({add});
+        emit(*worker_rows[w][i], {add});
       }
     } else {
-      ZIDIAN_ASSIGN_OR_RETURN(std::vector<Tuple> rows,
-                              store_->GetBlock(*kv, key, m));
-      if (!rows.empty()) {
+      ZIDIAN_ASSIGN_OR_RETURN(std::vector<std::vector<Tuple>> blocks,
+                              store_->MultiGetBlocks(*kv, keys, m));
+      for (size_t i = 0; i < keys.size(); ++i) {
+        if (blocks[i].empty()) continue;
         std::vector<Tuple> additions;
-        additions.reserve(rows.size());
-        for (const auto& y : rows) {
-          Tuple add = key;
+        additions.reserve(blocks[i].size());
+        for (const auto& y : blocks[i]) {
+          Tuple add = keys[i];
           add.insert(add.end(), y.begin(), y.end());
           additions.push_back(std::move(add));
         }
-        emit(additions);
+        emit(*worker_rows[w][i], additions);
       }
     }
 
     if (m != nullptr) {
-      worker_gets[static_cast<size_t>(worker)] += m->get_calls - gets_before;
-      worker_bytes[static_cast<size_t>(worker)] +=
-          m->bytes_from_storage - bytes_before;
+      worker_gets[w] += m->get_calls - gets_before;
     }
   }
 

@@ -1,37 +1,119 @@
 #include "storage/cluster.h"
 
+#include "storage/mem_backend.h"
+
 namespace zidian {
 
 namespace {
 bool HasPrefix(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
 }
+
+std::unique_ptr<KvBackend> MakeBackend(const ClusterOptions& options) {
+  if (options.backend_factory) return options.backend_factory();
+  switch (options.backend) {
+    case BackendKind::kMem:
+      return std::make_unique<MemBackend>();
+    case BackendKind::kLsm:
+      break;
+  }
+  return std::make_unique<LsmStore>(options.lsm);
+}
 }  // namespace
+
+std::string_view BackendKindName(BackendKind kind) {
+  switch (kind) {
+    case BackendKind::kLsm:
+      return "lsm";
+    case BackendKind::kMem:
+      return "mem";
+  }
+  return "unknown";
+}
 
 Cluster::Cluster(ClusterOptions options) {
   nodes_.reserve(options.num_storage_nodes);
   for (int i = 0; i < options.num_storage_nodes; ++i) {
-    nodes_.push_back(std::make_unique<LsmStore>(options.lsm));
+    nodes_.push_back(MakeBackend(options));
   }
 }
 
 Status Cluster::Put(std::string_view key, std::string_view value,
                     QueryMetrics* m) {
-  if (m != nullptr) m->put_calls += 1;
+  if (m != nullptr) {
+    m->put_calls += 1;
+    m->bytes_to_storage += key.size() + value.size();
+  }
   return nodes_[NodeFor(key)]->Put(key, value);
 }
 
-Status Cluster::Delete(std::string_view key) {
+Status Cluster::Delete(std::string_view key, QueryMetrics* m) {
+  if (m != nullptr) {
+    m->delete_calls += 1;
+    m->bytes_to_storage += key.size();
+  }
   return nodes_[NodeFor(key)]->Delete(key);
 }
 
 Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m) const {
-  if (m != nullptr) m->get_calls += 1;
+  if (m != nullptr) {
+    m->get_calls += 1;
+    m->get_round_trips += 1;
+  }
   auto res = nodes_[NodeFor(key)]->Get(key);
   if (m != nullptr && res.ok()) {
     m->bytes_from_storage += key.size() + res.value().size();
   }
   return res;
+}
+
+std::vector<std::optional<std::string>> Cluster::MultiGet(
+    const std::vector<std::string>& keys, QueryMetrics* m) const {
+  std::vector<std::optional<std::string>> out;
+  if (keys.empty()) return out;
+
+  // Group the slot-tagged requests by owning node with one counting-sort
+  // pass (no per-node vectors). Each node writes its values straight into
+  // the final slots, so nothing is copied or reordered afterwards.
+  size_t num_nodes = nodes_.size();
+  std::vector<uint32_t> node_of(keys.size());
+  std::vector<uint32_t> offsets(num_nodes + 1, 0);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    node_of[i] = static_cast<uint32_t>(NodeFor(keys[i]));
+    ++offsets[node_of[i] + 1];
+  }
+  for (size_t n = 1; n <= num_nodes; ++n) offsets[n] += offsets[n - 1];
+  std::vector<KvBackend::BatchedKey> batch(keys.size());
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < keys.size(); ++i) {
+      batch[cursor[node_of[i]]++] = {keys[i], static_cast<uint32_t>(i)};
+    }
+  }
+
+  if (m != nullptr) {
+    m->multiget_calls += 1;
+    m->get_calls += keys.size();
+  }
+  out.resize(keys.size());
+  for (size_t n = 0; n < num_nodes; ++n) {
+    size_t begin = offsets[n], end = offsets[n + 1];
+    if (begin == end) continue;
+    nodes_[n]->MultiGet(
+        std::span<const KvBackend::BatchedKey>(batch.data() + begin,
+                                               end - begin),
+        &out);
+    if (m != nullptr) {
+      m->get_round_trips += 1;
+      for (size_t j = begin; j < end; ++j) {
+        const auto& value = out[batch[j].slot];
+        if (value.has_value()) {
+          m->bytes_from_storage += batch[j].key.size() + value->size();
+        }
+      }
+    }
+  }
+  return out;
 }
 
 void Cluster::ScanPrefix(

@@ -1,13 +1,16 @@
-// Simulated KV cluster: N storage nodes (each an LsmStore) behind a DHT that
-// hash-partitions keys (§3). This is the storage layer of the SQL-over-NoSQL
-// architecture; the SQL layer (executors in src/ra and src/zidian) talks to
-// it exclusively through get / put / prefix scans, and every access is
-// metered into QueryMetrics so the experiments can report #get, #data, comm.
+// Simulated KV cluster: N storage nodes behind a DHT that hash-partitions
+// keys (§3). Each node is a pluggable KvBackend (LSM tree by default, an
+// in-memory hash table, or a custom engine via backend_factory). This is
+// the storage layer of the SQL-over-NoSQL architecture; the SQL layer
+// (executors in src/ra and src/zidian) talks to it exclusively through
+// get / multi-get / put / prefix scans, and every access is metered into
+// QueryMetrics so the experiments can report #get, #data, comm.
 #ifndef ZIDIAN_STORAGE_CLUSTER_H_
 #define ZIDIAN_STORAGE_CLUSTER_H_
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -15,13 +18,26 @@
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "storage/kv_backend.h"
 #include "storage/lsm_store.h"
 
 namespace zidian {
 
+/// Which KvBackend engine each storage node runs.
+enum class BackendKind {
+  kLsm,  ///< LsmStore: write-buffered, bloom-filtered, scan-friendly
+  kMem,  ///< MemBackend: hash table, fastest point/MultiGet path
+};
+
+std::string_view BackendKindName(BackendKind kind);
+
 struct ClusterOptions {
   int num_storage_nodes = 4;
+  /// Node engine; ignored when `backend_factory` is set.
+  BackendKind backend = BackendKind::kLsm;
   LsmOptions lsm;
+  /// Escape hatch for custom engines: called once per node when set.
+  std::function<std::unique_ptr<KvBackend>()> backend_factory;
 };
 
 class Cluster {
@@ -35,14 +51,23 @@ class Cluster {
     return static_cast<int>(Hash64(key) % nodes_.size());
   }
 
-  /// Writes a pair; counts one put (and the written bytes) if `m` given.
+  /// Writes a pair; counts one put and the written bytes if `m` given.
   Status Put(std::string_view key, std::string_view value,
              QueryMetrics* m = nullptr);
 
-  Status Delete(std::string_view key);
+  /// Deletes a key; counts one delete and the key bytes if `m` given.
+  Status Delete(std::string_view key, QueryMetrics* m = nullptr);
 
-  /// Point lookup; counts one get and the returned bytes.
+  /// Point lookup; counts one get, one round trip and the returned bytes.
   Result<std::string> Get(std::string_view key, QueryMetrics* m) const;
+
+  /// Batched point lookup (§7.2's interleaved access idiom): keys are
+  /// grouped per owning node and each touched node serves its whole batch
+  /// in one round trip. Returns one entry per key, aligned with `keys`;
+  /// absent keys are nullopt. Meters one get per key but only one round
+  /// trip per touched node — the saving the batched extension path banks.
+  std::vector<std::optional<std::string>> MultiGet(
+      const std::vector<std::string>& keys, QueryMetrics* m) const;
 
   /// Iterates all pairs whose key starts with `prefix`, in key order per
   /// node. Models the TaaV "blind scan": one next() per visited pair and the
@@ -54,8 +79,8 @@ class Cluster {
   /// Number of pairs under a prefix (unmetered; used by planners/stats).
   uint64_t CountPrefix(std::string_view prefix) const;
 
-  LsmStore& node(int i) { return *nodes_[i]; }
-  const LsmStore& node(int i) const { return *nodes_[i]; }
+  KvBackend& node(int i) { return *nodes_[i]; }
+  const KvBackend& node(int i) const { return *nodes_[i]; }
 
   void FlushAll();
   void CompactAll();
@@ -64,12 +89,13 @@ class Cluster {
   size_t TotalBytes() const;
 
   /// Persists every node to `dir/node-<i>.kv` / restores from it. The node
-  /// count must match on load (keys are hash-placed per node count).
+  /// count must match on load (keys are hash-placed per node count); the
+  /// node engine may differ — the file format is backend-independent.
   Status SaveToDir(const std::string& dir) const;
   Status LoadFromDir(const std::string& dir);
 
  private:
-  std::vector<std::unique_ptr<LsmStore>> nodes_;
+  std::vector<std::unique_ptr<KvBackend>> nodes_;
 };
 
 }  // namespace zidian

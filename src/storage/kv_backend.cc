@@ -1,0 +1,58 @@
+#include "storage/kv_backend.h"
+
+#include <cstdio>
+
+#include "common/coding.h"
+
+namespace zidian {
+
+void KvBackend::MultiGet(std::span<const BatchedKey> keys,
+                         std::vector<std::optional<std::string>>* out) const {
+  for (const BatchedKey& req : keys) {
+    auto res = Get(req.key);
+    if (res.ok()) (*out)[req.slot] = std::move(res).value();
+  }
+}
+
+Status KvBackend::SaveToFile(const std::string& path) const {
+  std::string buf;
+  uint64_t count = 0;
+  std::string body;
+  for (auto it = NewIterator(); it->Valid(); it->Next()) {
+    PutLengthPrefixed(&body, it->key());
+    PutLengthPrefixed(&body, it->value());
+    ++count;
+  }
+  PutFixed64(&buf, count);
+  buf += body;
+  FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::Internal("cannot open " + path);
+  size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
+  std::fclose(f);
+  if (written != buf.size()) return Status::Internal("short write " + path);
+  return Status::OK();
+}
+
+Status KvBackend::LoadFromFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::NotFound("cannot open " + path);
+  std::string buf;
+  char chunk[1 << 16];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) buf.append(chunk, n);
+  std::fclose(f);
+  std::string_view sv(buf);
+  uint64_t count;
+  if (!GetFixed64(&sv, &count)) return Status::Corruption("bad header");
+  Clear();
+  for (uint64_t i = 0; i < count; ++i) {
+    std::string_view k, v;
+    if (!GetLengthPrefixed(&sv, &k) || !GetLengthPrefixed(&sv, &v)) {
+      return Status::Corruption("truncated entry");
+    }
+    ZIDIAN_RETURN_NOT_OK(Put(k, v));
+  }
+  return Status::OK();
+}
+
+}  // namespace zidian

@@ -1,10 +1,7 @@
 #include "storage/lsm_store.h"
 
 #include <algorithm>
-#include <cstdio>
 #include <queue>
-
-#include "common/coding.h"
 
 namespace zidian {
 
@@ -33,11 +30,11 @@ Status LsmStore::Delete(std::string_view key) {
   return Status::OK();
 }
 
-Result<std::string> LsmStore::Get(std::string_view key) const {
+const std::string* LsmStore::FindValue(std::string_view key) const {
   auto it = mem_.find(key);
   if (it != mem_.end()) {
-    if (it->second.type == EntryType::kTombstone) return Status::NotFound();
-    return it->second.value;
+    if (it->second.type == EntryType::kTombstone) return nullptr;
+    return &it->second.value;
   }
   // Newest run first.
   for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
@@ -50,11 +47,25 @@ Result<std::string> LsmStore::Get(std::string_view key) const {
         entries.begin(), entries.end(), key,
         [](const auto& e, std::string_view k) { return e.first < k; });
     if (pos != entries.end() && pos->first == key) {
-      if (pos->second.type == EntryType::kTombstone) return Status::NotFound();
-      return pos->second.value;
+      if (pos->second.type == EntryType::kTombstone) return nullptr;
+      return &pos->second.value;
     }
   }
-  return Status::NotFound();
+  return nullptr;
+}
+
+Result<std::string> LsmStore::Get(std::string_view key) const {
+  const std::string* value = FindValue(key);
+  if (value == nullptr) return Status::NotFound();
+  return *value;
+}
+
+void LsmStore::MultiGet(std::span<const BatchedKey> keys,
+                        std::vector<std::optional<std::string>>* out) const {
+  for (const BatchedKey& req : keys) {
+    const std::string* value = FindValue(req.key);
+    if (value != nullptr) (*out)[req.slot] = *value;
+  }
 }
 
 void LsmStore::MaybeFlush() {
@@ -279,48 +290,11 @@ std::unique_ptr<KvIterator> LsmStore::NewIterator() const {
   return it;
 }
 
-Status LsmStore::SaveToFile(const std::string& path) const {
-  std::string buf;
-  uint64_t count = 0;
-  std::string body;
-  for (auto it = NewIterator(); it->Valid(); it->Next()) {
-    PutLengthPrefixed(&body, it->key());
-    PutLengthPrefixed(&body, it->value());
-    ++count;
-  }
-  PutFixed64(&buf, count);
-  buf += body;
-  FILE* f = std::fopen(path.c_str(), "wb");
-  if (f == nullptr) return Status::Internal("cannot open " + path);
-  size_t written = std::fwrite(buf.data(), 1, buf.size(), f);
-  std::fclose(f);
-  if (written != buf.size()) return Status::Internal("short write " + path);
-  return Status::OK();
-}
-
-Status LsmStore::LoadFromFile(const std::string& path) {
-  FILE* f = std::fopen(path.c_str(), "rb");
-  if (f == nullptr) return Status::NotFound("cannot open " + path);
-  std::string buf;
-  char chunk[1 << 16];
-  size_t n;
-  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) buf.append(chunk, n);
-  std::fclose(f);
-  std::string_view sv(buf);
-  uint64_t count;
-  if (!GetFixed64(&sv, &count)) return Status::Corruption("bad header");
+void LsmStore::Clear() {
   mem_.clear();
   mem_bytes_ = 0;
   runs_.clear();
   run_bytes_ = 0;
-  for (uint64_t i = 0; i < count; ++i) {
-    std::string_view k, v;
-    if (!GetLengthPrefixed(&sv, &k) || !GetLengthPrefixed(&sv, &v)) {
-      return Status::Corruption("truncated entry");
-    }
-    ZIDIAN_RETURN_NOT_OK(Put(k, v));
-  }
-  return Status::OK();
 }
 
 }  // namespace zidian

@@ -1,5 +1,5 @@
 // An embedded LSM-style key-value store: the "NoSQL storage" substrate of the
-// paper (§3). One LsmStore backs one storage node of the simulated cluster.
+// paper (§3) and the default KvBackend engine of a cluster node.
 //
 // Architecture (RocksDB-lite):
 //   writes -> MemTable (ordered map) -> Flush() -> immutable SortedRun
@@ -18,8 +18,8 @@
 #include <vector>
 
 #include "common/result.h"
-#include "common/status.h"
 #include "storage/bloom_filter.h"
+#include "storage/kv_backend.h"
 
 namespace zidian {
 
@@ -32,42 +32,31 @@ struct LsmOptions {
   int compaction_trigger_runs = 8;
 };
 
-/// Ordered iteration over live (non-deleted) entries.
-class KvIterator {
- public:
-  virtual ~KvIterator() = default;
-  /// Positions at the first key >= target.
-  virtual void Seek(std::string_view target) = 0;
-  virtual void SeekToFirst() = 0;
-  virtual bool Valid() const = 0;
-  virtual void Next() = 0;
-  virtual std::string_view key() const = 0;
-  virtual std::string_view value() const = 0;
-};
-
-class LsmStore {
+class LsmStore : public KvBackend {
  public:
   explicit LsmStore(LsmOptions options = {});
 
-  Status Put(std::string_view key, std::string_view value);
-  Status Delete(std::string_view key);
-  /// NotFound if the key is absent or tombstoned.
-  Result<std::string> Get(std::string_view key) const;
+  std::string_view name() const override { return "lsm"; }
 
-  std::unique_ptr<KvIterator> NewIterator() const;
+  Status Put(std::string_view key, std::string_view value) override;
+  Status Delete(std::string_view key) override;
+  /// NotFound if the key is absent or tombstoned.
+  Result<std::string> Get(std::string_view key) const override;
+  void MultiGet(std::span<const BatchedKey> keys,
+                std::vector<std::optional<std::string>>* out) const override;
+
+  std::unique_ptr<KvIterator> NewIterator() const override;
 
   /// Makes the current memtable an immutable sorted run.
-  void Flush();
+  void Flush() override;
   /// Full compaction: merges every run, discards shadowed versions.
-  void Compact();
+  void Compact() override;
 
-  /// Serializes all live entries to `path` / restores from it.
-  Status SaveToFile(const std::string& path) const;
-  Status LoadFromFile(const std::string& path);
+  void Clear() override;
 
-  size_t ApproximateBytes() const { return mem_bytes_ + run_bytes_; }
+  size_t ApproximateBytes() const override { return mem_bytes_ + run_bytes_; }
   size_t NumRuns() const { return runs_.size(); }
-  size_t NumLiveEntries() const;
+  size_t NumLiveEntries() const override;
   uint64_t bloom_negative_count() const { return bloom_negatives_; }
 
  private:
@@ -84,6 +73,8 @@ class LsmStore {
 
   void Insert(std::string_view key, Entry entry);
   void MaybeFlush();
+  /// Live value for `key`, or nullptr if absent/tombstoned.
+  const std::string* FindValue(std::string_view key) const;
 
   friend class LsmMergingIterator;
 

@@ -1,0 +1,89 @@
+#include "storage/mem_backend.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace zidian {
+
+Status MemBackend::Put(std::string_view key, std::string_view value) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->second.size();
+    it->second.assign(value);
+    bytes_ += value.size();
+  } else {
+    map_.emplace(std::string(key), std::string(value));
+    bytes_ += key.size() + value.size() + 16;
+  }
+  return Status::OK();
+}
+
+Status MemBackend::Delete(std::string_view key) {
+  auto it = map_.find(key);
+  if (it != map_.end()) {
+    bytes_ -= it->first.size() + it->second.size() + 16;
+    map_.erase(it);
+  }
+  return Status::OK();
+}
+
+Result<std::string> MemBackend::Get(std::string_view key) const {
+  auto it = map_.find(key);
+  if (it == map_.end()) return Status::NotFound();
+  return it->second;
+}
+
+void MemBackend::MultiGet(std::span<const BatchedKey> keys,
+                          std::vector<std::optional<std::string>>* out) const {
+  for (const BatchedKey& req : keys) {
+    auto it = map_.find(req.key);
+    if (it != map_.end()) (*out)[req.slot] = it->second;
+  }
+}
+
+void MemBackend::Clear() {
+  map_.clear();
+  bytes_ = 0;
+}
+
+namespace {
+
+/// Sorted snapshot of the table at creation time.
+class MemSnapshotIterator : public KvIterator {
+ public:
+  explicit MemSnapshotIterator(
+      std::vector<std::pair<std::string, std::string>> entries)
+      : entries_(std::move(entries)) {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+  }
+
+  void Seek(std::string_view target) override {
+    pos_ = static_cast<size_t>(
+        std::lower_bound(entries_.begin(), entries_.end(), target,
+                         [](const auto& e, std::string_view t) {
+                           return e.first < t;
+                         }) -
+        entries_.begin());
+  }
+  void SeekToFirst() override { pos_ = 0; }
+  bool Valid() const override { return pos_ < entries_.size(); }
+  void Next() override { ++pos_; }
+  std::string_view key() const override { return entries_[pos_].first; }
+  std::string_view value() const override { return entries_[pos_].second; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<KvIterator> MemBackend::NewIterator() const {
+  std::vector<std::pair<std::string, std::string>> entries;
+  entries.reserve(map_.size());
+  for (const auto& [k, v] : map_) entries.emplace_back(k, v);
+  return std::make_unique<MemSnapshotIterator>(std::move(entries));
+}
+
+}  // namespace zidian

@@ -1,0 +1,134 @@
+#include "zidian/connection.h"
+
+#include <algorithm>
+
+#include "kba/kba_executor.h"
+#include "ra/eval.h"
+
+namespace zidian {
+
+Status PreparedQuery::Plan() {
+  // M1: can the query be answered on the BaaV store at all?
+  ZIDIAN_ASSIGN_OR_RETURN(
+      PreservationReport preserve,
+      CheckResultPreserving(spec_, zidian_->catalog(),
+                            zidian_->store().schema()));
+  preserving_ = preserve.preserving;
+  preserve_detail_ = preserve.detail;
+  last_info_ = AnswerInfo{};
+  last_info_.result_preserving = preserving_;
+  if (!preserving_) {
+    last_info_.route = AnswerInfo::Route::kTaavFallback;
+    last_info_.detail = preserve_detail_;
+    return Status::OK();
+  }
+
+  // M2: plan generation (scan-free / bounded when the query is).
+  ZIDIAN_ASSIGN_OR_RETURN(
+      PlannedQuery planned,
+      GenerateKbaPlan(spec_, zidian_->catalog(), zidian_->store(),
+                      zidian_->options().planner));
+  plan_text_ = planned.plan->ToString();
+  last_info_.scan_free = planned.scan_free;
+  last_info_.bounded = planned.bounded;
+  last_info_.stats_pushdown = planned.stats_pushdown;
+  last_info_.plan_text = plan_text_;
+  last_info_.route = planned.scan_free ? AnswerInfo::Route::kKbaScanFree
+                                       : AnswerInfo::Route::kKbaWithScans;
+  planned_ = std::move(planned);
+  return Status::OK();
+}
+
+Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
+                                        AnswerInfo* info) {
+  AnswerInfo local;
+  AnswerInfo* out = info != nullptr ? info : &local;
+  *out = AnswerInfo{};
+  out->result_preserving = preserving_;
+  int workers = std::max(1, opts.workers);
+
+  if (opts.route_policy == RoutePolicy::kForceKba && !preserving_) {
+    return Status::InvalidArgument("query is not result preserving: " +
+                                   preserve_detail_);
+  }
+  bool use_baseline =
+      opts.route_policy == RoutePolicy::kForceBaseline || !preserving_;
+
+  // The prepared plan's shape survives in the info even when this run is
+  // forced down the baseline, so Explain() keeps describing the plan.
+  if (preserving_) {
+    out->scan_free = planned_->scan_free;
+    out->bounded = planned_->bounded;
+    out->stats_pushdown = planned_->stats_pushdown;
+    out->plan_text = plan_text_;
+  }
+
+  Result<Relation> result = Relation();
+  if (use_baseline) {
+    out->route = AnswerInfo::Route::kTaavFallback;
+    out->detail = preserving_ ? "route policy forced the TaaV baseline"
+                              : preserve_detail_;
+    result = zidian_->AnswerBaseline(spec_, workers, &out->metrics);
+  } else {
+    out->route = planned_->scan_free ? AnswerInfo::Route::kKbaScanFree
+                                     : AnswerInfo::Route::kKbaWithScans;
+    result = ExecuteKba(workers, out);
+  }
+
+  if (result.ok() && opts.backend_profile != nullptr) {
+    out->sim_seconds = SimSeconds(out->metrics, *opts.backend_profile);
+  }
+  last_info_ = *out;
+  return result;
+}
+
+Result<Relation> PreparedQuery::ExecuteKba(int workers, AnswerInfo* out) {
+  // M3: interleaved parallel execution.
+  KbaExecutor executor(&zidian_->store());
+  ZIDIAN_ASSIGN_OR_RETURN(
+      KvInst chain,
+      executor.Execute(*planned_->plan, workers, &out->metrics));
+
+  Relation result;
+  if (planned_->stats_pushdown) {
+    // The plan already aggregated from block statistics.
+    result = std::move(chain.rel);
+    ZIDIAN_RETURN_NOT_OK(OrderAndLimit(planned_->exec_spec.order_by,
+                                       planned_->exec_spec.limit, &result));
+  } else {
+    ZIDIAN_ASSIGN_OR_RETURN(
+        result, FinishQuery(chain.rel, planned_->exec_spec, &out->metrics));
+  }
+
+  // Refresh per-worker makespans with the post-aggregation compute counts.
+  int p = std::max(1, workers);
+  out->metrics.makespan_next = static_cast<double>(out->metrics.next_calls) / p;
+  out->metrics.makespan_compute =
+      static_cast<double>(out->metrics.compute_values) / p;
+  out->metrics.makespan_bytes =
+      static_cast<double>(out->metrics.bytes_from_storage +
+                          out->metrics.shuffle_bytes) /
+      p;
+  return result;
+}
+
+Result<PreparedQuery> Connection::Prepare(const std::string& sql) {
+  ZIDIAN_ASSIGN_OR_RETURN(QuerySpec spec,
+                          ParseAndBind(sql, zidian_->catalog()));
+  return PrepareSpec(spec);
+}
+
+Result<PreparedQuery> Connection::PrepareSpec(const QuerySpec& spec) {
+  PreparedQuery q(zidian_, spec);
+  ZIDIAN_RETURN_NOT_OK(q.Plan());
+  return q;
+}
+
+Result<Relation> Connection::Execute(const std::string& sql,
+                                     const ExecOptions& opts,
+                                     AnswerInfo* info) {
+  ZIDIAN_ASSIGN_OR_RETURN(PreparedQuery q, Prepare(sql));
+  return q.Execute(opts, info);
+}
+
+}  // namespace zidian

@@ -1,0 +1,102 @@
+// The session-oriented facade: what a downstream application programs
+// against once it holds a Zidian middleware instance.
+//
+//   Connection conn = zidian.Connect();
+//   ZIDIAN_ASSIGN_OR_RETURN(PreparedQuery q, conn.Prepare(sql));
+//   q.Explain();                                  // route + plan, no I/O
+//   auto r1 = q.Execute({.workers = 8});          // run
+//   auto r2 = q.Execute({.workers = 8});          // ...and run again
+//   auto rb = q.Execute({.workers = 8,
+//                        .route_policy = RoutePolicy::kForceBaseline});
+//
+// Prepare() performs the per-query one-time work — parse, bind, the module
+// M1 preservation check, and (when the query is answerable on the BaaV
+// store) the module M2 plan generation. Execute() only runs module M3, so
+// repeated executions never re-plan. The plan reflects the store's degree
+// statistics at Prepare() time: after bulk loads or heavy maintenance,
+// re-Prepare to pick boundedness decisions back up.
+//
+// The old one-shot calls (Zidian::Answer / AnswerSpec / AnswerBaseline)
+// remain as thin shims over this API.
+#ifndef ZIDIAN_ZIDIAN_CONNECTION_H_
+#define ZIDIAN_ZIDIAN_CONNECTION_H_
+
+#include <optional>
+#include <string>
+
+#include "zidian/zidian.h"
+
+namespace zidian {
+
+/// How Execute() routes the query.
+enum class RoutePolicy {
+  kAuto,           ///< KBA when result preserving, TaaV baseline otherwise
+  kForceBaseline,  ///< always the SQL-over-NoSQL baseline ("without Zidian")
+  kForceKba,       ///< KBA or error — never silently fall back
+};
+
+struct ExecOptions {
+  int workers = 1;
+  RoutePolicy route_policy = RoutePolicy::kAuto;
+  /// When set, AnswerInfo::sim_seconds is filled from this cost profile.
+  const BackendProfile* backend_profile = nullptr;
+};
+
+/// A parsed, bound, routed and planned query, ready to run many times.
+class PreparedQuery {
+ public:
+  /// Runs module M3 (or the baseline executor, per the route policy).
+  Result<Relation> Execute(const ExecOptions& opts = {},
+                           AnswerInfo* info = nullptr);
+
+  /// Route, flags and plan text — before the first Execute() with empty
+  /// metrics, afterwards with the metrics of the latest execution.
+  const AnswerInfo& Explain() const { return last_info_; }
+
+  const QuerySpec& spec() const { return spec_; }
+  /// Whether the KBA route is available (Condition II verdict).
+  bool result_preserving() const { return preserving_; }
+
+ private:
+  friend class Connection;
+  PreparedQuery(Zidian* zidian, QuerySpec spec)
+      : zidian_(zidian), spec_(std::move(spec)) {}
+
+  /// One-time M1 (preservation) + M2 (plan generation).
+  Status Plan();
+  /// M3 + query finishing for the KBA route.
+  Result<Relation> ExecuteKba(int workers, AnswerInfo* out);
+
+  Zidian* zidian_;
+  QuerySpec spec_;
+  bool preserving_ = false;
+  std::string preserve_detail_;
+  std::optional<PlannedQuery> planned_;  // engaged iff preserving
+  std::string plan_text_;                // rendered once at Prepare time
+  AnswerInfo last_info_;
+};
+
+/// A lightweight session handle on one Zidian instance.
+class Connection {
+ public:
+  /// Parse, bind, route and plan once; Execute() the result many times.
+  Result<PreparedQuery> Prepare(const std::string& sql);
+  Result<PreparedQuery> PrepareSpec(const QuerySpec& spec);
+
+  /// One-shot convenience: Prepare + a single Execute.
+  Result<Relation> Execute(const std::string& sql,
+                           const ExecOptions& opts = {},
+                           AnswerInfo* info = nullptr);
+
+  Zidian& zidian() { return *zidian_; }
+
+ private:
+  friend class Zidian;
+  explicit Connection(Zidian* zidian) : zidian_(zidian) {}
+
+  Zidian* zidian_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_ZIDIAN_CONNECTION_H_

@@ -1,9 +1,6 @@
 #include "zidian/zidian.h"
 
-#include <algorithm>
-
-#include "kba/kba_executor.h"
-#include "ra/eval.h"
+#include "zidian/connection.h"
 
 namespace zidian {
 
@@ -14,6 +11,8 @@ Zidian::Zidian(const Catalog* catalog, Cluster* cluster,
       store_(cluster, std::move(baav_schema), catalog, options.store),
       options_(options),
       baseline_(catalog, cluster) {}
+
+Connection Zidian::Connect() { return Connection(this); }
 
 Status Zidian::LoadTaav(const std::map<std::string, Relation>& db) {
   for (const auto& [name, data] : db) {
@@ -58,58 +57,8 @@ Result<Relation> Zidian::Answer(const std::string& sql, int workers,
 
 Result<Relation> Zidian::AnswerSpec(const QuerySpec& spec, int workers,
                                     AnswerInfo* info) {
-  AnswerInfo local;
-  AnswerInfo* out = info != nullptr ? info : &local;
-  *out = AnswerInfo{};
-
-  // M1: can the query be answered on the BaaV store at all?
-  ZIDIAN_ASSIGN_OR_RETURN(
-      PreservationReport preserve,
-      CheckResultPreserving(spec, *catalog_, store_.schema()));
-  out->result_preserving = preserve.preserving;
-  if (!preserve.preserving) {
-    out->route = AnswerInfo::Route::kTaavFallback;
-    out->detail = preserve.detail;
-    return AnswerBaseline(spec, workers, &out->metrics);
-  }
-
-  // M2: plan generation (scan-free / bounded when the query is).
-  ZIDIAN_ASSIGN_OR_RETURN(
-      PlannedQuery planned,
-      GenerateKbaPlan(spec, *catalog_, store_, options_.planner));
-  out->scan_free = planned.scan_free;
-  out->bounded = planned.bounded;
-  out->stats_pushdown = planned.stats_pushdown;
-  out->plan_text = planned.plan->ToString();
-  out->route = planned.scan_free ? AnswerInfo::Route::kKbaScanFree
-                                 : AnswerInfo::Route::kKbaWithScans;
-
-  // M3: interleaved parallel execution.
-  KbaExecutor executor(&store_);
-  ZIDIAN_ASSIGN_OR_RETURN(
-      KvInst chain, executor.Execute(*planned.plan, workers, &out->metrics));
-
-  Relation result;
-  if (planned.stats_pushdown) {
-    // The plan already aggregated from block statistics.
-    result = std::move(chain.rel);
-    ZIDIAN_RETURN_NOT_OK(OrderAndLimit(planned.exec_spec.order_by,
-                                       planned.exec_spec.limit, &result));
-  } else {
-    ZIDIAN_ASSIGN_OR_RETURN(
-        result, FinishQuery(chain.rel, planned.exec_spec, &out->metrics));
-  }
-
-  // Refresh per-worker makespans with the post-aggregation compute counts.
-  int p = std::max(1, workers);
-  out->metrics.makespan_next = static_cast<double>(out->metrics.next_calls) / p;
-  out->metrics.makespan_compute =
-      static_cast<double>(out->metrics.compute_values) / p;
-  out->metrics.makespan_bytes =
-      static_cast<double>(out->metrics.bytes_from_storage +
-                          out->metrics.shuffle_bytes) /
-      p;
-  return result;
+  ZIDIAN_ASSIGN_OR_RETURN(PreparedQuery prepared, Connect().PrepareSpec(spec));
+  return prepared.Execute(ExecOptions{.workers = workers}, info);
 }
 
 Result<Relation> Zidian::AnswerBaseline(const QuerySpec& spec, int workers,

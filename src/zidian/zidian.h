@@ -5,7 +5,12 @@
 //     LoadTaav(db)          store the relations under TaaV (the existing
 //                           SQL-over-NoSQL layout)
 //     BuildBaav(db)         map the database onto the BaaV schema (M4)
-//     Answer(sql, p)        module M1 decides whether the query can be
+//     Connect()             open a Connection; Prepare(sql) runs the M1
+//                           routing decision and M2 plan generation once,
+//                           Execute(...) runs M3 any number of times (see
+//                           zidian/connection.h for the session API)
+//     Answer(sql, p)        one-shot shim over Connect().Prepare().Execute():
+//                           module M1 decides whether the query can be
 //                           answered on the BaaV store (Condition II); if so
 //                           M2 generates a (scan-free / bounded when
 //                           possible) KBA plan and M3 executes it with the
@@ -34,6 +39,8 @@
 
 namespace zidian {
 
+class Connection;
+
 struct ZidianOptions {
   BaavStoreOptions store;
   PlannerOptions planner;
@@ -53,6 +60,8 @@ struct AnswerInfo {
   QueryMetrics metrics;
   std::string plan_text;
   std::string detail;
+  /// Filled when ExecOptions::backend_profile was given to Execute().
+  double sim_seconds = 0;
 
   /// Simulated wall-clock under a backend profile (Table 2/3 "time").
   double SimSecondsFor(const BackendProfile& profile) const {
@@ -66,9 +75,13 @@ class Zidian {
          ZidianOptions options = {});
 
   const Catalog& catalog() const { return *catalog_; }
+  const ZidianOptions& options() const { return options_; }
   BaavStore& store() { return store_; }
   const BaavStore& store() const { return store_; }
   Cluster& cluster() { return *cluster_; }
+
+  /// Opens a session: Prepare(sql) once, Execute(...) many times.
+  Connection Connect();
 
   /// Loads every relation of `db` into the cluster under TaaV.
   Status LoadTaav(const std::map<std::string, Relation>& db);
@@ -80,7 +93,9 @@ class Zidian {
   Status Insert(const std::string& relation, const Tuple& tuple);
   Status Delete(const std::string& relation, const Tuple& tuple);
 
-  /// Full pipeline: parse, bind, route, execute with `workers` nodes.
+  /// One-shot pipeline, a shim over Connect(): parse, bind, route, execute
+  /// with `workers` nodes. Prefer Connection/PreparedQuery when the same
+  /// query runs more than once.
   Result<Relation> Answer(const std::string& sql, int workers,
                           AnswerInfo* info);
   Result<Relation> AnswerSpec(const QuerySpec& spec, int workers,

@@ -42,6 +42,10 @@ TEST_F(AccountingFixture, ScanFreeRunIssuesExactlyOneGetPerBlock) {
   // One get for the vehicle block, one for the test block.
   EXPECT_EQ(info.metrics.get_calls, 2u);
   EXPECT_EQ(info.metrics.next_calls, 0u);
+  // Extension nodes never issue single-key gets: all point access is
+  // batched, costing at most one round trip per (worker, node) pair.
+  EXPECT_EQ(info.metrics.multiget_calls, 2u);  // one per extension node
+  EXPECT_LE(info.metrics.get_round_trips, info.metrics.get_calls);
   EXPECT_EQ(r->size(), 5u);
 }
 

@@ -1,10 +1,14 @@
 // Storage substrate tests: Bloom filter FPR, LSM store semantics (randomized
 // differential test against std::map), iterators, compaction, persistence,
-// and the DHT cluster's routing + metering.
+// the pluggable KvBackend seam (every engine must pass the same contract
+// suite), and the DHT cluster's routing + metering, including batched
+// MultiGet round-trip accounting.
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <functional>
 #include <map>
+#include <memory>
 #include <optional>
 
 #include "common/rng.h"
@@ -12,6 +16,7 @@
 #include "storage/bloom_filter.h"
 #include "storage/cluster.h"
 #include "storage/lsm_store.h"
+#include "storage/mem_backend.h"
 
 namespace zidian {
 namespace {
@@ -168,6 +173,118 @@ TEST(LsmStore, SaveAndLoadRoundTrip) {
   std::remove(path.c_str());
 }
 
+// ------------------------------------------------- KvBackend contract ----
+// Every node engine must satisfy the same observable semantics; the suite
+// runs once per registered backend, through the interface only.
+class KvBackendContract
+    : public ::testing::TestWithParam<
+          std::pair<const char*,
+                    std::function<std::unique_ptr<KvBackend>()>>> {
+ protected:
+  void SetUp() override { backend_ = GetParam().second(); }
+  std::unique_ptr<KvBackend> backend_;
+};
+
+TEST_P(KvBackendContract, PutGetDeleteOverwrite) {
+  KvBackend& kv = *backend_;
+  ASSERT_TRUE(kv.Put("a", "1").ok());
+  ASSERT_TRUE(kv.Put("b", "2").ok());
+  EXPECT_EQ(kv.Get("a").value(), "1");
+  ASSERT_TRUE(kv.Put("a", "updated").ok());
+  EXPECT_EQ(kv.Get("a").value(), "updated");
+  ASSERT_TRUE(kv.Delete("a").ok());
+  EXPECT_TRUE(kv.Get("a").status().IsNotFound());
+  EXPECT_EQ(kv.Get("b").value(), "2");
+  EXPECT_TRUE(kv.Get("missing").status().IsNotFound());
+  EXPECT_EQ(kv.NumLiveEntries(), 1u);
+}
+
+TEST_P(KvBackendContract, MultiGetMatchesSingleGets) {
+  KvBackend& kv = *backend_;
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(kv.Put("k" + std::to_string(i), "v" + std::to_string(i)).ok());
+  }
+  ASSERT_TRUE(kv.Delete("k7").ok());
+  std::vector<std::string_view> keys{"k3", "k7", "absent", "k3", "k49"};
+  std::vector<KvBackend::BatchedKey> requests;
+  for (size_t i = 0; i < keys.size(); ++i) {
+    requests.push_back({keys[i], static_cast<uint32_t>(i)});
+  }
+  std::vector<std::optional<std::string>> batched(keys.size());
+  kv.MultiGet(requests, &batched);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    auto single = kv.Get(keys[i]);
+    EXPECT_EQ(batched[i].has_value(), single.ok()) << keys[i];
+    if (single.ok()) {
+      EXPECT_EQ(*batched[i], single.value()) << keys[i];
+    }
+  }
+}
+
+TEST_P(KvBackendContract, IteratorIsOrderedAndSkipsDeleted) {
+  KvBackend& kv = *backend_;
+  ASSERT_TRUE(kv.Put("c", "3").ok());
+  ASSERT_TRUE(kv.Put("a", "1").ok());
+  kv.Flush();  // no-op on engines without a write buffer
+  ASSERT_TRUE(kv.Put("b", "2").ok());
+  ASSERT_TRUE(kv.Delete("c").ok());
+  std::vector<std::string> seen;
+  for (auto it = kv.NewIterator(); it->Valid(); it->Next()) {
+    seen.emplace_back(it->key());
+  }
+  EXPECT_EQ(seen, (std::vector<std::string>{"a", "b"}));
+  auto it = kv.NewIterator();
+  it->Seek("aa");
+  ASSERT_TRUE(it->Valid());
+  EXPECT_EQ(it->key(), "b");
+}
+
+TEST_P(KvBackendContract, SaveLoadRoundTripAndClear) {
+  std::string path = ::testing::TempDir() + "/backend_roundtrip_" +
+                     std::string(backend_->name()) + ".kv";
+  KvBackend& kv = *backend_;
+  for (int i = 0; i < 40; ++i) {
+    ASSERT_TRUE(kv.Put("key" + std::to_string(i), "val").ok());
+  }
+  ASSERT_TRUE(kv.Delete("key11").ok());
+  ASSERT_TRUE(kv.SaveToFile(path).ok());
+  ASSERT_TRUE(kv.Put("extra", "x").ok());
+  ASSERT_TRUE(kv.LoadFromFile(path).ok());  // restores the saved snapshot
+  EXPECT_EQ(kv.NumLiveEntries(), 39u);
+  EXPECT_TRUE(kv.Get("extra").status().IsNotFound());
+  EXPECT_TRUE(kv.Get("key11").status().IsNotFound());
+  EXPECT_EQ(kv.Get("key7").value(), "val");
+  kv.Clear();
+  EXPECT_EQ(kv.NumLiveEntries(), 0u);
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Engines, KvBackendContract,
+    ::testing::Values(
+        std::pair<const char*, std::function<std::unique_ptr<KvBackend>()>>{
+            "lsm", [] { return std::make_unique<LsmStore>(); }},
+        std::pair<const char*, std::function<std::unique_ptr<KvBackend>()>>{
+            "mem", [] { return std::make_unique<MemBackend>(); }}),
+    [](const auto& info) { return std::string(info.param.first); });
+
+TEST(KvBackend, FilesLoadAcrossEngines) {
+  // The flat persistence format is backend-independent: a snapshot written
+  // by the LSM engine restores into the hash-table engine and vice versa.
+  std::string path = ::testing::TempDir() + "/cross_engine.kv";
+  LsmStore lsm;
+  for (int i = 0; i < 25; ++i) {
+    ASSERT_TRUE(lsm.Put("key" + std::to_string(i), "v").ok());
+  }
+  lsm.Flush();
+  ASSERT_TRUE(lsm.SaveToFile(path).ok());
+  MemBackend mem;
+  ASSERT_TRUE(mem.LoadFromFile(path).ok());
+  EXPECT_EQ(mem.NumLiveEntries(), 25u);
+  EXPECT_EQ(mem.Get("key13").value(), "v");
+  std::remove(path.c_str());
+}
+
 TEST(Cluster, RoutesByHashAndMeters) {
   Cluster cluster(ClusterOptions{.num_storage_nodes = 4});
   QueryMetrics m;
@@ -200,6 +317,90 @@ TEST(Cluster, PrefixScanVisitsAllNodesAndCounts) {
   EXPECT_EQ(seen, 50);
   EXPECT_EQ(m.next_calls, 50u);
   EXPECT_EQ(cluster.CountPrefix("B:"), 50u);
+}
+
+TEST(Cluster, DeleteIsMetered) {
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 2});
+  ASSERT_TRUE(cluster.Put("doomed-key", "v", nullptr).ok());
+  QueryMetrics m;
+  ASSERT_TRUE(cluster.Delete("doomed-key", &m).ok());
+  EXPECT_EQ(m.delete_calls, 1u);
+  EXPECT_EQ(m.bytes_to_storage, std::string("doomed-key").size());
+  EXPECT_TRUE(cluster.Get("doomed-key", nullptr).status().IsNotFound());
+}
+
+TEST(Cluster, MultiGetMatchesSingleGetLoopWithFewerRoundTrips) {
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 4});
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(
+        cluster.Put("key" + std::to_string(i), "v" + std::to_string(i), nullptr)
+            .ok());
+  }
+  std::vector<std::string> keys;
+  for (int i = 0; i < 60; ++i) keys.push_back("key" + std::to_string(i * 2));
+  keys.push_back("absent");
+
+  QueryMetrics loop_m;
+  std::vector<std::optional<std::string>> looped;
+  for (const auto& k : keys) {
+    auto res = cluster.Get(k, &loop_m);
+    if (res.ok()) {
+      looped.emplace_back(std::move(res).value());
+    } else {
+      looped.emplace_back(std::nullopt);
+    }
+  }
+
+  QueryMetrics batch_m;
+  auto batched = cluster.MultiGet(keys, &batch_m);
+
+  // Identical values, aligned with the request order.
+  ASSERT_EQ(batched.size(), looped.size());
+  for (size_t i = 0; i < keys.size(); ++i) EXPECT_EQ(batched[i], looped[i]);
+
+  // Same per-key charge (#get, bytes) but at most one round trip per node
+  // instead of one per key.
+  EXPECT_EQ(batch_m.get_calls, loop_m.get_calls);
+  EXPECT_EQ(batch_m.bytes_from_storage, loop_m.bytes_from_storage);
+  EXPECT_EQ(loop_m.get_round_trips, keys.size());
+  EXPECT_LE(batch_m.get_round_trips, 4u);
+  EXPECT_LT(batch_m.get_round_trips, loop_m.get_round_trips);
+  EXPECT_EQ(batch_m.multiget_calls, 1u);
+}
+
+TEST(Cluster, MemBackendServesTheSameInterface) {
+  // The same workload behind ClusterOptions{.backend = kMem}: identical
+  // results and metering, different node engine.
+  ClusterOptions mem_opts;
+  mem_opts.num_storage_nodes = 3;
+  mem_opts.backend = BackendKind::kMem;
+  Cluster cluster(mem_opts);
+  EXPECT_EQ(cluster.node(0).name(), "mem");
+  QueryMetrics m;
+  for (int i = 0; i < 120; ++i) {
+    ASSERT_TRUE(cluster.Put("A:" + std::to_string(i), "v", &m).ok());
+  }
+  EXPECT_EQ(m.put_calls, 120u);
+  for (int n = 0; n < 3; ++n) {
+    EXPECT_GT(cluster.node(n).NumLiveEntries(), 10u) << "node " << n;
+  }
+  auto got = cluster.Get("A:5", &m);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(m.get_calls, 1u);
+  int seen = 0;
+  cluster.ScanPrefix("A:", nullptr,
+                     [&](std::string_view, std::string_view) { ++seen; });
+  EXPECT_EQ(seen, 120);
+}
+
+TEST(Cluster, CustomBackendFactoryWins) {
+  ClusterOptions opts;
+  opts.num_storage_nodes = 2;
+  opts.backend = BackendKind::kLsm;  // overridden by the factory below
+  opts.backend_factory = [] { return std::make_unique<MemBackend>(); };
+  Cluster cluster(opts);
+  EXPECT_EQ(cluster.node(0).name(), "mem");
+  EXPECT_EQ(cluster.node(1).name(), "mem");
 }
 
 TEST(Backend, ProfilesOrderAsInPaper) {

@@ -8,6 +8,7 @@
 #include "sql/binder.h"
 #include "storage/backend.h"
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/planner.h"
 #include "zidian/preservation.h"
 #include "zidian/t2b.h"
@@ -342,6 +343,166 @@ TEST(Routing, NonPreservedQueryFallsBackToTaav) {
   EXPECT_FALSE(info.result_preserving);
   EXPECT_EQ(info.route, AnswerInfo::Route::kTaavFallback);
   EXPECT_EQ(r->size(), 1u);
+}
+
+// -------------------------------------------- Connection / PreparedQuery --
+class ConnectionFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto w = MakeMot(0.3, 17);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+    cluster_ = std::make_unique<Cluster>(
+        ClusterOptions{.num_storage_nodes = 4});
+    zidian_ = std::make_unique<Zidian>(&workload_.catalog, cluster_.get(),
+                                       workload_.baav);
+    ASSERT_TRUE(zidian_->LoadTaav(workload_.data).ok());
+    ASSERT_TRUE(zidian_->BuildBaav(workload_.data).ok());
+  }
+
+  static std::string Sorted(Relation r) {
+    r.SortRows();
+    return r.ToString();
+  }
+
+  static void ExpectSameMetrics(const QueryMetrics& a, const QueryMetrics& b) {
+    EXPECT_EQ(a.get_calls, b.get_calls);
+    EXPECT_EQ(a.get_round_trips, b.get_round_trips);
+    EXPECT_EQ(a.multiget_calls, b.multiget_calls);
+    EXPECT_EQ(a.next_calls, b.next_calls);
+    EXPECT_EQ(a.values_accessed, b.values_accessed);
+    EXPECT_EQ(a.bytes_from_storage, b.bytes_from_storage);
+    EXPECT_EQ(a.shuffle_bytes, b.shuffle_bytes);
+    EXPECT_EQ(a.compute_values, b.compute_values);
+  }
+
+  const std::string kScanFreeSql =
+      "SELECT v.make, t.test_result FROM vehicle v, mot_test t "
+      "WHERE v.vehicle_id = t.vehicle_id AND v.vehicle_id = 11";
+
+  Workload workload_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Zidian> zidian_;
+};
+
+TEST_F(ConnectionFixture, PreparedQueryReusedMatchesOneShotAnswer) {
+  Connection conn = zidian_->Connect();
+  auto prepared = conn.Prepare(kScanFreeSql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  AnswerInfo first, second, one_shot;
+  auto r1 = prepared->Execute(ExecOptions{.workers = 2}, &first);
+  auto r2 = prepared->Execute(ExecOptions{.workers = 2}, &second);
+  auto rs = zidian_->Answer(kScanFreeSql, 2, &one_shot);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  ASSERT_TRUE(rs.ok());
+
+  // Re-execution is deterministic and identical to the one-shot facade.
+  EXPECT_EQ(Sorted(*r1), Sorted(*r2));
+  EXPECT_EQ(Sorted(*r1), Sorted(*rs));
+  ExpectSameMetrics(first.metrics, second.metrics);
+  ExpectSameMetrics(first.metrics, one_shot.metrics);
+  EXPECT_EQ(first.route, one_shot.route);
+  EXPECT_EQ(first.plan_text, one_shot.plan_text);
+}
+
+TEST_F(ConnectionFixture, ExplainExposesPlanBeforeAndMetricsAfterExecution) {
+  auto prepared = zidian_->Connect().Prepare(kScanFreeSql);
+  ASSERT_TRUE(prepared.ok());
+  // Prepare() already routed and planned: Explain works without any I/O.
+  const AnswerInfo& before = prepared->Explain();
+  EXPECT_TRUE(before.result_preserving);
+  EXPECT_EQ(before.route, AnswerInfo::Route::kKbaScanFree);
+  EXPECT_FALSE(before.plan_text.empty());
+  EXPECT_EQ(before.metrics.get_calls, 0u);
+
+  ASSERT_TRUE(prepared->Execute(ExecOptions{.workers = 1}).ok());
+  EXPECT_GT(prepared->Explain().metrics.get_calls, 0u);
+}
+
+TEST_F(ConnectionFixture, RoutePolicyForceBaselineMatchesAnswerBaseline) {
+  auto prepared = zidian_->Connect().Prepare(kScanFreeSql);
+  ASSERT_TRUE(prepared.ok());
+  AnswerInfo forced;
+  auto fr = prepared->Execute(
+      ExecOptions{.workers = 2, .route_policy = RoutePolicy::kForceBaseline},
+      &forced);
+  ASSERT_TRUE(fr.ok());
+  EXPECT_EQ(forced.route, AnswerInfo::Route::kTaavFallback);
+
+  QueryMetrics bm;
+  auto br = zidian_->AnswerBaseline(kScanFreeSql, 2, &bm);
+  ASSERT_TRUE(br.ok());
+  EXPECT_EQ(Sorted(*fr), Sorted(*br));
+  ExpectSameMetrics(forced.metrics, bm);
+
+  // Explain() still describes the prepared KBA plan after a forced
+  // baseline run — only the route reflects the latest execution.
+  EXPECT_FALSE(prepared->Explain().plan_text.empty());
+  EXPECT_TRUE(prepared->Explain().scan_free);
+}
+
+TEST_F(ConnectionFixture, ForceKbaFailsOnNonPreservingQuery) {
+  // No BaaV instance exposes vehicle.colour-keyed access of fuel_type plus
+  // the full attribute set this query needs when the schema is crippled.
+  BaavSchema tiny;
+  ASSERT_TRUE(
+      tiny.Add(MakeKvSchema("vehicle", {"vehicle_id"}, {"make"})).ok());
+  Zidian crippled(&workload_.catalog, cluster_.get(), tiny);
+  std::map<std::string, Relation> vehicle_only{
+      {"vehicle", workload_.data.at("vehicle")}};
+  ASSERT_TRUE(crippled.BuildBaav(vehicle_only).ok());
+
+  const std::string sql =
+      "SELECT v.model FROM vehicle v WHERE v.vehicle_id = 3";
+  auto prepared = crippled.Connect().Prepare(sql);
+  ASSERT_TRUE(prepared.ok());
+  EXPECT_FALSE(prepared->result_preserving());
+
+  // kForceKba refuses; kAuto silently falls back to the baseline.
+  auto forced = prepared->Execute(
+      ExecOptions{.route_policy = RoutePolicy::kForceKba});
+  EXPECT_FALSE(forced.ok());
+  AnswerInfo info;
+  auto fallback = prepared->Execute(ExecOptions{}, &info);
+  ASSERT_TRUE(fallback.ok());
+  EXPECT_EQ(info.route, AnswerInfo::Route::kTaavFallback);
+  EXPECT_EQ(fallback->size(), 1u);
+}
+
+TEST_F(ConnectionFixture, BackendProfileFillsSimSeconds) {
+  auto prepared = zidian_->Connect().Prepare(kScanFreeSql);
+  ASSERT_TRUE(prepared.ok());
+  AnswerInfo info;
+  ASSERT_TRUE(prepared
+                  ->Execute(ExecOptions{.workers = 2,
+                                        .backend_profile = &SoH()},
+                            &info)
+                  .ok());
+  EXPECT_GT(info.sim_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(info.sim_seconds, info.SimSecondsFor(SoH()));
+}
+
+TEST_F(ConnectionFixture, WholeWorkloadAgreesOnMemBackendCluster) {
+  // The full MOT query suite behind the hash-table engine: every query
+  // answers identically to the LSM-backed instance it was planned against.
+  ClusterOptions mem_opts;
+  mem_opts.num_storage_nodes = 4;
+  mem_opts.backend = BackendKind::kMem;
+  Cluster mem_cluster(mem_opts);
+  Zidian mem_z(&workload_.catalog, &mem_cluster, workload_.baav);
+  ASSERT_TRUE(mem_z.LoadTaav(workload_.data).ok());
+  ASSERT_TRUE(mem_z.BuildBaav(workload_.data).ok());
+  Connection lsm_conn = zidian_->Connect();
+  Connection mem_conn = mem_z.Connect();
+  for (const auto& q : workload_.queries) {
+    auto a = lsm_conn.Execute(q.sql, ExecOptions{.workers = 2});
+    auto b = mem_conn.Execute(q.sql, ExecOptions{.workers = 2});
+    ASSERT_TRUE(a.ok()) << q.name;
+    ASSERT_TRUE(b.ok()) << q.name;
+    EXPECT_EQ(Sorted(*a), Sorted(*b)) << q.name;
+  }
 }
 
 }  // namespace
