@@ -1,0 +1,158 @@
+// BlockCache repeat-execution benchmark: the workload the cache exists
+// for — the same PreparedQuery executed over and over (the "millions of
+// users re-reading hot blocks" shape). For every scan-free MOT query, on
+// both node engines, it compares warm cached repeats against the same
+// repeats with the cache bypassed, and prints the round trips the cache
+// removes.
+//
+// Cache shape (verified, non-zero exit on violation): on every query and
+// both engines, warm runs hit the cache, perform fewer storage round
+// trips than the cold run, and return byte-identical results to the
+// bypassed (uncached) path. Wall-clock per Execute is reported, with the
+// expectation that cached repeats beat the cold path on both backends.
+//
+// Usage: bench_cache_repeat [--smoke]   (--smoke: small scale, CI-sized)
+#include <chrono>
+#include <cstring>
+
+#include "bench/bench_util.h"
+
+using namespace zidian;
+using namespace zidian::bench;
+
+namespace {
+
+double MeanMicros(PreparedQuery& q, const ExecOptions& opts, int repeats) {
+  auto begin = std::chrono::steady_clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    auto r = q.Execute(opts);
+    if (!r.ok()) {
+      std::fprintf(stderr, "execute failed: %s\n",
+                   r.status().ToString().c_str());
+      std::abort();
+    }
+  }
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(end - begin).count() /
+         repeats;
+}
+
+std::string SortedText(Relation r) {
+  r.SortRows();
+  return r.ToString();
+}
+
+bool RunEngine(BackendKind kind, double scale, int repeats) {
+  Instance inst = Load(
+      MakeMot(scale, 42),
+      ClusterOptions{.num_storage_nodes = 8,
+                     .backend = kind,
+                     .cache = {.capacity_bytes = 16 << 20, .shards = 8}});
+  std::printf("\nMOT x%.1f, engine=%s, cache=16MiB, %d warm repeats\n", scale,
+              std::string(BackendKindName(kind)).c_str(), repeats);
+  PrintRule();
+  std::printf("%-8s %10s %10s %10s %10s %12s %12s\n", "query", "cold_rt",
+              "warm_rt", "hits", "hit%", "cached_us", "bypass_us");
+  PrintRule();
+
+  bool ok = true;
+  double cold_total = 0, cached_total = 0, bypass_total = 0;
+  for (const auto& q : inst.workload.queries) {
+    if (!q.expect_scan_free) continue;
+    auto prepared = inst.zidian->Connect().Prepare(q.sql);
+    if (!prepared.ok()) {
+      std::fprintf(stderr, "prepare failed on %s\n", q.name.c_str());
+      return false;
+    }
+
+    // Queries share hot blocks (by design — the cache is cluster state),
+    // so drop it to make every per-query cold run genuinely cold.
+    inst.cluster->block_cache()->Clear();
+
+    AnswerInfo cold;
+    auto cold_start = std::chrono::steady_clock::now();
+    auto cold_result = prepared->Execute(ExecOptions{.workers = 4}, &cold);
+    auto cold_end = std::chrono::steady_clock::now();
+    if (!cold_result.ok()) {
+      std::fprintf(stderr, "cold run failed on %s\n", q.name.c_str());
+      return false;
+    }
+    cold_total +=
+        std::chrono::duration<double, std::micro>(cold_end - cold_start)
+            .count();
+
+    AnswerInfo warm;
+    auto warm_result = prepared->Execute(ExecOptions{.workers = 4}, &warm);
+    AnswerInfo bypassed;
+    auto bypass_result = prepared->Execute(
+        ExecOptions{.workers = 4, .bypass_cache = true}, &bypassed);
+    if (!warm_result.ok() || !bypass_result.ok()) return false;
+
+    double cached_us =
+        MeanMicros(*prepared, ExecOptions{.workers = 4}, repeats);
+    double bypass_us = MeanMicros(
+        *prepared, ExecOptions{.workers = 4, .bypass_cache = true}, repeats);
+    cached_total += cached_us;
+    bypass_total += bypass_us;
+
+    double hit_rate =
+        100.0 * static_cast<double>(warm.metrics.cache_hits) /
+        static_cast<double>(warm.metrics.cache_hits +
+                            warm.metrics.cache_misses);
+    std::printf("%-8s %10llu %10llu %10llu %9.1f%% %12s %12s\n",
+                q.name.c_str(),
+                static_cast<unsigned long long>(cold.metrics.get_round_trips),
+                static_cast<unsigned long long>(warm.metrics.get_round_trips),
+                static_cast<unsigned long long>(warm.metrics.cache_hits),
+                hit_rate, Num(cached_us).c_str(), Num(bypass_us).c_str());
+
+    // The verified cache shape: hits on the warm path, round trips saved,
+    // results byte-identical to the uncached path.
+    if (warm.metrics.cache_hits == 0) {
+      std::fprintf(stderr, "FAIL %s: warm run never hit the cache\n",
+                   q.name.c_str());
+      ok = false;
+    }
+    if (warm.metrics.get_round_trips >= cold.metrics.get_round_trips) {
+      std::fprintf(stderr, "FAIL %s: warm run saved no round trips\n",
+                   q.name.c_str());
+      ok = false;
+    }
+    if (SortedText(*warm_result) != SortedText(*bypass_result) ||
+        SortedText(*warm_result) != SortedText(*cold_result)) {
+      std::fprintf(stderr, "FAIL %s: cached result differs from uncached\n",
+                   q.name.c_str());
+      ok = false;
+    }
+  }
+  PrintRule();
+  std::printf("totals: cold %s us, cached repeat %s us, bypassed repeat %s "
+              "us (repeat speedup vs cold: %.2fx)\n",
+              Num(cold_total).c_str(), Num(cached_total).c_str(),
+              Num(bypass_total).c_str(),
+              cold_total / std::max(cached_total, 1e-9));
+  if (cached_total >= cold_total) {
+    // Wall-clock, so report loudly but only fail the shape check: the
+    // simulated metrics above are the deterministic contract.
+    std::fprintf(stderr, "WARN: cached repeats not faster than cold on %s\n",
+                 std::string(BackendKindName(kind)).c_str());
+  }
+  return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  double scale = smoke ? 0.3 : 1.5;
+  int repeats = smoke ? 5 : 25;
+
+  bool ok = RunEngine(BackendKind::kLsm, scale, repeats);
+  ok = RunEngine(BackendKind::kMem, scale, repeats) && ok;
+
+  std::printf("\ncache-shape: warm repeats of a PreparedQuery hit the "
+              "BlockCache, save storage round trips on every scan-free "
+              "query, and stay byte-identical to the uncached path on both "
+              "engines: %s\n", ok ? "OK" : "VIOLATED");
+  return ok ? 0 : 1;
+}

@@ -24,7 +24,7 @@ struct Instance {
   std::unique_ptr<Zidian> zidian;
 };
 
-inline Instance Load(Result<Workload> w, int storage_nodes = 8) {
+inline Instance Load(Result<Workload> w, ClusterOptions options) {
   if (!w.ok()) {
     std::fprintf(stderr, "workload generation failed: %s\n",
                  w.status().ToString().c_str());
@@ -32,8 +32,7 @@ inline Instance Load(Result<Workload> w, int storage_nodes = 8) {
   }
   Instance inst;
   inst.workload = std::move(w).value();
-  inst.cluster = std::make_unique<Cluster>(
-      ClusterOptions{.num_storage_nodes = storage_nodes});
+  inst.cluster = std::make_unique<Cluster>(std::move(options));
   inst.zidian = std::make_unique<Zidian>(&inst.workload.catalog,
                                          inst.cluster.get(),
                                          inst.workload.baav);
@@ -45,6 +44,10 @@ inline Instance Load(Result<Workload> w, int storage_nodes = 8) {
     std::abort();
   }
   return inst;
+}
+
+inline Instance Load(Result<Workload> w, int storage_nodes = 8) {
+  return Load(std::move(w), ClusterOptions{.num_storage_nodes = storage_nodes});
 }
 
 struct RunStats {

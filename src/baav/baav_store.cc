@@ -191,14 +191,48 @@ void MergeBlockStats(BlockStats* total, const BlockStats& part, size_t arity) {
 
 }  // namespace
 
+namespace {
+
+/// Transfers a stats fetch's scratch meter into the caller's metrics. A
+/// stats read ships only header-sized payloads, so the cluster's full
+/// pair-byte charges are replaced by `header_bytes` per segment — served
+/// from the cache for the segments that hit (no comm), from storage for
+/// the rest. Round trips, cache hits/misses/evictions and the batched
+/// round-trip savings carry over unchanged.
+void ChargeStatsFetch(const QueryMetrics& scratch, uint64_t segments_fetched,
+                      size_t arity, QueryMetrics* m) {
+  if (m == nullptr) return;
+  uint64_t header_bytes = 16 + arity * 26;
+  uint64_t hit_segments = std::min<uint64_t>(scratch.cache_hits,
+                                             segments_fetched);
+  m->get_calls += segments_fetched;
+  m->get_round_trips += scratch.get_round_trips;
+  m->multiget_calls += scratch.multiget_calls;
+  m->cache_hits += scratch.cache_hits;
+  m->cache_misses += scratch.cache_misses;
+  m->cache_evictions += scratch.cache_evictions;
+  m->bytes_from_cache += hit_segments * header_bytes;
+  m->bytes_from_storage += (segments_fetched - hit_segments) * header_bytes;
+  m->values_accessed += segments_fetched * arity;
+}
+
+}  // namespace
+
 Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
                                             const Tuple& key,
                                             QueryMetrics* m) const {
   size_t arity = kv.value_attrs.size();
   BlockStats total;
   total.columns.assign(arity, BlockColumnStats{});
-  auto first = cluster_->Get(SegmentKey(kv, key, 0), nullptr);
-  if (!first.ok()) return total;  // absent: zero rows
+  // Fetch through a scratch meter (header-sized payloads only; see
+  // ChargeStatsFetch) so cache hits and saved round trips are preserved.
+  // kNoFill: a stats read is charged header bytes, so its misses must not
+  // plant the full block in the cache for later reads to get "for free".
+  QueryMetrics scratch;
+  uint64_t segments_fetched = 0;
+  auto first =
+      cluster_->Get(SegmentKey(kv, key, 0), &scratch, CacheFill::kNoFill);
+  if (!first.ok()) return total;  // absent: zero rows, nothing charged
   std::string_view sv = first.value();
   uint64_t segments = 0;
   if (!GetVarint64(&sv, &segments) || segments == 0) {
@@ -207,27 +241,18 @@ Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
   BlockStats part;
   ZIDIAN_RETURN_NOT_OK(DecodeBlockStats(sv, arity, &part));
   MergeBlockStats(&total, part, arity);
-  // Meter: one get per segment, but only header-sized payloads move.
-  if (m != nullptr) {
-    m->get_calls += 1;
-    m->get_round_trips += 1;
-    m->bytes_from_storage += 16 + arity * 26;
-    m->values_accessed += arity;
-  }
+  ++segments_fetched;
   for (uint64_t s = 1; s < segments; ++s) {
-    auto res = cluster_->Get(SegmentKey(kv, key, s), nullptr);
+    auto res =
+        cluster_->Get(SegmentKey(kv, key, s), &scratch, CacheFill::kNoFill);
     if (!res.ok()) return res.status();
     BlockStats seg_stats;
     ZIDIAN_RETURN_NOT_OK(
         DecodeBlockStats(res.value(), arity, &seg_stats));
     MergeBlockStats(&total, seg_stats, arity);
-    if (m != nullptr) {
-      m->get_calls += 1;
-      m->get_round_trips += 1;
-      m->bytes_from_storage += 16 + arity * 26;
-      m->values_accessed += arity;
-    }
+    ++segments_fetched;
   }
+  ChargeStatsFetch(scratch, segments_fetched, arity, m);
   return total;
 }
 
@@ -290,14 +315,15 @@ Result<std::vector<BlockStats>> BaavStore::MultiGetBlockStats(
   if (keys.empty()) return out;
 
   // Fetch through a scratch meter: a stats read ships only header-sized
-  // payloads, so the cluster-level byte charge must not be recorded.
+  // payloads, so the cluster-level byte charge must not be recorded — and
+  // (kNoFill) its misses must not plant full blocks in the cache either.
   QueryMetrics scratch;
   uint64_t segments_fetched = 0;
 
   std::vector<std::string> seg0;
   seg0.reserve(keys.size());
   for (const auto& key : keys) seg0.push_back(SegmentKey(kv, key, 0));
-  auto first = cluster_->MultiGet(seg0, &scratch);
+  auto first = cluster_->MultiGet(seg0, &scratch, CacheFill::kNoFill);
 
   std::vector<std::string> extra_keys;
   std::vector<size_t> extra_owner;
@@ -318,7 +344,7 @@ Result<std::vector<BlockStats>> BaavStore::MultiGetBlockStats(
     }
   }
   if (!extra_keys.empty()) {
-    auto rest = cluster_->MultiGet(extra_keys, &scratch);
+    auto rest = cluster_->MultiGet(extra_keys, &scratch, CacheFill::kNoFill);
     for (size_t j = 0; j < extra_keys.size(); ++j) {
       if (!rest[j].has_value()) {
         return Status::Corruption("missing segment in " + kv.name);
@@ -329,16 +355,10 @@ Result<std::vector<BlockStats>> BaavStore::MultiGetBlockStats(
       ++segments_fetched;
     }
   }
-  if (m != nullptr) {
-    // Mirror GetBlockStats: one get per fetched segment (absent keys charge
-    // nothing), header-sized payloads only. Round trips come from the
-    // batched fetches that actually went out.
-    m->get_calls += segments_fetched;
-    m->get_round_trips += scratch.get_round_trips;
-    m->multiget_calls += scratch.multiget_calls;
-    m->bytes_from_storage += segments_fetched * (16 + arity * 26);
-    m->values_accessed += segments_fetched * arity;
-  }
+  // Mirror GetBlockStats: one get per fetched segment (absent keys charge
+  // nothing), header-sized payloads only — from the cache for segments
+  // that hit. Round trips come from the batched fetches that went out.
+  ChargeStatsFetch(scratch, segments_fetched, arity, m);
   return out;
 }
 

@@ -10,6 +10,11 @@ std::string QueryMetrics::ToString() const {
      << " multigets=" << multiget_calls << " nexts=" << next_calls
      << " values=" << values_accessed << " storage_bytes=" << bytes_from_storage
      << " shuffle_bytes=" << shuffle_bytes << " comm=" << CommBytes();
+  if (cache_hits != 0 || cache_misses != 0) {
+    os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
+       << " cache_evictions=" << cache_evictions
+       << " cache_bytes=" << bytes_from_cache;
+  }
   return os.str();
 }
 

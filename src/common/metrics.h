@@ -26,6 +26,15 @@ struct QueryMetrics {
   uint64_t bytes_from_storage = 0;  ///< storage -> SQL layer traffic
   uint64_t bytes_to_storage = 0;    ///< SQL layer -> storage (puts/deletes)
 
+  // BlockCache interaction (all zero when the cache is off or bypassed).
+  // A cache hit still counts one logical get (paper-faithful #get) but no
+  // round trip and no storage bytes — the saving shows up as a round-trip
+  // delta and as bytes_from_cache instead of bytes_from_storage.
+  uint64_t cache_hits = 0;       ///< gets served by the BlockCache
+  uint64_t cache_misses = 0;     ///< gets that fell through to a node
+  uint64_t cache_evictions = 0;  ///< entries evicted by this query's fills
+  uint64_t bytes_from_cache = 0;  ///< cache -> SQL layer traffic (no comm)
+
   // SQL-layer work.
   uint64_t shuffle_bytes = 0;    ///< compute-node <-> compute-node traffic
   uint64_t compute_values = 0;   ///< values touched by operators
@@ -33,7 +42,9 @@ struct QueryMetrics {
   // Simulated parallel makespan components, filled by the executors:
   // max over workers of each cost category (in abstract cost units that the
   // backend profile converts to seconds).
-  double makespan_get = 0;       ///< max per-worker #get
+  double makespan_get = 0;       ///< max per-worker #get that reached
+                                 ///< storage (cache hits are local memory
+                                 ///< and carry no per-get latency)
   double makespan_next = 0;      ///< max per-worker #next (scan advances)
   double makespan_bytes = 0;     ///< max per-worker bytes moved
   double makespan_compute = 0;   ///< max per-worker values computed
@@ -51,6 +62,10 @@ struct QueryMetrics {
     bytes_to_storage += o.bytes_to_storage;
     values_accessed += o.values_accessed;
     bytes_from_storage += o.bytes_from_storage;
+    cache_hits += o.cache_hits;
+    cache_misses += o.cache_misses;
+    cache_evictions += o.cache_evictions;
+    bytes_from_cache += o.bytes_from_cache;
     shuffle_bytes += o.shuffle_bytes;
     compute_values += o.compute_values;
     makespan_get += o.makespan_get;

@@ -306,7 +306,9 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
   }
   out.rel = Relation(out.AllCols());
 
-  // Per-worker accounting for the point gets behind makespan_get.
+  // Per-worker accounting for the point gets behind makespan_get. Only
+  // gets that reached storage count: a BlockCache hit is middleware-local
+  // memory and must not be priced at the profile's per-get latency.
   std::vector<uint64_t> worker_gets(static_cast<size_t>(workers), 0);
 
   std::vector<size_t> kept_pos;
@@ -350,7 +352,8 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
   for (size_t w = 0; w < worker_keys.size(); ++w) {
     const auto& keys = worker_keys[w];
     if (keys.empty()) continue;
-    uint64_t gets_before = m != nullptr ? m->get_calls : 0;
+    uint64_t storage_gets_before =
+        m != nullptr ? m->get_calls - m->cache_hits : 0;
 
     if (plan.stats_only) {
       ZIDIAN_ASSIGN_OR_RETURN(std::vector<BlockStats> stats,
@@ -384,7 +387,7 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
     }
 
     if (m != nullptr) {
-      worker_gets[w] += m->get_calls - gets_before;
+      worker_gets[w] += (m->get_calls - m->cache_hits) - storage_gets_before;
     }
   }
 

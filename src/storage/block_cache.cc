@@ -1,0 +1,108 @@
+#include "storage/block_cache.h"
+
+#include <algorithm>
+
+#include "common/hash.h"
+
+namespace zidian {
+
+BlockCache::BlockCache(BlockCacheOptions options)
+    : options_(options),
+      // Sized at construction: Shard owns a mutex, so the vector can never
+      // be grown (that would need moves).
+      shards_(static_cast<size_t>(std::max(1, options.shards))) {
+  options_.shards = static_cast<int>(shards_.size());
+  // Split the budget evenly; every shard gets at least one byte of budget
+  // so a tiny capacity still admits (and evicts) entries deterministically.
+  size_t per_shard = options_.capacity_bytes / shards_.size();
+  for (auto& shard : shards_) {
+    shard.capacity = std::max<size_t>(per_shard, 1);
+  }
+}
+
+BlockCache::Shard& BlockCache::ShardFor(std::string_view key) {
+  return shards_[Hash64(key) % shards_.size()];
+}
+
+bool BlockCache::Lookup(std::string_view key, std::string* value) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    ++shard.misses;
+    return false;
+  }
+  ++shard.hits;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  *value = it->second->value;
+  return true;
+}
+
+size_t BlockCache::Insert(std::string_view key, std::string_view value) {
+  Shard& shard = ShardFor(key);
+  size_t entry_bytes = key.size() + value.size();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  if (entry_bytes > shard.capacity) {
+    // Larger than the shard's whole budget: could never fit even after
+    // evicting everything else, so oversized segments are not cached.
+    return 0;
+  }
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    shard.bytes -= it->second->key.size() + it->second->value.size();
+    it->second->value.assign(value);
+    shard.bytes += entry_bytes;
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  } else {
+    shard.lru.push_front(Entry{std::string(key), std::string(value)});
+    shard.index.emplace(std::string_view(shard.lru.front().key),
+                        shard.lru.begin());
+    shard.bytes += entry_bytes;
+    ++shard.inserts;
+  }
+  size_t evicted = 0;
+  while (shard.bytes > shard.capacity && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.key.size() + victim.value.size();
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  shard.evictions += evicted;
+  return evicted;
+}
+
+void BlockCache::Erase(std::string_view key) {
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return;
+  shard.bytes -= it->second->key.size() + it->second->value.size();
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+void BlockCache::Clear() {
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    shard.index.clear();
+    shard.lru.clear();
+    shard.bytes = 0;
+  }
+}
+
+BlockCache::Stats BlockCache::GetStats() const {
+  Stats stats;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    stats.hits += shard.hits;
+    stats.misses += shard.misses;
+    stats.evictions += shard.evictions;
+    stats.inserts += shard.inserts;
+    stats.bytes += shard.bytes;
+    stats.entries += shard.lru.size();
+  }
+  return stats;
+}
+
+}  // namespace zidian

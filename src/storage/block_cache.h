@@ -1,0 +1,108 @@
+// Metered, sharded LRU cache over encoded block segments, placed above
+// the KvBackend seam: Cluster consults it in Get / MultiGet before
+// touching a storage node, so a hit costs zero round trips and zero
+// storage->SQL bytes. Entries are keyed by the full cluster key (for
+// BaaV blocks, one entry per segment) and account their byte footprint
+// (key + value); capacity is enforced per shard in bytes.
+//
+// Invalidation contract: the cache never answers stale data as long as
+// every mutation flows through Cluster::Put / Cluster::Delete, which
+// erase the touched key. BaavStore's incremental maintenance
+// (ApplyInsert / ApplyDelete -> WriteBlock) writes through those entry
+// points, so maintained blocks stay coherent without any cache-specific
+// hooks in the BaaV layer. Writing directly to a node (Cluster::node(i))
+// bypasses invalidation and is for tests/tools only.
+//
+// Metering: Lookup/Insert update the cache's own aggregate counters;
+// the per-query counters (QueryMetrics::cache_hits / cache_misses /
+// cache_evictions / bytes_from_cache) are charged by Cluster, which
+// keeps #get semantics paper-faithful — a hit still counts one logical
+// get, it just saves the round trip.
+#ifndef ZIDIAN_STORAGE_BLOCK_CACHE_H_
+#define ZIDIAN_STORAGE_BLOCK_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace zidian {
+
+struct BlockCacheOptions {
+  /// Total cache budget across all shards; 0 disables the cache.
+  size_t capacity_bytes = 0;
+  /// Number of independently locked LRU shards (power of two preferred).
+  int shards = 8;
+};
+
+/// A sharded LRU over (key, encoded segment value) pairs.
+///
+/// Thread-safe: each shard serializes its own lookups/inserts behind a
+/// mutex; keys are spread across shards by hash so concurrent readers
+/// rarely contend. All methods are safe to call through a const Cluster
+/// (LRU reordering is interior mutability by design).
+class BlockCache {
+ public:
+  explicit BlockCache(BlockCacheOptions options);
+
+  /// Copies the cached value for `key` into `*value` and promotes the
+  /// entry to most-recently-used. Returns false (and leaves `*value`
+  /// alone) on a miss. Updates the aggregate hit/miss counters.
+  bool Lookup(std::string_view key, std::string* value);
+
+  /// Inserts or overwrites `key`, evicting least-recently-used entries
+  /// until the shard fits its budget. Returns the number of entries
+  /// evicted (for QueryMetrics::cache_evictions). Values larger than a
+  /// whole shard are not cached (returns 0, nothing evicted).
+  size_t Insert(std::string_view key, std::string_view value);
+
+  /// Drops `key` if cached. The invalidation entry point for writes.
+  void Erase(std::string_view key);
+
+  /// Drops everything (bulk reload / LoadFromDir).
+  void Clear();
+
+  /// Aggregate counters since construction (monotonic except bytes /
+  /// entries, which reflect current residency).
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+    size_t bytes = 0;
+    size_t entries = 0;
+  };
+  Stats GetStats() const;
+
+  size_t capacity_bytes() const { return options_.capacity_bytes; }
+  const BlockCacheOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::string key;
+    std::string value;
+  };
+  struct Shard {
+    mutable std::mutex mu;
+    std::list<Entry> lru;  // front = most recently used
+    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
+    size_t bytes = 0;
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    uint64_t inserts = 0;
+  };
+
+  Shard& ShardFor(std::string_view key);
+
+  BlockCacheOptions options_;
+  std::vector<Shard> shards_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_STORAGE_BLOCK_CACHE_H_

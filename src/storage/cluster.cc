@@ -1,5 +1,8 @@
 #include "storage/cluster.h"
 
+#include <cerrno>
+#include <cstdlib>
+
 #include "storage/mem_backend.h"
 
 namespace zidian {
@@ -7,6 +10,26 @@ namespace zidian {
 namespace {
 bool HasPrefix(std::string_view s, std::string_view prefix) {
   return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+/// Resolves the effective cache budget: the explicit option wins; when it
+/// is 0, ZIDIAN_BLOCK_CACHE_BYTES (if set and positive) turns the cache
+/// on fleet-wide — the hook the cache-enabled CI configuration uses.
+size_t EffectiveCacheCapacity(const BlockCacheOptions& cache) {
+  if (cache.capacity_bytes > 0) return cache.capacity_bytes;
+  const char* env = std::getenv("ZIDIAN_BLOCK_CACHE_BYTES");
+  if (env == nullptr) return 0;
+  // Strict parse: plain decimal digits only. strtoull would silently
+  // negate "-1" and saturate overflows to ULLONG_MAX — either typo must
+  // read as "disabled", not as an unbounded cache.
+  for (const char* c = env; *c != '\0'; ++c) {
+    if (*c < '0' || *c > '9') return 0;
+  }
+  errno = 0;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(env, &end, 10);
+  if (end == env || *end != '\0' || errno == ERANGE) return 0;
+  return static_cast<size_t>(parsed);
 }
 
 std::unique_ptr<KvBackend> MakeBackend(const ClusterOptions& options) {
@@ -36,6 +59,11 @@ Cluster::Cluster(ClusterOptions options) {
   for (int i = 0; i < options.num_storage_nodes; ++i) {
     nodes_.push_back(MakeBackend(options));
   }
+  BlockCacheOptions cache = options.cache;
+  cache.capacity_bytes = EffectiveCacheCapacity(cache);
+  if (cache.capacity_bytes > 0) {
+    cache_ = std::make_unique<BlockCache>(cache);
+  }
 }
 
 Status Cluster::Put(std::string_view key, std::string_view value,
@@ -44,6 +72,9 @@ Status Cluster::Put(std::string_view key, std::string_view value,
     m->put_calls += 1;
     m->bytes_to_storage += key.size() + value.size();
   }
+  // Invalidate before the write lands so a concurrent reader can at worst
+  // re-fetch; never skipped under bypass — coherence is unconditional.
+  if (cache_ != nullptr) cache_->Erase(key);
   return nodes_[NodeFor(key)]->Put(key, value);
 }
 
@@ -52,50 +83,96 @@ Status Cluster::Delete(std::string_view key, QueryMetrics* m) {
     m->delete_calls += 1;
     m->bytes_to_storage += key.size();
   }
+  if (cache_ != nullptr) cache_->Erase(key);
   return nodes_[NodeFor(key)]->Delete(key);
 }
 
-Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m) const {
-  if (m != nullptr) {
-    m->get_calls += 1;
-    m->get_round_trips += 1;
+Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
+                                 CacheFill fill) const {
+  if (m != nullptr) m->get_calls += 1;
+  if (CacheActive()) {
+    std::string cached;
+    if (cache_->Lookup(key, &cached)) {
+      if (m != nullptr) {
+        m->cache_hits += 1;
+        m->bytes_from_cache += key.size() + cached.size();
+      }
+      return cached;
+    }
+    if (m != nullptr) m->cache_misses += 1;
   }
+  if (m != nullptr) m->get_round_trips += 1;
   auto res = nodes_[NodeFor(key)]->Get(key);
-  if (m != nullptr && res.ok()) {
-    m->bytes_from_storage += key.size() + res.value().size();
+  if (res.ok()) {
+    if (m != nullptr) {
+      m->bytes_from_storage += key.size() + res.value().size();
+    }
+    if (CacheActive() && fill == CacheFill::kFill) {
+      size_t evicted = cache_->Insert(key, res.value());
+      if (m != nullptr) m->cache_evictions += evicted;
+    }
   }
   return res;
 }
 
 std::vector<std::optional<std::string>> Cluster::MultiGet(
-    const std::vector<std::string>& keys, QueryMetrics* m) const {
+    const std::vector<std::string>& keys, QueryMetrics* m,
+    CacheFill fill) const {
   std::vector<std::optional<std::string>> out;
   if (keys.empty()) return out;
-
-  // Group the slot-tagged requests by owning node with one counting-sort
-  // pass (no per-node vectors). Each node writes its values straight into
-  // the final slots, so nothing is copied or reordered afterwards.
-  size_t num_nodes = nodes_.size();
-  std::vector<uint32_t> node_of(keys.size());
-  std::vector<uint32_t> offsets(num_nodes + 1, 0);
-  for (size_t i = 0; i < keys.size(); ++i) {
-    node_of[i] = static_cast<uint32_t>(NodeFor(keys[i]));
-    ++offsets[node_of[i] + 1];
-  }
-  for (size_t n = 1; n <= num_nodes; ++n) offsets[n] += offsets[n - 1];
-  std::vector<KvBackend::BatchedKey> batch(keys.size());
-  {
-    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
-    for (size_t i = 0; i < keys.size(); ++i) {
-      batch[cursor[node_of[i]]++] = {keys[i], static_cast<uint32_t>(i)};
-    }
-  }
+  out.resize(keys.size());
 
   if (m != nullptr) {
     m->multiget_calls += 1;
     m->get_calls += keys.size();
   }
-  out.resize(keys.size());
+
+  // Serve cache hits first; only the missed keys go to the nodes, so a
+  // fully cached batch performs zero round trips.
+  std::vector<uint32_t> pending;  // slots still needing a backend fetch
+  if (CacheActive()) {
+    pending.reserve(keys.size());
+    std::string cached;
+    for (size_t i = 0; i < keys.size(); ++i) {
+      if (cache_->Lookup(keys[i], &cached)) {
+        if (m != nullptr) {
+          m->cache_hits += 1;
+          m->bytes_from_cache += keys[i].size() + cached.size();
+        }
+        out[i] = std::move(cached);
+        cached = std::string();
+      } else {
+        if (m != nullptr) m->cache_misses += 1;
+        pending.push_back(static_cast<uint32_t>(i));
+      }
+    }
+    if (pending.empty()) return out;
+  } else {
+    pending.resize(keys.size());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      pending[i] = static_cast<uint32_t>(i);
+    }
+  }
+
+  // Group the slot-tagged requests by owning node with one counting-sort
+  // pass (no per-node vectors). Each node writes its values straight into
+  // the final slots, so nothing is copied or reordered afterwards.
+  size_t num_nodes = nodes_.size();
+  std::vector<uint32_t> node_of(pending.size());
+  std::vector<uint32_t> offsets(num_nodes + 1, 0);
+  for (size_t i = 0; i < pending.size(); ++i) {
+    node_of[i] = static_cast<uint32_t>(NodeFor(keys[pending[i]]));
+    ++offsets[node_of[i] + 1];
+  }
+  for (size_t n = 1; n <= num_nodes; ++n) offsets[n] += offsets[n - 1];
+  std::vector<KvBackend::BatchedKey> batch(pending.size());
+  {
+    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    for (size_t i = 0; i < pending.size(); ++i) {
+      batch[cursor[node_of[i]]++] = {keys[pending[i]], pending[i]};
+    }
+  }
+
   for (size_t n = 0; n < num_nodes; ++n) {
     size_t begin = offsets[n], end = offsets[n + 1];
     if (begin == end) continue;
@@ -103,13 +180,16 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
         std::span<const KvBackend::BatchedKey>(batch.data() + begin,
                                                end - begin),
         &out);
-    if (m != nullptr) {
-      m->get_round_trips += 1;
-      for (size_t j = begin; j < end; ++j) {
-        const auto& value = out[batch[j].slot];
-        if (value.has_value()) {
-          m->bytes_from_storage += batch[j].key.size() + value->size();
-        }
+    if (m != nullptr) m->get_round_trips += 1;
+    for (size_t j = begin; j < end; ++j) {
+      const auto& value = out[batch[j].slot];
+      if (!value.has_value()) continue;
+      if (m != nullptr) {
+        m->bytes_from_storage += batch[j].key.size() + value->size();
+      }
+      if (CacheActive() && fill == CacheFill::kFill) {
+        size_t evicted = cache_->Insert(batch[j].key, *value);
+        if (m != nullptr) m->cache_evictions += evicted;
       }
     }
   }
@@ -163,6 +243,9 @@ Status Cluster::SaveToDir(const std::string& dir) const {
 }
 
 Status Cluster::LoadFromDir(const std::string& dir) {
+  // Bulk replacement of every node's contents: per-key invalidation is
+  // pointless, drop the whole cache.
+  if (cache_ != nullptr) cache_->Clear();
   for (size_t i = 0; i < nodes_.size(); ++i) {
     ZIDIAN_RETURN_NOT_OK(
         nodes_[i]->LoadFromFile(dir + "/node-" + std::to_string(i) + ".kv"));

@@ -5,6 +5,12 @@
 // (executors in src/ra and src/zidian) talks to it exclusively through
 // get / multi-get / put / prefix scans, and every access is metered into
 // QueryMetrics so the experiments can report #get, #data, comm.
+//
+// An optional metered BlockCache (storage/block_cache.h) sits between the
+// SQL layer and the nodes: when ClusterOptions::cache.capacity_bytes > 0,
+// Get and MultiGet serve hits from the cache — one logical get, zero round
+// trips, zero storage bytes — and Put/Delete invalidate the touched key so
+// cached blocks stay coherent under incremental maintenance.
 #ifndef ZIDIAN_STORAGE_CLUSTER_H_
 #define ZIDIAN_STORAGE_CLUSTER_H_
 
@@ -18,6 +24,7 @@
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "storage/block_cache.h"
 #include "storage/kv_backend.h"
 #include "storage/lsm_store.h"
 
@@ -31,6 +38,17 @@ enum class BackendKind {
 
 std::string_view BackendKindName(BackendKind kind);
 
+/// Whether a read may populate the BlockCache on a miss. Header-only
+/// (stats) fetches pass kNoFill: they are metered as shipping only
+/// header-sized payloads, so letting their misses insert the full block
+/// would hand later full reads the block's bytes without any query ever
+/// having been charged them. Lookups are allowed either way — serving a
+/// header from a block some full read already paid for is coherent.
+enum class CacheFill {
+  kFill,    ///< normal reads: misses insert the fetched value
+  kNoFill,  ///< partially-metered reads: misses never insert
+};
+
 struct ClusterOptions {
   int num_storage_nodes = 4;
   /// Node engine; ignored when `backend_factory` is set.
@@ -38,6 +56,12 @@ struct ClusterOptions {
   LsmOptions lsm;
   /// Escape hatch for custom engines: called once per node when set.
   std::function<std::unique_ptr<KvBackend>()> backend_factory;
+  /// BlockCache sizing. capacity_bytes = 0 (the default) disables the
+  /// cache; when it is 0 and the environment variable
+  /// ZIDIAN_BLOCK_CACHE_BYTES parses to a positive number, that value is
+  /// used instead — the switch the cache-enabled CI configuration flips
+  /// without touching call sites.
+  BlockCacheOptions cache;
 };
 
 class Cluster {
@@ -46,32 +70,47 @@ class Cluster {
 
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 
-  /// DHT routing: which storage node owns `key`.
+  /// DHT routing: which storage node owns `key`. Unmetered.
   int NodeFor(std::string_view key) const {
     return static_cast<int>(Hash64(key) % nodes_.size());
   }
 
-  /// Writes a pair; counts one put and the written bytes if `m` given.
+  /// Writes a pair. Meters (when `m` is given): one put_call and the pair
+  /// bytes into bytes_to_storage. Always invalidates the key in the
+  /// BlockCache, even under cache bypass — coherence is not optional.
   Status Put(std::string_view key, std::string_view value,
              QueryMetrics* m = nullptr);
 
-  /// Deletes a key; counts one delete and the key bytes if `m` given.
+  /// Deletes a key. Meters: one delete_call and the key bytes into
+  /// bytes_to_storage. Always invalidates the key in the BlockCache.
   Status Delete(std::string_view key, QueryMetrics* m = nullptr);
 
-  /// Point lookup; counts one get, one round trip and the returned bytes.
-  Result<std::string> Get(std::string_view key, QueryMetrics* m) const;
+  /// Point lookup. Meters: one get_call always (the paper's logical #get);
+  /// then either one cache_hit plus the pair bytes into bytes_from_cache
+  /// (no round trip — the backend is skipped entirely), or one round trip,
+  /// a cache_miss when the cache is active, and the pair bytes into
+  /// bytes_from_storage. Misses fill the cache unless `fill` is kNoFill;
+  /// fills that push entries out are charged to cache_evictions.
+  Result<std::string> Get(std::string_view key, QueryMetrics* m,
+                          CacheFill fill = CacheFill::kFill) const;
 
-  /// Batched point lookup (§7.2's interleaved access idiom): keys are
-  /// grouped per owning node and each touched node serves its whole batch
-  /// in one round trip. Returns one entry per key, aligned with `keys`;
-  /// absent keys are nullopt. Meters one get per key but only one round
-  /// trip per touched node — the saving the batched extension path banks.
+  /// Batched point lookup (§7.2's interleaved access idiom). Returns one
+  /// entry per key, aligned with `keys`; absent keys are nullopt. Meters:
+  /// one multiget_call, one get_call per key; cache hits are served first
+  /// (cache_hits / bytes_from_cache, no trip), and only the missed keys
+  /// are grouped per owning node — one round trip per touched node, with
+  /// pair bytes into bytes_from_storage and a cache_miss each when the
+  /// cache is active. A fully cached batch performs zero round trips.
+  /// Misses fill the cache unless `fill` is kNoFill.
   std::vector<std::optional<std::string>> MultiGet(
-      const std::vector<std::string>& keys, QueryMetrics* m) const;
+      const std::vector<std::string>& keys, QueryMetrics* m,
+      CacheFill fill = CacheFill::kFill) const;
 
   /// Iterates all pairs whose key starts with `prefix`, in key order per
-  /// node. Models the TaaV "blind scan": one next() per visited pair and the
-  /// full pair bytes shipped to the SQL layer.
+  /// node. Models the TaaV "blind scan": meters one next_call per visited
+  /// pair and the full pair bytes into bytes_from_storage. Scans never
+  /// consult or fill the BlockCache (they are the path caching exists to
+  /// avoid).
   void ScanPrefix(std::string_view prefix, QueryMetrics* m,
                   const std::function<void(std::string_view key,
                                            std::string_view value)>& fn) const;
@@ -79,23 +118,49 @@ class Cluster {
   /// Number of pairs under a prefix (unmetered; used by planners/stats).
   uint64_t CountPrefix(std::string_view prefix) const;
 
+  /// Direct node access for tests/tools. Writes through this handle
+  /// bypass both metering and cache invalidation — prefer Put/Delete.
   KvBackend& node(int i) { return *nodes_[i]; }
   const KvBackend& node(int i) const { return *nodes_[i]; }
 
   void FlushAll();
   void CompactAll();
 
-  /// Total live bytes across nodes (storage footprint).
+  /// Total live bytes across nodes (storage footprint; unmetered).
   size_t TotalBytes() const;
 
   /// Persists every node to `dir/node-<i>.kv` / restores from it. The node
   /// count must match on load (keys are hash-placed per node count); the
   /// node engine may differ — the file format is backend-independent.
+  /// LoadFromDir drops the whole BlockCache (bulk replacement).
   Status SaveToDir(const std::string& dir) const;
   Status LoadFromDir(const std::string& dir);
 
+  // --- BlockCache introspection and control ---------------------------
+
+  /// Whether a cache was configured (capacity > 0). Bypass does not
+  /// change this — a bypassed cache is still attached and coherent.
+  bool cache_enabled() const { return cache_ != nullptr; }
+  size_t cache_capacity_bytes() const {
+    return cache_ ? cache_->capacity_bytes() : 0;
+  }
+  /// The attached cache, or nullptr when disabled. Aggregate counters
+  /// live here; per-query counters land in QueryMetrics.
+  BlockCache* block_cache() const { return cache_.get(); }
+
+  /// When bypassed, Get/MultiGet neither consult nor fill the cache
+  /// (ExecOptions::bypass_cache uses this per execution); Put/Delete
+  /// still invalidate. Not a per-query property — callers must restore
+  /// the previous value (see PreparedQuery::Execute).
+  void SetCacheBypass(bool bypass) { cache_bypass_ = bypass; }
+  bool cache_bypassed() const { return cache_bypass_; }
+
  private:
+  bool CacheActive() const { return cache_ != nullptr && !cache_bypass_; }
+
   std::vector<std::unique_ptr<KvBackend>> nodes_;
+  std::unique_ptr<BlockCache> cache_;
+  bool cache_bypass_ = false;
 };
 
 }  // namespace zidian

@@ -10,6 +10,12 @@
 // without a write buffer), and persistence. MultiGet is the batched hot
 // path of the interleaved execution strategy (§7.2): one round trip fetches
 // every key a worker owns on one node, instead of one trip per key.
+//
+// Metering: no method in this interface touches a QueryMetrics — engines
+// are cost-oblivious by contract. All #get / round-trip / byte accounting
+// (and the BlockCache that can absorb reads before they reach a node)
+// lives one layer up in Cluster; an engine that counted its own work
+// would double-charge it. Keep new engines meter-free.
 #ifndef ZIDIAN_STORAGE_KV_BACKEND_H_
 #define ZIDIAN_STORAGE_KV_BACKEND_H_
 
@@ -38,7 +44,9 @@ class KvIterator {
   virtual std::string_view value() const = 0;
 };
 
-/// One storage node's key-value engine.
+/// One storage node's key-value engine. Every method is unmetered: the
+/// caller (Cluster) charges QueryMetrics and handles cache invalidation
+/// before delegating here.
 class KvBackend {
  public:
   virtual ~KvBackend() = default;
@@ -46,9 +54,14 @@ class KvBackend {
   /// Engine identifier ("lsm", "mem", ...) for diagnostics.
   virtual std::string_view name() const = 0;
 
+  /// Unmetered upsert. Cluster::Put charges put_calls / bytes_to_storage
+  /// and invalidates the BlockCache before calling this.
   virtual Status Put(std::string_view key, std::string_view value) = 0;
+  /// Unmetered delete; same division of labor as Put.
   virtual Status Delete(std::string_view key) = 0;
-  /// NotFound if the key is absent or tombstoned.
+  /// NotFound if the key is absent or tombstoned. Unmetered; a call that
+  /// reaches an engine is by definition a cache miss already charged as
+  /// one get_call + one round trip by Cluster.
   virtual Result<std::string> Get(std::string_view key) const = 0;
 
   /// One request of a batched lookup: the key and the slot of the caller's
@@ -65,10 +78,14 @@ class KvBackend {
   /// results land in place, so batching callers like Cluster::MultiGet
   /// neither copy key bytes nor shuffle results. The base implementation
   /// loops over Get; engines override it to serve a batch cheaper.
+  /// Unmetered — Cluster charges one round trip per (node, batch) and only
+  /// routes cache-missed keys here.
   virtual void MultiGet(std::span<const BatchedKey> keys,
                         std::vector<std::optional<std::string>>* out) const;
 
-  /// Ordered iteration over live entries (Cluster derives prefix scans).
+  /// Ordered iteration over live entries (Cluster derives prefix scans and
+  /// meters next_calls / bytes per visited pair; iterators themselves are
+  /// unmetered and never touch the BlockCache).
   virtual std::unique_ptr<KvIterator> NewIterator() const = 0;
 
   /// Write-buffer lifecycle; no-ops for engines without one.

@@ -17,6 +17,8 @@ Status PreparedQuery::Plan() {
   preserve_detail_ = preserve.detail;
   last_info_ = AnswerInfo{};
   last_info_.result_preserving = preserving_;
+  last_info_.cache_enabled = zidian_->cluster().cache_enabled();
+  last_info_.cache_capacity_bytes = zidian_->cluster().cache_capacity_bytes();
   if (!preserving_) {
     last_info_.route = AnswerInfo::Route::kTaavFallback;
     last_info_.detail = preserve_detail_;
@@ -53,6 +55,19 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   }
   bool use_baseline =
       opts.route_policy == RoutePolicy::kForceBaseline || !preserving_;
+
+  // Scope the cache bypass to this execution; the previous cluster state
+  // is restored on every exit path.
+  Cluster& cluster = zidian_->cluster();
+  struct BypassScope {
+    Cluster* cluster;
+    bool previous;
+    ~BypassScope() { cluster->SetCacheBypass(previous); }
+  } bypass_scope{&cluster, cluster.cache_bypassed()};
+  cluster.SetCacheBypass(opts.bypass_cache);
+  out->cache_enabled = cluster.cache_enabled();
+  out->cache_capacity_bytes = cluster.cache_capacity_bytes();
+  out->cache_bypassed = opts.bypass_cache;
 
   // The prepared plan's shape survives in the info even when this run is
   // forced down the baseline, so Explain() keeps describing the plan.

@@ -16,6 +16,12 @@
 // statistics at Prepare() time: after bulk loads or heavy maintenance,
 // re-Prepare to pick boundedness decisions back up.
 //
+// When the cluster carries a BlockCache, repeated Execute() of the same
+// PreparedQuery is the cache's home workload: the second run serves its
+// block fetches from the cache (cache_hits in the metrics, fewer
+// get_round_trips) with byte-identical results. ExecOptions::bypass_cache
+// forces a cold run — the "without cache" arm of an experiment.
+//
 // The old one-shot calls (Zidian::Answer / AnswerSpec / AnswerBaseline)
 // remain as thin shims over this API.
 #ifndef ZIDIAN_ZIDIAN_CONNECTION_H_
@@ -40,17 +46,27 @@ struct ExecOptions {
   RoutePolicy route_policy = RoutePolicy::kAuto;
   /// When set, AnswerInfo::sim_seconds is filled from this cost profile.
   const BackendProfile* backend_profile = nullptr;
+  /// Run with the cluster's BlockCache neither consulted nor filled (the
+  /// cache stays attached and coherent; Put/Delete still invalidate).
+  /// All cache_* counters of the run stay zero.
+  bool bypass_cache = false;
 };
 
 /// A parsed, bound, routed and planned query, ready to run many times.
 class PreparedQuery {
  public:
   /// Runs module M3 (or the baseline executor, per the route policy).
+  /// Metering: fills `info->metrics` (and Explain()) with this run's
+  /// counters — storage traffic (get_calls / get_round_trips / bytes),
+  /// cache interaction (cache_hits / cache_misses / cache_evictions /
+  /// bytes_from_cache; all zero when the cache is off or bypassed), and
+  /// the per-worker makespan components.
   Result<Relation> Execute(const ExecOptions& opts = {},
                            AnswerInfo* info = nullptr);
 
-  /// Route, flags and plan text — before the first Execute() with empty
-  /// metrics, afterwards with the metrics of the latest execution.
+  /// Route, flags, cache configuration and plan text — before the first
+  /// Execute() with empty metrics, afterwards with the metrics of the
+  /// latest execution. Never performs I/O or touches any meter itself.
   const AnswerInfo& Explain() const { return last_info_; }
 
   const QuerySpec& spec() const { return spec_; }
@@ -80,10 +96,14 @@ class PreparedQuery {
 class Connection {
  public:
   /// Parse, bind, route and plan once; Execute() the result many times.
+  /// Prepare itself is meter-free: it reads schemas and degree statistics,
+  /// never tuple data, and records nothing into any QueryMetrics.
   Result<PreparedQuery> Prepare(const std::string& sql);
   Result<PreparedQuery> PrepareSpec(const QuerySpec& spec);
 
-  /// One-shot convenience: Prepare + a single Execute.
+  /// One-shot convenience: Prepare + a single Execute. Meters exactly like
+  /// that Execute; the BlockCache is shared cluster state, so a one-shot
+  /// both benefits from and warms it across calls.
   Result<Relation> Execute(const std::string& sql,
                            const ExecOptions& opts = {},
                            AnswerInfo* info = nullptr);

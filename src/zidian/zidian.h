@@ -57,6 +57,12 @@ struct AnswerInfo {
   bool scan_free = false;
   bool bounded = false;
   bool stats_pushdown = false;
+  /// BlockCache configuration the run (or Prepare) saw: whether a cache
+  /// is attached to the cluster, its byte budget, and whether this
+  /// execution bypassed it (ExecOptions::bypass_cache).
+  bool cache_enabled = false;
+  uint64_t cache_capacity_bytes = 0;
+  bool cache_bypassed = false;
   QueryMetrics metrics;
   std::string plan_text;
   std::string detail;

@@ -1,0 +1,466 @@
+// BlockCache tests: LRU/eviction/byte accounting at the cache level,
+// hit/miss/round-trip metering and write invalidation at the cluster
+// level, and end-to-end coherence on both engines — a cached Execute must
+// be byte-identical to an uncached one before and after incremental
+// maintenance (ApplyInsert / ApplyDelete via Zidian::Insert / Delete).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "storage/backend.h"
+#include "storage/block_cache.h"
+#include "storage/cluster.h"
+#include "workloads/workload.h"
+#include "zidian/connection.h"
+#include "zidian/zidian.h"
+
+namespace zidian {
+namespace {
+
+// Scopes ZIDIAN_BLOCK_CACHE_BYTES manipulation: tests that assert on the
+// presence/absence of a default-constructed cache must not inherit the
+// value from the environment (the cache-enabled CI configuration exports
+// it for the whole suite), and must put it back for the suites that do.
+class ScopedCacheEnv {
+ public:
+  ScopedCacheEnv() {
+    const char* prev = std::getenv("ZIDIAN_BLOCK_CACHE_BYTES");
+    had_value_ = prev != nullptr;
+    if (had_value_) value_ = prev;
+    unsetenv("ZIDIAN_BLOCK_CACHE_BYTES");
+  }
+  ~ScopedCacheEnv() {
+    if (had_value_) {
+      setenv("ZIDIAN_BLOCK_CACHE_BYTES", value_.c_str(), 1);
+    } else {
+      unsetenv("ZIDIAN_BLOCK_CACHE_BYTES");
+    }
+  }
+
+ private:
+  bool had_value_ = false;
+  std::string value_;
+};
+
+// ---------------------------------------------------------- cache unit ---
+
+TEST(BlockCache, HitMissAndByteAccounting) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 20, .shards = 4});
+  std::string value;
+  EXPECT_FALSE(cache.Lookup("k1", &value));
+  EXPECT_EQ(cache.Insert("k1", "hello"), 0u);
+  ASSERT_TRUE(cache.Lookup("k1", &value));
+  EXPECT_EQ(value, "hello");
+
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 1u);
+  EXPECT_EQ(stats.inserts, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 2u + 5u);  // key + value
+}
+
+TEST(BlockCache, LruEvictsLeastRecentlyUsed) {
+  // One shard so recency order is global and deterministic. Each entry is
+  // 10 bytes (2-byte key + 8-byte value); budget fits exactly three.
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 30, .shards = 1});
+  EXPECT_EQ(cache.Insert("k1", "01234567"), 0u);
+  EXPECT_EQ(cache.Insert("k2", "01234567"), 0u);
+  EXPECT_EQ(cache.Insert("k3", "01234567"), 0u);
+
+  // Touch k1 so k2 becomes the LRU victim.
+  std::string value;
+  ASSERT_TRUE(cache.Lookup("k1", &value));
+  EXPECT_EQ(cache.Insert("k4", "01234567"), 1u);
+
+  EXPECT_FALSE(cache.Lookup("k2", &value));
+  EXPECT_TRUE(cache.Lookup("k1", &value));
+  EXPECT_TRUE(cache.Lookup("k3", &value));
+  EXPECT_TRUE(cache.Lookup("k4", &value));
+  EXPECT_EQ(cache.GetStats().evictions, 1u);
+  EXPECT_EQ(cache.GetStats().entries, 3u);
+}
+
+TEST(BlockCache, OverwriteUpdatesValueAndBytes) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 10, .shards = 1});
+  cache.Insert("k", "short");
+  cache.Insert("k", "a longer value");
+  std::string value;
+  ASSERT_TRUE(cache.Lookup("k", &value));
+  EXPECT_EQ(value, "a longer value");
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 1u + 14u);
+  EXPECT_EQ(stats.inserts, 1u);  // overwrite is not a new entry
+}
+
+TEST(BlockCache, EraseAndClear) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 10, .shards = 2});
+  cache.Insert("k1", "v1");
+  cache.Insert("k2", "v2");
+  cache.Erase("k1");
+  std::string value;
+  EXPECT_FALSE(cache.Lookup("k1", &value));
+  EXPECT_TRUE(cache.Lookup("k2", &value));
+  cache.Erase("never-inserted");  // no-op
+  cache.Clear();
+  EXPECT_FALSE(cache.Lookup("k2", &value));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().bytes, 0u);
+}
+
+TEST(BlockCache, OversizedValueIsNotCached) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 16, .shards = 1});
+  std::string big(64, 'x');
+  EXPECT_EQ(cache.Insert("k", big), 0u);
+  std::string value;
+  EXPECT_FALSE(cache.Lookup("k", &value));
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+// ------------------------------------------------------- cluster level ---
+
+ClusterOptions CachedOptions(BackendKind backend = BackendKind::kLsm) {
+  return ClusterOptions{
+      .num_storage_nodes = 4,
+      .backend = backend,
+      .cache = {.capacity_bytes = 4 << 20, .shards = 4}};
+}
+
+TEST(ClusterCache, GetServesRepeatsFromCacheWithoutRoundTrip) {
+  Cluster cluster(CachedOptions());
+  ASSERT_TRUE(cluster.cache_enabled());
+  ASSERT_TRUE(cluster.Put("key", "value").ok());
+
+  QueryMetrics m;
+  auto first = cluster.Get("key", &m);
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(m.get_calls, 1u);
+  EXPECT_EQ(m.get_round_trips, 1u);
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_GT(m.bytes_from_storage, 0u);
+
+  auto second = cluster.Get("key", &m);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(second.value(), first.value());
+  EXPECT_EQ(m.get_calls, 2u);        // logical #get still counts
+  EXPECT_EQ(m.get_round_trips, 1u);  // ...but no new round trip
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.bytes_from_cache, 3u + 5u);
+}
+
+TEST(ClusterCache, FullyCachedMultiGetPerformsZeroRoundTrips) {
+  Cluster cluster(CachedOptions());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 16; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    ASSERT_TRUE(cluster.Put(keys.back(), "value-" + std::to_string(i)).ok());
+  }
+
+  QueryMetrics cold;
+  auto miss_pass = cluster.MultiGet(keys, &cold);
+  EXPECT_EQ(cold.cache_hits, 0u);
+  EXPECT_EQ(cold.cache_misses, 16u);
+  EXPECT_GT(cold.get_round_trips, 0u);
+
+  QueryMetrics warm;
+  auto hit_pass = cluster.MultiGet(keys, &warm);
+  EXPECT_EQ(warm.cache_hits, 16u);
+  EXPECT_EQ(warm.cache_misses, 0u);
+  EXPECT_EQ(warm.get_round_trips, 0u);  // backend skipped entirely
+  EXPECT_EQ(warm.get_calls, 16u);
+  EXPECT_EQ(warm.bytes_from_storage, 0u);
+  EXPECT_EQ(warm.bytes_from_cache, cold.bytes_from_storage);
+  ASSERT_EQ(hit_pass.size(), miss_pass.size());
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(hit_pass[i].has_value());
+    EXPECT_EQ(*hit_pass[i], *miss_pass[i]);
+  }
+}
+
+TEST(ClusterCache, PartiallyCachedMultiGetFetchesOnlyMisses) {
+  Cluster cluster(CachedOptions());
+  std::vector<std::string> keys;
+  for (int i = 0; i < 8; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    ASSERT_TRUE(cluster.Put(keys.back(), "value-" + std::to_string(i)).ok());
+  }
+  // Warm half the keys through point gets.
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(cluster.Get(keys[i], nullptr).ok());
+
+  QueryMetrics m;
+  auto values = cluster.MultiGet(keys, &m);
+  EXPECT_EQ(m.cache_hits, 4u);
+  EXPECT_EQ(m.cache_misses, 4u);
+  EXPECT_EQ(m.get_calls, 8u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(values[i].has_value());
+    EXPECT_EQ(*values[i], "value-" + std::to_string(i));
+  }
+}
+
+TEST(ClusterCache, NoFillReadsNeverPopulateTheCache) {
+  Cluster cluster(CachedOptions());
+  ASSERT_TRUE(cluster.Put("key", "value").ok());
+
+  // Misses with kNoFill pay the round trip and leave nothing behind.
+  QueryMetrics m;
+  ASSERT_TRUE(cluster.Get("key", &m, CacheFill::kNoFill).ok());
+  ASSERT_TRUE(cluster.Get("key", &m, CacheFill::kNoFill).ok());
+  EXPECT_EQ(m.cache_misses, 2u);
+  EXPECT_EQ(m.get_round_trips, 2u);
+  EXPECT_EQ(cluster.block_cache()->GetStats().entries, 0u);
+  auto values = cluster.MultiGet({"key"}, &m, CacheFill::kNoFill);
+  ASSERT_TRUE(values[0].has_value());
+  EXPECT_EQ(cluster.block_cache()->GetStats().entries, 0u);
+
+  // ...but a block a filling read already paid for still serves hits.
+  ASSERT_TRUE(cluster.Get("key", &m).ok());  // fill
+  QueryMetrics after;
+  ASSERT_TRUE(cluster.Get("key", &after, CacheFill::kNoFill).ok());
+  EXPECT_EQ(after.cache_hits, 1u);
+  EXPECT_EQ(after.get_round_trips, 0u);
+}
+
+TEST(ClusterCache, PutInvalidatesCachedKey) {
+  Cluster cluster(CachedOptions());
+  ASSERT_TRUE(cluster.Put("key", "old").ok());
+  ASSERT_TRUE(cluster.Get("key", nullptr).ok());  // fill
+  ASSERT_TRUE(cluster.Put("key", "new").ok());    // invalidate
+
+  QueryMetrics m;
+  auto res = cluster.Get("key", &m);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value(), "new");
+  EXPECT_EQ(m.cache_hits, 0u);  // the stale entry was erased, not served
+  EXPECT_EQ(m.cache_misses, 1u);
+}
+
+TEST(ClusterCache, DeleteInvalidatesCachedKey) {
+  Cluster cluster(CachedOptions());
+  ASSERT_TRUE(cluster.Put("key", "value").ok());
+  ASSERT_TRUE(cluster.Get("key", nullptr).ok());  // fill
+  ASSERT_TRUE(cluster.Delete("key").ok());
+  EXPECT_FALSE(cluster.Get("key", nullptr).ok());  // NotFound, not a hit
+
+  // The same holds through MultiGet.
+  auto values = cluster.MultiGet({"key"}, nullptr);
+  EXPECT_FALSE(values[0].has_value());
+}
+
+TEST(ClusterCache, BypassSkipsReadsAndFillsButNotInvalidation) {
+  Cluster cluster(CachedOptions());
+  ASSERT_TRUE(cluster.Put("key", "value").ok());
+
+  cluster.SetCacheBypass(true);
+  QueryMetrics bypassed;
+  ASSERT_TRUE(cluster.Get("key", &bypassed).ok());
+  ASSERT_TRUE(cluster.Get("key", &bypassed).ok());
+  EXPECT_EQ(bypassed.cache_hits, 0u);
+  EXPECT_EQ(bypassed.cache_misses, 0u);
+  EXPECT_EQ(bypassed.get_round_trips, 2u);  // every read paid a trip
+
+  // Nothing was filled during the bypass...
+  cluster.SetCacheBypass(false);
+  QueryMetrics m;
+  ASSERT_TRUE(cluster.Get("key", &m).ok());
+  EXPECT_EQ(m.cache_misses, 1u);
+  // ...but a fill followed by a bypassed write still invalidates.
+  cluster.SetCacheBypass(true);
+  ASSERT_TRUE(cluster.Put("key", "newer").ok());
+  cluster.SetCacheBypass(false);
+  auto res = cluster.Get("key", &m);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res.value(), "newer");
+}
+
+TEST(ClusterCache, EvictionsAreMeteredPerQuery) {
+  ClusterOptions options = CachedOptions();
+  // A budget that holds only a few pairs per shard forces evictions.
+  options.cache = {.capacity_bytes = 64, .shards = 1};
+  Cluster cluster(options);
+  QueryMetrics m;
+  for (int i = 0; i < 32; ++i) {
+    std::string key = "key-" + std::to_string(i);
+    ASSERT_TRUE(cluster.Put(key, "0123456789abcdef").ok());
+    ASSERT_TRUE(cluster.Get(key, &m).ok());
+  }
+  EXPECT_GT(m.cache_evictions, 0u);
+  EXPECT_EQ(cluster.block_cache()->GetStats().evictions, m.cache_evictions);
+}
+
+TEST(ClusterCache, EnvVariableEnablesCacheWhenOptionsSilent) {
+  ScopedCacheEnv scoped_env;
+  ASSERT_EQ(setenv("ZIDIAN_BLOCK_CACHE_BYTES", "65536", 1), 0);
+  Cluster enabled{ClusterOptions{.num_storage_nodes = 2}};
+  EXPECT_TRUE(enabled.cache_enabled());
+  EXPECT_EQ(enabled.cache_capacity_bytes(), 65536u);
+
+  ASSERT_EQ(setenv("ZIDIAN_BLOCK_CACHE_BYTES", "not-a-number", 1), 0);
+  Cluster garbage{ClusterOptions{.num_storage_nodes = 2}};
+  EXPECT_FALSE(garbage.cache_enabled());
+
+  ASSERT_EQ(unsetenv("ZIDIAN_BLOCK_CACHE_BYTES"), 0);
+  Cluster plain{ClusterOptions{.num_storage_nodes = 2}};
+  EXPECT_FALSE(plain.cache_enabled());
+}
+
+// ------------------------------------------------- end-to-end coherence ---
+
+class CachedExecutionFixture : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    auto w = MakeMot(0.3, 17);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+    cluster_ = std::make_unique<Cluster>(CachedOptions(GetParam()));
+    zidian_ = std::make_unique<Zidian>(&workload_.catalog, cluster_.get(),
+                                       workload_.baav);
+    ASSERT_TRUE(zidian_->LoadTaav(workload_.data).ok());
+    ASSERT_TRUE(zidian_->BuildBaav(workload_.data).ok());
+  }
+
+  static std::string Sorted(Relation r) {
+    r.SortRows();
+    return r.ToString();
+  }
+
+  // A scan-free point-lookup join: the workload every block fetch of which
+  // the cache can absorb on a repeat.
+  const std::string kSql =
+      "SELECT v.make, t.test_result FROM vehicle v, mot_test t "
+      "WHERE v.vehicle_id = t.vehicle_id AND v.vehicle_id = 11";
+
+  Workload workload_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Zidian> zidian_;
+};
+
+TEST_P(CachedExecutionFixture, RepeatedExecuteHitsCacheAndSavesRoundTrips) {
+  Connection conn = zidian_->Connect();
+  auto prepared = conn.Prepare(kSql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  const BackendProfile& profile = SoH();
+  AnswerInfo cold, warm;
+  auto r1 = prepared->Execute(
+      ExecOptions{.workers = 2, .backend_profile = &profile}, &cold);
+  auto r2 = prepared->Execute(
+      ExecOptions{.workers = 2, .backend_profile = &profile}, &warm);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  ASSERT_TRUE(r2.ok());
+
+  // Byte-identical results; identical logical #get; fewer round trips.
+  EXPECT_EQ(Sorted(*r1), Sorted(*r2));
+  EXPECT_EQ(cold.metrics.get_calls, warm.metrics.get_calls);
+  EXPECT_EQ(cold.metrics.cache_hits, 0u);
+  EXPECT_GT(warm.metrics.cache_hits, 0u);
+  EXPECT_LT(warm.metrics.get_round_trips, cold.metrics.get_round_trips);
+  EXPECT_GT(warm.metrics.bytes_from_cache, 0u);
+  EXPECT_LT(warm.metrics.bytes_from_storage, cold.metrics.bytes_from_storage);
+  // Hits are middleware-local memory in the cost model (makespan_get only
+  // counts gets that reached storage), so simulated time drops too.
+  EXPECT_LT(warm.sim_seconds, cold.sim_seconds);
+
+  // Explain reports the cache configuration of the run.
+  EXPECT_TRUE(prepared->Explain().cache_enabled);
+  EXPECT_EQ(prepared->Explain().cache_capacity_bytes, uint64_t{4 << 20});
+  EXPECT_FALSE(prepared->Explain().cache_bypassed);
+}
+
+TEST_P(CachedExecutionFixture, MaintenanceInvalidatesCachedBlocks) {
+  Connection conn = zidian_->Connect();
+  auto prepared = conn.Prepare(kSql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+  auto before = prepared->Execute(ExecOptions{.workers = 2});
+  ASSERT_TRUE(before.ok());
+  std::string before_text = Sorted(*before);
+
+  // Insert a new MOT test for the queried vehicle: the cached mot_test
+  // block for vehicle_id 11 must be invalidated by the maintenance write.
+  Tuple row{Value(int64_t{999999}), Value(int64_t{11}),
+            Value(int64_t{15000}),  Value(std::string("CACHED?")),
+            Value(int64_t{123456}), Value(int64_t{1}),
+            Value(int64_t{4}),      Value(std::string("NORMAL")),
+            Value(49.99),           Value(int64_t{30}),
+            Value(int64_t{7}),      Value(int64_t{0}),
+            Value(int64_t{1}),      Value(int64_t{2})};
+  ASSERT_TRUE(zidian_->Insert("mot_test", row).ok());
+
+  AnswerInfo cached_info, uncached_info;
+  auto cached = prepared->Execute(ExecOptions{.workers = 2}, &cached_info);
+  auto uncached = prepared->Execute(
+      ExecOptions{.workers = 2, .bypass_cache = true}, &uncached_info);
+  ASSERT_TRUE(cached.ok());
+  ASSERT_TRUE(uncached.ok());
+
+  // The cached read reflects the insert and equals the uncached read.
+  EXPECT_NE(Sorted(*cached), before_text);
+  EXPECT_EQ(Sorted(*cached), Sorted(*uncached));
+  bool found = false;
+  for (const auto& r : cached->rows()) {
+    for (const auto& v : r) found |= (v == Value(std::string("CACHED?")));
+  }
+  EXPECT_TRUE(found);
+
+  // Deleting the tuple restores the original answer, again through the
+  // cache-coherent path.
+  ASSERT_TRUE(zidian_->Delete("mot_test", row).ok());
+  auto after = prepared->Execute(ExecOptions{.workers = 2});
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(Sorted(*after), before_text);
+}
+
+TEST_P(CachedExecutionFixture, BypassedExecutionRecordsNoCacheTraffic) {
+  Connection conn = zidian_->Connect();
+  auto prepared = conn.Prepare(kSql);
+  ASSERT_TRUE(prepared.ok());
+  ASSERT_TRUE(prepared->Execute(ExecOptions{.workers = 2}).ok());  // warm
+
+  AnswerInfo info;
+  auto r = prepared->Execute(
+      ExecOptions{.workers = 2, .bypass_cache = true}, &info);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(info.metrics.cache_hits, 0u);
+  EXPECT_EQ(info.metrics.cache_misses, 0u);
+  EXPECT_EQ(info.metrics.bytes_from_cache, 0u);
+  EXPECT_TRUE(info.cache_bypassed);
+  // The bypass is per execution: the cluster state is restored after.
+  EXPECT_FALSE(cluster_->cache_bypassed());
+
+  AnswerInfo again;
+  ASSERT_TRUE(prepared->Execute(ExecOptions{.workers = 2}, &again).ok());
+  EXPECT_GT(again.metrics.cache_hits, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, CachedExecutionFixture,
+                         ::testing::Values(BackendKind::kLsm,
+                                           BackendKind::kMem),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+TEST(UncachedCluster, RecordsNoCacheCounters) {
+  ScopedCacheEnv scoped_env;  // a default cluster must really be cache-free
+  auto w = MakeMot(0.2, 9);
+  ASSERT_TRUE(w.ok());
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 2});
+  ASSERT_FALSE(cluster.cache_enabled());
+  Zidian z(&w->catalog, &cluster, w->baav);
+  ASSERT_TRUE(z.LoadTaav(w->data).ok());
+  ASSERT_TRUE(z.BuildBaav(w->data).ok());
+
+  AnswerInfo info;
+  auto r = z.Connect().Execute(w->queries[0].sql, ExecOptions{.workers = 2},
+                               &info);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(info.cache_enabled);
+  EXPECT_EQ(info.metrics.cache_hits, 0u);
+  EXPECT_EQ(info.metrics.cache_misses, 0u);
+  EXPECT_EQ(info.metrics.bytes_from_cache, 0u);
+}
+
+}  // namespace
+}  // namespace zidian
