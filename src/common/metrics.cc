@@ -10,12 +10,38 @@ std::string QueryMetrics::ToString() const {
      << " multigets=" << multiget_calls << " nexts=" << next_calls
      << " values=" << values_accessed << " storage_bytes=" << bytes_from_storage
      << " shuffle_bytes=" << shuffle_bytes << " comm=" << CommBytes();
-  if (cache_hits != 0 || cache_misses != 0) {
+  if (cache_hits != 0 || cache_misses != 0 || cache_negative_hits != 0) {
     os << " cache_hits=" << cache_hits << " cache_misses=" << cache_misses
        << " cache_evictions=" << cache_evictions
-       << " cache_bytes=" << bytes_from_cache;
+       << " cache_bytes=" << bytes_from_cache
+       << " cache_negative_hits=" << cache_negative_hits;
+  }
+  if (wall_seconds != 0) {
+    os << " wall_s=" << wall_seconds << " wall_fetch_s=" << wall_fetch_seconds
+       << " wall_compute_s=" << wall_compute_seconds;
   }
   return os.str();
+}
+
+bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b) {
+  return a.get_calls == b.get_calls &&
+         a.get_round_trips == b.get_round_trips &&
+         a.multiget_calls == b.multiget_calls &&
+         a.next_calls == b.next_calls && a.put_calls == b.put_calls &&
+         a.delete_calls == b.delete_calls &&
+         a.values_accessed == b.values_accessed &&
+         a.bytes_from_storage == b.bytes_from_storage &&
+         a.bytes_to_storage == b.bytes_to_storage &&
+         a.cache_hits == b.cache_hits && a.cache_misses == b.cache_misses &&
+         a.cache_evictions == b.cache_evictions &&
+         a.bytes_from_cache == b.bytes_from_cache &&
+         a.cache_negative_hits == b.cache_negative_hits &&
+         a.shuffle_bytes == b.shuffle_bytes &&
+         a.compute_values == b.compute_values &&
+         a.makespan_get == b.makespan_get &&
+         a.makespan_next == b.makespan_next &&
+         a.makespan_bytes == b.makespan_bytes &&
+         a.makespan_compute == b.makespan_compute;
 }
 
 }  // namespace zidian

@@ -34,6 +34,8 @@ struct QueryMetrics {
   uint64_t cache_misses = 0;     ///< gets that fell through to a node
   uint64_t cache_evictions = 0;  ///< entries evicted by this query's fills
   uint64_t bytes_from_cache = 0;  ///< cache -> SQL layer traffic (no comm)
+  uint64_t cache_negative_hits = 0;  ///< gets answered "absent" by a cached
+                                     ///< negative entry (no round trip)
 
   // SQL-layer work.
   uint64_t shuffle_bytes = 0;    ///< compute-node <-> compute-node traffic
@@ -48,6 +50,14 @@ struct QueryMetrics {
   double makespan_next = 0;      ///< max per-worker #next (scan advances)
   double makespan_bytes = 0;     ///< max per-worker bytes moved
   double makespan_compute = 0;   ///< max per-worker values computed
+
+  // Measured wall-clock (seconds), stamped by the executors when they run
+  // for real; zero when not measured. Unlike every counter above, these
+  // are nondeterministic — parity checks compare counters with
+  // CountersEqual(), which ignores them.
+  double wall_seconds = 0;          ///< whole M3 execution
+  double wall_fetch_seconds = 0;    ///< extension fan-out (block fetches)
+  double wall_compute_seconds = 0;  ///< parallel operator regions (σ/π/⋈)
 
   /// Total communication in bytes (paper's "comm" column).
   uint64_t CommBytes() const { return bytes_from_storage + shuffle_bytes; }
@@ -66,17 +76,27 @@ struct QueryMetrics {
     cache_misses += o.cache_misses;
     cache_evictions += o.cache_evictions;
     bytes_from_cache += o.bytes_from_cache;
+    cache_negative_hits += o.cache_negative_hits;
     shuffle_bytes += o.shuffle_bytes;
     compute_values += o.compute_values;
     makespan_get += o.makespan_get;
     makespan_next += o.makespan_next;
     makespan_bytes += o.makespan_bytes;
     makespan_compute += o.makespan_compute;
+    wall_seconds += o.wall_seconds;
+    wall_fetch_seconds += o.wall_fetch_seconds;
+    wall_compute_seconds += o.wall_compute_seconds;
     return *this;
   }
 
   std::string ToString() const;
 };
+
+/// Whether two runs did exactly the same logical work: every counter and
+/// makespan component equal, wall timings ignored (those measure the
+/// machine, not the query). This is the determinism contract between
+/// ParallelMode::kSimulated and kThreads.
+bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b);
 
 }  // namespace zidian
 

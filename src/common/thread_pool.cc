@@ -1,0 +1,97 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace zidian {
+
+std::string_view ParallelModeName(ParallelMode mode) {
+  switch (mode) {
+    case ParallelMode::kSimulated:
+      return "simulated";
+    case ParallelMode::kThreads:
+      return "threads";
+  }
+  return "unknown";
+}
+
+ThreadPool::ThreadPool(int num_threads) {
+  threads_.reserve(static_cast<size_t>(std::max(0, num_threads)));
+  for (int i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // shutdown with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
+  if (n == 0) return;
+  if (threads_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
+
+  // Shared per-call state lives on this stack frame; safe because the call
+  // only returns after every helper task has exited (not merely after all
+  // indices completed — a helper between its last claim and its exit must
+  // not outlive these locals). `exited` is guarded by `mu`, not atomic:
+  // the caller's wait predicate must not be able to observe the final
+  // count while the finishing helper still has `mu`/`done` accesses ahead
+  // of it, or the State could be destroyed under that helper.
+  struct State {
+    std::atomic<size_t> next{0};
+    std::mutex mu;
+    std::condition_variable done;
+    size_t exited = 0;  // guarded by mu
+  } state;
+
+  auto drain = [&state, &fn, n] {
+    size_t i;
+    while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < n) {
+      fn(i);
+    }
+  };
+
+  size_t helpers = std::min(threads_.size(), n - 1);
+  for (size_t h = 0; h < helpers; ++h) {
+    Submit([&state, &drain, helpers] {
+      drain();
+      std::lock_guard<std::mutex> lock(state.mu);
+      if (++state.exited == helpers) state.done.notify_one();
+    });
+  }
+  drain();
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.done.wait(lock, [&state, helpers] { return state.exited == helpers; });
+}
+
+}  // namespace zidian

@@ -1,0 +1,67 @@
+// A small fixed-size thread pool for data-parallel query execution. The
+// KBA executor maps `workers = p` onto p-wide ParallelFor regions: the
+// calling thread participates, so a pool of p-1 threads executes a
+// p-worker region at full width. Tasks must not throw (the codebase is
+// exception-free; fallible work records a Status into its own slot).
+//
+// ParallelFor is the only coordination primitive the executors need:
+// indices are claimed from a shared atomic counter, every worker writes
+// only its own pre-allocated output slot, and the call does not return
+// until every submitted helper has exited — so stack-allocated per-call
+// state is safe and the join is a full happens-before barrier (the merge
+// that follows reads every slot race-free).
+#ifndef ZIDIAN_COMMON_THREAD_POOL_H_
+#define ZIDIAN_COMMON_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+namespace zidian {
+
+/// How an executor maps `workers` onto execution resources.
+enum class ParallelMode {
+  kSimulated,  ///< one thread; `workers` only divides the cost model
+               ///< (per-worker makespan accounting, the seed behavior)
+  kThreads,    ///< `workers` real threads; per-worker tasks run
+               ///< concurrently and wall-clock can validate the makespan
+};
+
+std::string_view ParallelModeName(ParallelMode mode);
+
+class ThreadPool {
+ public:
+  /// Starts `num_threads` workers (0 is valid: ParallelFor then runs
+  /// entirely on the calling thread).
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(threads_.size()); }
+
+  /// Runs fn(0) .. fn(n-1), each exactly once, across the pool plus the
+  /// calling thread. Blocks until all n calls have returned. fn must not
+  /// throw; concurrent calls of fn must only touch disjoint state (the
+  /// per-worker-slot discipline).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+  void Submit(std::function<void()> task);
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_COMMON_THREAD_POOL_H_

@@ -1,21 +1,16 @@
 #include "kba/kba_executor.h"
 
 #include <algorithm>
+#include <chrono>
 #include <set>
 #include <unordered_map>
 
+#include "kba/makespan.h"
 #include "ra/eval.h"
 
 namespace zidian {
 
 namespace {
-
-/// Charges a hash-repartition of `bytes` across p workers.
-void ChargeShuffleBytes(size_t bytes, int workers, QueryMetrics* m) {
-  if (m == nullptr || workers <= 1) return;
-  double remote = static_cast<double>(workers - 1) / workers;
-  m->shuffle_bytes += static_cast<uint64_t>(bytes * remote);
-}
 
 std::vector<std::string> QualifyAll(const std::string& alias,
                                     const std::vector<std::string>& attrs) {
@@ -25,25 +20,41 @@ std::vector<std::string> QualifyAll(const std::string& alias,
   return out;
 }
 
+/// Seconds elapsed since `start` on the monotonic clock.
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
 }  // namespace
 
-Result<KvInst> KbaExecutor::Execute(const KbaPlan& plan, int workers,
+Result<KvInst> KbaExecutor::Execute(const KbaPlan& plan,
+                                    const KbaExecOptions& opts,
                                     QueryMetrics* m) const {
-  ZIDIAN_ASSIGN_OR_RETURN(KvInst out, Eval(plan, std::max(1, workers), m));
-  if (m != nullptr) {
-    int p = std::max(1, workers);
-    // Scans and compute are spread evenly under the no-skew assumption;
-    // extension gets recorded their true per-worker maxima inside Eval.
-    m->makespan_next = static_cast<double>(m->next_calls) / p;
-    m->makespan_compute = static_cast<double>(m->compute_values) / p;
-    m->makespan_bytes =
-        static_cast<double>(m->bytes_from_storage + m->shuffle_bytes) / p;
+  ExecCtx ctx;
+  ctx.workers = std::max(1, opts.workers);
+  // Threaded mode gets a pool of workers-1 threads: the calling thread
+  // participates in every ParallelFor, so regions run ctx.workers wide.
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (opts.parallel_mode == ParallelMode::kThreads && ctx.workers > 1) {
+    if (opts.pool != nullptr) {
+      ctx.pool = opts.pool;
+    } else {
+      owned_pool = std::make_unique<ThreadPool>(ctx.workers - 1);
+      ctx.pool = owned_pool.get();
+    }
   }
+  ZIDIAN_ASSIGN_OR_RETURN(KvInst out, Eval(plan, ctx, m));
+  // Scans and compute are spread evenly under the no-skew assumption;
+  // extension gets recorded their true per-worker maxima inside Eval.
+  SpreadMakespans(ctx.workers, m);
   return out;
 }
 
-Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
+Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, const ExecCtx& ctx,
                                  QueryMetrics* m) const {
+  const int workers = ctx.workers;
   switch (plan.op) {
     case KbaOp::kConst:
       return plan.const_inst;
@@ -67,10 +78,10 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
     }
 
     case KbaOp::kExtend:
-      return EvalExtend(plan, workers, m);
+      return EvalExtend(plan, ctx, m);
 
     case KbaOp::kShift: {
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], ctx, m));
       // Re-keying redistributes blocks: charge a repartition.
       ChargeShuffleBytes(in.rel.ByteSize(), workers, m);
       std::vector<std::string> rest;
@@ -85,18 +96,23 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
       KvInst out;
       out.key_cols = plan.new_key;
       out.value_cols = rest;
-      out.rel = in.rel.Project(order);
+      auto start = std::chrono::steady_clock::now();
+      out.rel = ProjectParallel(in.rel, order, ctx.pool, workers);
+      if (m != nullptr) m->wall_compute_seconds += SecondsSince(start);
       return out;
     }
 
     case KbaOp::kSelect: {
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
-      ZIDIAN_RETURN_NOT_OK(ApplyFilters(plan.predicates, &in.rel, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], ctx, m));
+      auto start = std::chrono::steady_clock::now();
+      ZIDIAN_RETURN_NOT_OK(
+          ApplyFilters(plan.predicates, &in.rel, m, ctx.pool, workers));
+      if (m != nullptr) m->wall_compute_seconds += SecondsSince(start);
       return in;
     }
 
     case KbaOp::kProject: {
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], ctx, m));
       KvInst out;
       out.key_cols = plan.new_key;
       for (const auto& c : plan.project_cols) {
@@ -105,18 +121,25 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
           out.value_cols.push_back(c);
         }
       }
-      out.rel = in.rel.Project(plan.project_cols);
-      if (m != nullptr) m->compute_values += out.rel.ValueCount();
+      auto start = std::chrono::steady_clock::now();
+      out.rel = ProjectParallel(in.rel, plan.project_cols, ctx.pool, workers);
+      if (m != nullptr) {
+        m->wall_compute_seconds += SecondsSince(start);
+        m->compute_values += out.rel.ValueCount();
+      }
       return out;
     }
 
     case KbaOp::kJoin: {
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst l, Eval(*plan.children[0], workers, m));
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst r, Eval(*plan.children[1], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst l, Eval(*plan.children[0], ctx, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst r, Eval(*plan.children[1], ctx, m));
       ChargeShuffleBytes(l.rel.ByteSize(), workers, m);
       ChargeShuffleBytes(r.rel.ByteSize(), workers, m);
-      ZIDIAN_ASSIGN_OR_RETURN(Relation joined,
-                              HashJoin(l.rel, r.rel, plan.join_pairs, m));
+      auto start = std::chrono::steady_clock::now();
+      ZIDIAN_ASSIGN_OR_RETURN(
+          Relation joined,
+          HashJoin(l.rel, r.rel, plan.join_pairs, m, ctx.pool, workers));
+      if (m != nullptr) m->wall_compute_seconds += SecondsSince(start);
       // Deduplicate repeated column names (a column may flow in from both
       // sides); keep the first occurrence.
       std::vector<std::string> unique_cols;
@@ -148,7 +171,7 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
     }
 
     case KbaOp::kGroupAgg: {
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], ctx, m));
       if (plan.from_stats) return EvalGroupAggFromStats(plan, in, m);
       ChargeShuffleBytes(in.rel.ByteSize(), workers, m);
       ZIDIAN_ASSIGN_OR_RETURN(
@@ -183,8 +206,8 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
 
     case KbaOp::kUnion:
     case KbaOp::kDiff: {
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst l, Eval(*plan.children[0], workers, m));
-      ZIDIAN_ASSIGN_OR_RETURN(KvInst r, Eval(*plan.children[1], workers, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst l, Eval(*plan.children[0], ctx, m));
+      ZIDIAN_ASSIGN_OR_RETURN(KvInst r, Eval(*plan.children[1], ctx, m));
       // Align the right side to the left layout (↑ has already matched key
       // attributes when the plan was formed).
       for (const auto& c : l.AllCols()) {
@@ -225,15 +248,16 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, int workers,
   return Status::Internal("unknown KBA op");
 }
 
-Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
+Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
                                        QueryMetrics* m) const {
+  const int workers = ctx.workers;
   const KvSchema* kv = store_->schema().Find(plan.kv_name);
   if (kv == nullptr) return Status::NotFound("kv " + plan.kv_name);
   if (plan.key_bindings.size() != kv->key_attrs.size()) {
     return Status::InvalidArgument("extend bindings must cover X of " +
                                    kv->name);
   }
-  ZIDIAN_ASSIGN_OR_RETURN(KvInst child, Eval(*plan.children[0], workers, m));
+  ZIDIAN_ASSIGN_OR_RETURN(KvInst child, Eval(*plan.children[0], ctx, m));
 
   // Child columns feeding each key attribute, in X order.
   std::vector<int> bind_idx(kv->key_attrs.size(), -1);
@@ -306,16 +330,16 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
   }
   out.rel = Relation(out.AllCols());
 
-  // Per-worker accounting for the point gets behind makespan_get. Only
-  // gets that reached storage count: a BlockCache hit is middleware-local
-  // memory and must not be priced at the profile's per-get latency.
-  std::vector<uint64_t> worker_gets(static_cast<size_t>(workers), 0);
-
   std::vector<size_t> kept_pos;
   for (size_t i = 0; i < keep_new.size(); ++i) {
     if (keep_new[i]) kept_pos.push_back(i);
   }
-  auto emit = [&](const std::vector<size_t>& row_ids,
+  // Appends the (filtered, aligned) extension rows for one fetched block
+  // into `dst`, metering the values into `wm`. Runs inside a worker task:
+  // everything it reads is shared-immutable, everything it writes is that
+  // worker's own slot.
+  auto emit = [&](Relation* dst, QueryMetrics* wm,
+                  const std::vector<size_t>& row_ids,
                   const std::vector<Tuple>& additions) {
     for (size_t r : row_ids) {
       const Tuple& base = child.rel.rows()[r];
@@ -330,8 +354,8 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
         if (!aligned) continue;
         Tuple t = base;
         for (size_t i : kept_pos) t.push_back(add[i]);
-        if (m != nullptr) m->compute_values += t.size();
-        out.rel.Add(std::move(t));
+        if (wm != nullptr) wm->compute_values += t.size();
+        dst->Add(std::move(t));
       }
     }
   };
@@ -349,52 +373,82 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, int workers,
     worker_rows[w].push_back(&row_ids);
   }
 
-  for (size_t w = 0; w < worker_keys.size(); ++w) {
+  // One task per worker; each owns a slot with its own metric delta and
+  // partial result. kSimulated runs the same tasks in a loop — one code
+  // path, so the two modes cannot diverge in rows or counters.
+  struct WorkerSlot {
+    QueryMetrics m;
+    Relation partial;
+    Status status;
+  };
+  std::vector<WorkerSlot> slots(static_cast<size_t>(workers));
+  const std::vector<std::string> out_cols = out.AllCols();
+  auto run_worker = [&](size_t w) {
+    WorkerSlot& slot = slots[w];
+    slot.partial = Relation(out_cols);
     const auto& keys = worker_keys[w];
-    if (keys.empty()) continue;
-    uint64_t storage_gets_before =
-        m != nullptr ? m->get_calls - m->cache_hits : 0;
+    if (keys.empty()) return;
+    QueryMetrics* wm = m != nullptr ? &slot.m : nullptr;
 
     if (plan.stats_only) {
-      ZIDIAN_ASSIGN_OR_RETURN(std::vector<BlockStats> stats,
-                              store_->MultiGetBlockStats(*kv, keys, m));
+      auto stats = store_->MultiGetBlockStats(*kv, keys, wm);
+      if (!stats.ok()) {
+        slot.status = stats.status();
+        return;
+      }
       for (size_t i = 0; i < keys.size(); ++i) {
-        if (stats[i].row_count == 0) continue;
+        if (stats.value()[i].row_count == 0) continue;
         Tuple add = keys[i];  // fetched X = the key itself
-        add.push_back(Value(static_cast<int64_t>(stats[i].row_count)));
-        for (const auto& col : stats[i].columns) {
+        add.push_back(Value(static_cast<int64_t>(stats.value()[i].row_count)));
+        for (const auto& col : stats.value()[i].columns) {
           add.push_back(Value(static_cast<int64_t>(col.count)));
           add.push_back(col.numeric ? Value(col.min) : Value::Null());
           add.push_back(col.numeric ? Value(col.max) : Value::Null());
           add.push_back(col.numeric ? Value(col.sum) : Value::Null());
         }
-        emit(*worker_rows[w][i], {add});
+        emit(&slot.partial, wm, *worker_rows[w][i], {add});
       }
     } else {
-      ZIDIAN_ASSIGN_OR_RETURN(std::vector<std::vector<Tuple>> blocks,
-                              store_->MultiGetBlocks(*kv, keys, m));
+      auto blocks = store_->MultiGetBlocks(*kv, keys, wm);
+      if (!blocks.ok()) {
+        slot.status = blocks.status();
+        return;
+      }
       for (size_t i = 0; i < keys.size(); ++i) {
-        if (blocks[i].empty()) continue;
+        if (blocks.value()[i].empty()) continue;
         std::vector<Tuple> additions;
-        additions.reserve(blocks[i].size());
-        for (const auto& y : blocks[i]) {
+        additions.reserve(blocks.value()[i].size());
+        for (const auto& y : blocks.value()[i]) {
           Tuple add = keys[i];
           add.insert(add.end(), y.begin(), y.end());
           additions.push_back(std::move(add));
         }
-        emit(*worker_rows[w][i], additions);
+        emit(&slot.partial, wm, *worker_rows[w][i], additions);
       }
     }
+  };
 
-    if (m != nullptr) {
-      worker_gets[w] += (m->get_calls - m->cache_hits) - storage_gets_before;
+  auto start = std::chrono::steady_clock::now();
+  if (ctx.pool != nullptr) {
+    ctx.pool->ParallelFor(static_cast<size_t>(workers), run_worker);
+  } else {
+    for (size_t w = 0; w < static_cast<size_t>(workers); ++w) run_worker(w);
+  }
+  if (m != nullptr) m->wall_fetch_seconds += SecondsSince(start);
+
+  // Deterministic merge in worker order: counters sum, rows concatenate,
+  // and the slowest worker's storage-reaching gets enter makespan_get.
+  std::vector<QueryMetrics> deltas;
+  deltas.reserve(slots.size());
+  for (auto& slot : slots) {
+    ZIDIAN_RETURN_NOT_OK(slot.status);
+    if (m != nullptr) *m += slot.m;
+    deltas.push_back(slot.m);
+    for (auto& row : slot.partial.rows()) {
+      out.rel.Add(std::move(row));
     }
   }
-
-  if (m != nullptr && !worker_gets.empty()) {
-    m->makespan_get += static_cast<double>(
-        *std::max_element(worker_gets.begin(), worker_gets.end()));
-  }
+  if (m != nullptr) m->makespan_get += MaxWorkerStorageGets(deltas);
   return out;
 }
 

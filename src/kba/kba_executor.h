@@ -5,32 +5,69 @@
 // instance (charged as shuffle), each worker issues point gets only for the
 // keys it owns, and joins happen where the data lands.
 //
-// Parallelism is simulated: work is attributed to `workers` compute nodes
-// and the per-worker maxima are recorded in QueryMetrics::makespan_* (the
-// machine running this reproduction has a single core, so real threads could
-// not demonstrate speedup; Theorem 8's guarantee is about per-worker cost,
-// which the accounting measures directly — see DESIGN.md substitutions).
+// Parallelism runs in one of two modes (common/thread_pool.h):
+//  * kSimulated — one thread; `workers` only divides the cost model. The
+//    per-worker maxima land in QueryMetrics::makespan_* exactly as before.
+//  * kThreads — `workers` real threads on a ThreadPool. Each extension
+//    issues its per-worker batched MultiGets concurrently (one in-flight
+//    request per worker), and selections / projections / join probes run
+//    chunk-per-worker (ra/eval.h parallel variants).
+//
+// Determinism contract: both modes return byte-identical rows in the same
+// order and identical QueryMetrics counters. Every parallel region gives
+// each worker its own pre-allocated output slot and its own QueryMetrics
+// delta; slots merge in worker order after the join, so no counter or row
+// ever depends on thread scheduling. (The one caveat: cache_evictions is
+// scheduling-dependent when the run itself evicts, because concurrent
+// fills can reorder LRU residency — size the cache above the working set
+// when asserting exact equality.) Wall-clock lands in wall_seconds /
+// wall_fetch_seconds / wall_compute_seconds next to the simulated
+// makespans, so measured time can validate SimSeconds.
 #ifndef ZIDIAN_KBA_KBA_EXECUTOR_H_
 #define ZIDIAN_KBA_KBA_EXECUTOR_H_
 
 #include "baav/baav_store.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "kba/kba_plan.h"
 
 namespace zidian {
+
+struct KbaExecOptions {
+  int workers = 1;
+  ParallelMode parallel_mode = ParallelMode::kSimulated;
+  /// Optional externally-owned pool for kThreads (e.g. shared across
+  /// executions). When null, Execute spins up a per-call pool of
+  /// workers-1 threads (the calling thread is worker 0's peer).
+  ThreadPool* pool = nullptr;
+};
 
 class KbaExecutor {
  public:
   explicit KbaExecutor(const BaavStore* store) : store_(store) {}
 
-  /// Executes `plan` with `workers` simulated compute nodes.
-  Result<KvInst> Execute(const KbaPlan& plan, int workers,
+  /// Executes `plan` under the given worker count and parallel mode.
+  Result<KvInst> Execute(const KbaPlan& plan, const KbaExecOptions& opts,
                          QueryMetrics* m) const;
 
+  /// Back-compat shim: `workers` simulated compute nodes on one thread.
+  Result<KvInst> Execute(const KbaPlan& plan, int workers,
+                         QueryMetrics* m) const {
+    return Execute(plan, KbaExecOptions{.workers = workers}, m);
+  }
+
  private:
-  Result<KvInst> Eval(const KbaPlan& plan, int workers, QueryMetrics* m) const;
-  Result<KvInst> EvalExtend(const KbaPlan& plan, int workers,
+  /// Per-execution state threaded through Eval: pool is non-null only in
+  /// kThreads mode with workers > 1.
+  struct ExecCtx {
+    int workers = 1;
+    ThreadPool* pool = nullptr;
+  };
+
+  Result<KvInst> Eval(const KbaPlan& plan, const ExecCtx& ctx,
+                      QueryMetrics* m) const;
+  Result<KvInst> EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
                             QueryMetrics* m) const;
   Result<KvInst> EvalGroupAggFromStats(const KbaPlan& plan, const KvInst& in,
                                        QueryMetrics* m) const;

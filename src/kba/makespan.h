@@ -1,0 +1,56 @@
+// The single source of truth for the §7.2 makespan arithmetic, shared by
+// the simulated and threaded execution paths (and by the facade's
+// post-aggregation refresh) so the two modes cannot drift: both charge
+// shuffles, classify storage-reaching gets, and spread totals over p
+// workers through exactly these helpers.
+#ifndef ZIDIAN_KBA_MAKESPAN_H_
+#define ZIDIAN_KBA_MAKESPAN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace zidian {
+
+/// Gets of `m` that actually reached a storage node. BlockCache hits —
+/// positive and negative — are middleware-local memory and carry no
+/// per-get latency, so they never enter makespan_get.
+inline uint64_t StorageGets(const QueryMetrics& m) {
+  return m.get_calls - m.cache_hits - m.cache_negative_hits;
+}
+
+/// Charges a hash-repartition of `bytes` across p workers: each worker
+/// keeps 1/p of the data locally and ships the rest.
+inline void ChargeShuffleBytes(size_t bytes, int workers, QueryMetrics* m) {
+  if (m == nullptr || workers <= 1) return;
+  double remote = static_cast<double>(workers - 1) / workers;
+  m->shuffle_bytes += static_cast<uint64_t>(bytes * remote);
+}
+
+/// The makespan_get contribution of one extension: the slowest worker's
+/// storage-reaching gets (Theorem 8's per-worker maximum). `per_worker`
+/// holds each worker's metric delta for the extend.
+inline double MaxWorkerStorageGets(const std::vector<QueryMetrics>& per_worker) {
+  uint64_t worst = 0;
+  for (const auto& w : per_worker) worst = std::max(worst, StorageGets(w));
+  return static_cast<double>(worst);
+}
+
+/// Recomputes the evenly-spread makespan components from the totals in
+/// `m` under the no-skew assumption: scans, compute and bytes divide by
+/// p. makespan_get is NOT touched — extension records its true per-worker
+/// maxima via MaxWorkerStorageGets as the plan executes.
+inline void SpreadMakespans(int workers, QueryMetrics* m) {
+  if (m == nullptr) return;
+  int p = std::max(1, workers);
+  m->makespan_next = static_cast<double>(m->next_calls) / p;
+  m->makespan_compute = static_cast<double>(m->compute_values) / p;
+  m->makespan_bytes =
+      static_cast<double>(m->bytes_from_storage + m->shuffle_bytes) / p;
+}
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_KBA_MAKESPAN_H_

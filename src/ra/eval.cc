@@ -6,8 +6,32 @@
 
 namespace zidian {
 
+namespace {
+
+/// Below this many rows a parallel region costs more in task hand-off
+/// than it saves; the parallel entry points fall back to one thread.
+/// Counters are chunk-order-merged either way, so the cutoff can never
+/// change a result or a metric.
+constexpr size_t kParallelRowCutoff = 512;
+
+/// Contiguous chunk [begin, end) of `n` rows for worker `w` of `p`.
+std::pair<size_t, size_t> ChunkRange(size_t n, size_t w, size_t p) {
+  return {n * w / p, n * (w + 1) / p};
+}
+
+bool UseParallel(ThreadPool* pool, int workers, size_t rows) {
+  return pool != nullptr && workers > 1 && rows >= kParallelRowCutoff;
+}
+
+}  // namespace
+
 Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
                     QueryMetrics* m) {
+  return ApplyFilters(predicates, rel, m, nullptr, 1);
+}
+
+Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
+                    QueryMetrics* m, ThreadPool* pool, int workers) {
   if (predicates.empty()) return Status::OK();
   std::vector<ExprPtr> bound;
   bound.reserve(predicates.size());
@@ -17,6 +41,43 @@ Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
     bound.push_back(std::move(c));
   }
   auto& rows = rel->rows();
+
+  if (UseParallel(pool, workers, rows.size())) {
+    // Chunk-per-worker evaluation into a keep-mask: EvalBool is const on a
+    // bound tree, so every worker shares the same predicates read-only;
+    // each worker meters the predicates it actually evaluated (the
+    // short-circuit is per row, so chunk sums equal the sequential total).
+    size_t p = static_cast<size_t>(workers);
+    std::vector<uint8_t> keep(rows.size(), 0);
+    std::vector<QueryMetrics> deltas(p);
+    pool->ParallelFor(p, [&](size_t w) {
+      auto [begin, end] = ChunkRange(rows.size(), w, p);
+      QueryMetrics& wm = deltas[w];
+      for (size_t i = begin; i < end; ++i) {
+        bool pass = true;
+        for (const auto& pred : bound) {
+          wm.compute_values += 1;
+          if (!pred->EvalBool(rows[i])) {
+            pass = false;
+            break;
+          }
+        }
+        keep[i] = pass ? 1 : 0;
+      }
+    });
+    if (m != nullptr) {
+      for (const auto& d : deltas) *m += d;
+    }
+    size_t kept = 0;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      if (!keep[i]) continue;
+      if (kept != i) rows[kept] = std::move(rows[i]);
+      ++kept;
+    }
+    rows.resize(kept);
+    return Status::OK();
+  }
+
   size_t kept = 0;
   for (size_t i = 0; i < rows.size(); ++i) {
     bool pass = true;
@@ -39,6 +100,13 @@ Result<Relation> HashJoin(
     const Relation& left, const Relation& right,
     const std::vector<std::pair<std::string, std::string>>& keys,
     QueryMetrics* m) {
+  return HashJoin(left, right, keys, m, nullptr, 1);
+}
+
+Result<Relation> HashJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    QueryMetrics* m, ThreadPool* pool, int workers) {
   std::vector<int> lidx, ridx;
   for (const auto& [l, r] : keys) {
     int li = left.ColumnIndex(l), ri = right.ColumnIndex(r);
@@ -86,6 +154,40 @@ Result<Relation> HashJoin(
     if (m != nullptr) m->compute_values += bidx.size();
     table[key_of(row, bidx)].push_back(&row);
   }
+
+  if (UseParallel(pool, workers, probe.size())) {
+    // Probe chunks concurrently against the (now read-only) build table;
+    // each chunk collects its matches and metric delta privately, then
+    // chunks merge in order — the exact row sequence and counter totals
+    // of the sequential probe loop.
+    size_t p = static_cast<size_t>(workers);
+    std::vector<std::vector<Tuple>> partial(p);
+    std::vector<QueryMetrics> deltas(p);
+    pool->ParallelFor(p, [&](size_t w) {
+      auto [begin, end] = ChunkRange(probe.size(), w, p);
+      QueryMetrics& wm = deltas[w];
+      for (size_t i = begin; i < end; ++i) {
+        const Tuple& row = probe.rows()[i];
+        wm.compute_values += pidx.size();
+        auto it = table.find(key_of(row, pidx));
+        if (it == table.end()) continue;
+        for (const Tuple* match : it->second) {
+          const Tuple& lr = build_left ? *match : row;
+          const Tuple& rr = build_left ? row : *match;
+          Tuple t = lr;
+          t.insert(t.end(), rr.begin(), rr.end());
+          wm.compute_values += t.size();
+          partial[w].push_back(std::move(t));
+        }
+      }
+    });
+    for (size_t w = 0; w < p; ++w) {
+      if (m != nullptr) *m += deltas[w];
+      for (auto& t : partial[w]) out.Add(std::move(t));
+    }
+    return out;
+  }
+
   for (const auto& row : probe.rows()) {
     if (m != nullptr) m->compute_values += pidx.size();
     auto it = table.find(key_of(row, pidx));
@@ -99,6 +201,33 @@ Result<Relation> HashJoin(
       out.Add(std::move(t));
     }
   }
+  return out;
+}
+
+Relation ProjectParallel(const Relation& input,
+                         const std::vector<std::string>& cols,
+                         ThreadPool* pool, int workers) {
+  if (!UseParallel(pool, workers, input.size())) return input.Project(cols);
+  Relation out(cols);
+  std::vector<int> idx;
+  idx.reserve(cols.size());
+  for (const auto& c : cols) {
+    int i = input.ColumnIndex(c);
+    assert(i >= 0 && "projection column missing");
+    idx.push_back(i);
+  }
+  out.rows().resize(input.size());
+  size_t p = static_cast<size_t>(workers);
+  pool->ParallelFor(p, [&](size_t w) {
+    auto [begin, end] = ChunkRange(input.size(), w, p);
+    for (size_t i = begin; i < end; ++i) {
+      const Tuple& row = input.rows()[i];
+      Tuple t;
+      t.reserve(idx.size());
+      for (int c : idx) t.push_back(row[static_cast<size_t>(c)]);
+      out.rows()[i] = std::move(t);
+    }
+  });
   return out;
 }
 

@@ -2,6 +2,12 @@
 // executor and the KBA executor: filters, hash join, group-by aggregation,
 // final projection, order-by/limit. Every operator meters the values it
 // touches into QueryMetrics::compute_values.
+//
+// Filters, the hash-join probe and projection also come in data-parallel
+// variants (pool + workers): rows are split into contiguous chunks, each
+// chunk is evaluated on its own task with its own QueryMetrics delta, and
+// chunks are merged back in order — so rows AND counters are identical to
+// the sequential run no matter how the scheduler interleaves the tasks.
 #ifndef ZIDIAN_RA_EVAL_H_
 #define ZIDIAN_RA_EVAL_H_
 
@@ -10,6 +16,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "relational/expression.h"
 #include "relational/relation.h"
 #include "sql/query_spec.h"
@@ -21,12 +28,32 @@ namespace zidian {
 Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
                     QueryMetrics* m);
 
+/// Data-parallel filter: chunk-per-worker on `pool`, deterministic merge.
+/// With a null pool (or one worker, or few rows) this IS the sequential
+/// ApplyFilters — one code path, so the two modes cannot drift.
+Status ApplyFilters(const std::vector<ExprPtr>& predicates, Relation* rel,
+                    QueryMetrics* m, ThreadPool* pool, int workers);
+
 /// Hash join on the given column-name pairs (left name, right name).
 /// Output columns = left columns ++ right columns.
 Result<Relation> HashJoin(
     const Relation& left, const Relation& right,
     const std::vector<std::pair<std::string, std::string>>& keys,
     QueryMetrics* m);
+
+/// Data-parallel hash join: the build side is hashed once on the calling
+/// thread, the probe side is chunked across `pool` workers; per-chunk
+/// match lists and metric deltas merge back in probe-row order.
+Result<Relation> HashJoin(
+    const Relation& left, const Relation& right,
+    const std::vector<std::pair<std::string, std::string>>& keys,
+    QueryMetrics* m, ThreadPool* pool, int workers);
+
+/// Data-parallel Relation::Project: workers copy disjoint row ranges into
+/// a pre-sized output. Unmetered, like Relation::Project.
+Relation ProjectParallel(const Relation& input,
+                         const std::vector<std::string>& cols,
+                         ThreadPool* pool, int workers);
 
 /// Evaluates the SELECT list of a non-aggregate query.
 Result<Relation> ProjectSelect(const Relation& input,

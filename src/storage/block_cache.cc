@@ -25,20 +25,37 @@ BlockCache::Shard& BlockCache::ShardFor(std::string_view key) {
 }
 
 bool BlockCache::Lookup(std::string_view key, std::string* value) {
+  return Probe(key, value) == CacheLookup::kHit;
+}
+
+CacheLookup BlockCache::Probe(std::string_view key, std::string* value) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
-    return false;
+    return CacheLookup::kMiss;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  if (it->second->negative) {
+    ++shard.negative_hits;
+    return CacheLookup::kNegativeHit;
   }
   ++shard.hits;
-  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   *value = it->second->value;
-  return true;
+  return CacheLookup::kHit;
 }
 
 size_t BlockCache::Insert(std::string_view key, std::string_view value) {
+  return InsertEntry(key, value, /*negative=*/false);
+}
+
+size_t BlockCache::InsertNegative(std::string_view key) {
+  return InsertEntry(key, std::string_view(), /*negative=*/true);
+}
+
+size_t BlockCache::InsertEntry(std::string_view key, std::string_view value,
+                               bool negative) {
   Shard& shard = ShardFor(key);
   size_t entry_bytes = key.size() + value.size();
   std::lock_guard<std::mutex> lock(shard.mu);
@@ -50,20 +67,30 @@ size_t BlockCache::Insert(std::string_view key, std::string_view value) {
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
     shard.bytes -= it->second->key.size() + it->second->value.size();
+    if (it->second->negative != negative) {
+      if (negative) {
+        ++shard.negative_entries;
+      } else {
+        --shard.negative_entries;
+      }
+    }
     it->second->value.assign(value);
+    it->second->negative = negative;
     shard.bytes += entry_bytes;
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
   } else {
-    shard.lru.push_front(Entry{std::string(key), std::string(value)});
+    shard.lru.push_front(Entry{std::string(key), std::string(value), negative});
     shard.index.emplace(std::string_view(shard.lru.front().key),
                         shard.lru.begin());
     shard.bytes += entry_bytes;
+    shard.negative_entries += negative ? 1 : 0;
     ++shard.inserts;
   }
   size_t evicted = 0;
   while (shard.bytes > shard.capacity && shard.lru.size() > 1) {
     const Entry& victim = shard.lru.back();
     shard.bytes -= victim.key.size() + victim.value.size();
+    shard.negative_entries -= victim.negative ? 1 : 0;
     shard.index.erase(std::string_view(victim.key));
     shard.lru.pop_back();
     ++evicted;
@@ -78,6 +105,7 @@ void BlockCache::Erase(std::string_view key) {
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return;
   shard.bytes -= it->second->key.size() + it->second->value.size();
+  shard.negative_entries -= it->second->negative ? 1 : 0;
   shard.lru.erase(it->second);
   shard.index.erase(it);
 }
@@ -88,6 +116,7 @@ void BlockCache::Clear() {
     shard.index.clear();
     shard.lru.clear();
     shard.bytes = 0;
+    shard.negative_entries = 0;
   }
 }
 
@@ -99,8 +128,10 @@ BlockCache::Stats BlockCache::GetStats() const {
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;
     stats.inserts += shard.inserts;
+    stats.negative_hits += shard.negative_hits;
     stats.bytes += shard.bytes;
     stats.entries += shard.lru.size();
+    stats.negative_entries += shard.negative_entries;
   }
   return stats;
 }

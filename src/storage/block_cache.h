@@ -38,26 +38,54 @@ struct BlockCacheOptions {
   int shards = 8;
 };
 
+/// Outcome of a tri-state lookup: a value, a remembered absence, or
+/// nothing known.
+enum class CacheLookup {
+  kMiss,         ///< nothing cached: the caller must ask the backend
+  kHit,          ///< value copied out
+  kNegativeHit,  ///< the key is confirmed absent — skip the backend
+};
+
 /// A sharded LRU over (key, encoded segment value) pairs.
 ///
 /// Thread-safe: each shard serializes its own lookups/inserts behind a
 /// mutex; keys are spread across shards by hash so concurrent readers
 /// rarely contend. All methods are safe to call through a const Cluster
-/// (LRU reordering is interior mutability by design).
+/// (LRU reordering is interior mutability by design), and safe against
+/// each other from any number of threads — the per-worker MultiGet
+/// fan-out of the threaded executor hits these shards concurrently.
+///
+/// Negative caching: a key the backend confirmed absent can be remembered
+/// with InsertNegative, so repeated misses on nonexistent keys stop
+/// paying a round trip each. Negative entries live in the same LRU as
+/// values (footprint = key bytes), are overwritten by a later Insert of a
+/// real value, and are invalidated by Erase — i.e. by every Cluster::Put
+/// / Delete — exactly like positive entries.
 class BlockCache {
  public:
   explicit BlockCache(BlockCacheOptions options);
 
   /// Copies the cached value for `key` into `*value` and promotes the
   /// entry to most-recently-used. Returns false (and leaves `*value`
-  /// alone) on a miss. Updates the aggregate hit/miss counters.
+  /// alone) on a miss. Updates the aggregate hit/miss counters. A
+  /// negative entry reads as a miss here — use Probe to distinguish.
   bool Lookup(std::string_view key, std::string* value);
+
+  /// Tri-state lookup: kHit copies the value out, kNegativeHit means the
+  /// key is cached-absent (value untouched), kMiss means nothing known.
+  /// Promotes whatever entry it finds; meters hits/misses/negative_hits.
+  CacheLookup Probe(std::string_view key, std::string* value);
 
   /// Inserts or overwrites `key`, evicting least-recently-used entries
   /// until the shard fits its budget. Returns the number of entries
   /// evicted (for QueryMetrics::cache_evictions). Values larger than a
   /// whole shard are not cached (returns 0, nothing evicted).
   size_t Insert(std::string_view key, std::string_view value);
+
+  /// Remembers `key` as confirmed-absent. Same eviction contract as
+  /// Insert; overwrites a positive entry if one exists (the caller just
+  /// observed the backend disagree with it).
+  size_t InsertNegative(std::string_view key);
 
   /// Drops `key` if cached. The invalidation entry point for writes.
   void Erase(std::string_view key);
@@ -72,8 +100,10 @@ class BlockCache {
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t inserts = 0;
+    uint64_t negative_hits = 0;  ///< Probe answers served by a negative entry
     size_t bytes = 0;
-    size_t entries = 0;
+    size_t entries = 0;           ///< positive + negative residents
+    size_t negative_entries = 0;  ///< currently resident negative entries
   };
   Stats GetStats() const;
 
@@ -84,6 +114,7 @@ class BlockCache {
   struct Entry {
     std::string key;
     std::string value;
+    bool negative = false;  // value empty, key confirmed absent
   };
   struct Shard {
     mutable std::mutex mu;
@@ -91,13 +122,17 @@ class BlockCache {
     std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
     size_t bytes = 0;
     size_t capacity = 0;
+    size_t negative_entries = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
     uint64_t evictions = 0;
     uint64_t inserts = 0;
+    uint64_t negative_hits = 0;
   };
 
   Shard& ShardFor(std::string_view key);
+  size_t InsertEntry(std::string_view key, std::string_view value,
+                     bool negative);
 
   BlockCacheOptions options_;
   std::vector<Shard> shards_;

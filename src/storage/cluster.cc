@@ -1,7 +1,9 @@
 #include "storage/cluster.h"
 
 #include <cerrno>
+#include <chrono>
 #include <cstdlib>
+#include <thread>
 
 #include "storage/mem_backend.h"
 
@@ -54,7 +56,8 @@ std::string_view BackendKindName(BackendKind kind) {
   return "unknown";
 }
 
-Cluster::Cluster(ClusterOptions options) {
+Cluster::Cluster(ClusterOptions options)
+    : round_trip_latency_us_(options.round_trip_latency_us) {
   nodes_.reserve(options.num_storage_nodes);
   for (int i = 0; i < options.num_storage_nodes; ++i) {
     nodes_.push_back(MakeBackend(options));
@@ -64,6 +67,11 @@ Cluster::Cluster(ClusterOptions options) {
   if (cache.capacity_bytes > 0) {
     cache_ = std::make_unique<BlockCache>(cache);
   }
+}
+
+void Cluster::SimulateRoundTrip() const {
+  if (round_trip_latency_us_ <= 0) return;
+  std::this_thread::sleep_for(std::chrono::microseconds(round_trip_latency_us_));
 }
 
 Status Cluster::Put(std::string_view key, std::string_view value,
@@ -92,16 +100,25 @@ Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
   if (m != nullptr) m->get_calls += 1;
   if (CacheActive()) {
     std::string cached;
-    if (cache_->Lookup(key, &cached)) {
-      if (m != nullptr) {
-        m->cache_hits += 1;
-        m->bytes_from_cache += key.size() + cached.size();
-      }
-      return cached;
+    switch (cache_->Probe(key, &cached)) {
+      case CacheLookup::kHit:
+        if (m != nullptr) {
+          m->cache_hits += 1;
+          m->bytes_from_cache += key.size() + cached.size();
+        }
+        return cached;
+      case CacheLookup::kNegativeHit:
+        // The backend already confirmed this key absent; answer without a
+        // round trip. Any write in between would have erased the entry.
+        if (m != nullptr) m->cache_negative_hits += 1;
+        return Status::NotFound();
+      case CacheLookup::kMiss:
+        if (m != nullptr) m->cache_misses += 1;
+        break;
     }
-    if (m != nullptr) m->cache_misses += 1;
   }
   if (m != nullptr) m->get_round_trips += 1;
+  SimulateRoundTrip();
   auto res = nodes_[NodeFor(key)]->Get(key);
   if (res.ok()) {
     if (m != nullptr) {
@@ -111,6 +128,10 @@ Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
       size_t evicted = cache_->Insert(key, res.value());
       if (m != nullptr) m->cache_evictions += evicted;
     }
+  } else if (res.status().IsNotFound() && CacheActive() &&
+             fill == CacheFill::kFill) {
+    size_t evicted = cache_->InsertNegative(key);
+    if (m != nullptr) m->cache_evictions += evicted;
   }
   return res;
 }
@@ -127,23 +148,31 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
     m->get_calls += keys.size();
   }
 
-  // Serve cache hits first; only the missed keys go to the nodes, so a
-  // fully cached batch performs zero round trips.
+  // Serve cache hits first — positive and negative — so only genuinely
+  // unknown keys go to the nodes; a fully cached batch performs zero
+  // round trips.
   std::vector<uint32_t> pending;  // slots still needing a backend fetch
   if (CacheActive()) {
     pending.reserve(keys.size());
     std::string cached;
     for (size_t i = 0; i < keys.size(); ++i) {
-      if (cache_->Lookup(keys[i], &cached)) {
-        if (m != nullptr) {
-          m->cache_hits += 1;
-          m->bytes_from_cache += keys[i].size() + cached.size();
-        }
-        out[i] = std::move(cached);
-        cached = std::string();
-      } else {
-        if (m != nullptr) m->cache_misses += 1;
-        pending.push_back(static_cast<uint32_t>(i));
+      switch (cache_->Probe(keys[i], &cached)) {
+        case CacheLookup::kHit:
+          if (m != nullptr) {
+            m->cache_hits += 1;
+            m->bytes_from_cache += keys[i].size() + cached.size();
+          }
+          out[i] = std::move(cached);
+          cached = std::string();
+          break;
+        case CacheLookup::kNegativeHit:
+          // Cached-absent: the slot stays nullopt and skips the backend.
+          if (m != nullptr) m->cache_negative_hits += 1;
+          break;
+        case CacheLookup::kMiss:
+          if (m != nullptr) m->cache_misses += 1;
+          pending.push_back(static_cast<uint32_t>(i));
+          break;
       }
     }
     if (pending.empty()) return out;
@@ -181,9 +210,18 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
                                                end - begin),
         &out);
     if (m != nullptr) m->get_round_trips += 1;
+    SimulateRoundTrip();
     for (size_t j = begin; j < end; ++j) {
       const auto& value = out[batch[j].slot];
-      if (!value.has_value()) continue;
+      if (!value.has_value()) {
+        // The node confirmed the key absent: remember that, so the next
+        // batch over the same keys skips this round trip.
+        if (CacheActive() && fill == CacheFill::kFill) {
+          size_t evicted = cache_->InsertNegative(batch[j].key);
+          if (m != nullptr) m->cache_evictions += evicted;
+        }
+        continue;
+      }
       if (m != nullptr) {
         m->bytes_from_storage += batch[j].key.size() + value->size();
       }

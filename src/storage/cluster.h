@@ -10,7 +10,18 @@
 // SQL layer and the nodes: when ClusterOptions::cache.capacity_bytes > 0,
 // Get and MultiGet serve hits from the cache — one logical get, zero round
 // trips, zero storage bytes — and Put/Delete invalidate the touched key so
-// cached blocks stay coherent under incremental maintenance.
+// cached blocks stay coherent under incremental maintenance. Confirmed
+// absences are cached too (negative entries): a repeated get of a
+// nonexistent key answers from the cache instead of paying a round trip,
+// metered as cache_negative_hits and invalidated by Put/Delete like any
+// other entry.
+//
+// Thread safety: the read path (Get / MultiGet / ScanPrefix / CountPrefix)
+// is safe from any number of concurrent threads as long as no writes are
+// in flight and each thread meters into its own QueryMetrics — this is
+// the contract the threaded KBA executor runs on (per-worker metric
+// deltas, merged at join). Put / Delete / Flush / Compact / Load are
+// single-writer operations and must not overlap reads.
 #ifndef ZIDIAN_STORAGE_CLUSTER_H_
 #define ZIDIAN_STORAGE_CLUSTER_H_
 
@@ -62,6 +73,15 @@ struct ClusterOptions {
   /// used instead — the switch the cache-enabled CI configuration flips
   /// without touching call sites.
   BlockCacheOptions cache;
+  /// Injected latency per *read* round trip, in microseconds (0 = off).
+  /// The embedded engines answer in ~µs where a remote store pays a
+  /// network RTT, so with this knob each Get / per-node MultiGet batch
+  /// stalls like a real round trip: sequential execution pays the stalls
+  /// back-to-back, the threaded executor's per-worker fan-out overlaps
+  /// them — which is exactly what makespan_get models, so measured
+  /// wall-clock can validate SimSeconds on any core count. Writes are
+  /// not stalled (bulk loads would crawl); benches stall reads only.
+  int round_trip_latency_us = 0;
 };
 
 class Cluster {
@@ -87,10 +107,13 @@ class Cluster {
 
   /// Point lookup. Meters: one get_call always (the paper's logical #get);
   /// then either one cache_hit plus the pair bytes into bytes_from_cache
-  /// (no round trip — the backend is skipped entirely), or one round trip,
-  /// a cache_miss when the cache is active, and the pair bytes into
-  /// bytes_from_storage. Misses fill the cache unless `fill` is kNoFill;
-  /// fills that push entries out are charged to cache_evictions.
+  /// (no round trip — the backend is skipped entirely), one
+  /// cache_negative_hit (the key is cached-absent: NotFound without a
+  /// round trip), or one round trip, a cache_miss when the cache is
+  /// active, and the pair bytes into bytes_from_storage. Misses fill the
+  /// cache unless `fill` is kNoFill — a found value as a positive entry,
+  /// a confirmed absence as a negative one; fills that push entries out
+  /// are charged to cache_evictions.
   Result<std::string> Get(std::string_view key, QueryMetrics* m,
                           CacheFill fill = CacheFill::kFill) const;
 
@@ -155,12 +178,18 @@ class Cluster {
   void SetCacheBypass(bool bypass) { cache_bypass_ = bypass; }
   bool cache_bypassed() const { return cache_bypass_; }
 
+  /// The injected per-read-round-trip latency (µs), for diagnostics.
+  int round_trip_latency_us() const { return round_trip_latency_us_; }
+
  private:
   bool CacheActive() const { return cache_ != nullptr && !cache_bypass_; }
+  /// Stalls for the configured round-trip latency (no-op when 0).
+  void SimulateRoundTrip() const;
 
   std::vector<std::unique_ptr<KvBackend>> nodes_;
   std::unique_ptr<BlockCache> cache_;
   bool cache_bypass_ = false;
+  int round_trip_latency_us_ = 0;
 };
 
 }  // namespace zidian

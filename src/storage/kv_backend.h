@@ -16,6 +16,14 @@
 // (and the BlockCache that can absorb reads before they reach a node)
 // lives one layer up in Cluster; an engine that counted its own work
 // would double-charge it. Keep new engines meter-free.
+//
+// Concurrency contract: Get / MultiGet / NewIterator must be safe from
+// any number of concurrent reader threads when no write is in flight —
+// the threaded KBA executor fans per-worker MultiGets out concurrently.
+// Writes (Put / Delete / Flush / Compact / Clear / Load) are
+// single-writer and never overlap reads; engines need no write-side
+// locking. A const method that mutates interior state (caches, counters)
+// must synchronize that state itself (see LsmStore's bloom counter).
 #ifndef ZIDIAN_STORAGE_KV_BACKEND_H_
 #define ZIDIAN_STORAGE_KV_BACKEND_H_
 

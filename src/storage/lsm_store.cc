@@ -39,7 +39,7 @@ const std::string* LsmStore::FindValue(std::string_view key) const {
   // Newest run first.
   for (auto rit = runs_.rbegin(); rit != runs_.rend(); ++rit) {
     if (rit->bloom && !rit->bloom->MayContain(key)) {
-      ++bloom_negatives_;
+      bloom_negatives_.fetch_add(1, std::memory_order_relaxed);
       continue;
     }
     const auto& entries = rit->entries;

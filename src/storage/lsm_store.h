@@ -8,9 +8,16 @@
 //   Compact(): k-way merges all runs, dropping shadowed entries/tombstones
 //   NewIterator(): merging iterator over memtable + runs in key order,
 //                  newest version wins, tombstones suppressed
+//
+// Thread safety: Get / MultiGet / NewIterator are safe from concurrent
+// readers (the bloom-negative diagnostic counter is atomic; everything
+// else they touch is immutable between writes). Put / Delete / Flush /
+// Compact / Clear / Load are single-writer and must not overlap reads —
+// the division the Cluster read-path contract relies on.
 #ifndef ZIDIAN_STORAGE_LSM_STORE_H_
 #define ZIDIAN_STORAGE_LSM_STORE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
 #include <string>
@@ -57,7 +64,9 @@ class LsmStore : public KvBackend {
   size_t ApproximateBytes() const override { return mem_bytes_ + run_bytes_; }
   size_t NumRuns() const { return runs_.size(); }
   size_t NumLiveEntries() const override;
-  uint64_t bloom_negative_count() const { return bloom_negatives_; }
+  uint64_t bloom_negative_count() const {
+    return bloom_negatives_.load(std::memory_order_relaxed);
+  }
 
  private:
   enum class EntryType : uint8_t { kPut = 0, kTombstone = 1 };
@@ -83,7 +92,8 @@ class LsmStore : public KvBackend {
   size_t mem_bytes_ = 0;
   size_t run_bytes_ = 0;
   std::vector<SortedRun> runs_;  // oldest first; back() is newest
-  mutable uint64_t bloom_negatives_ = 0;
+  // Atomic: bumped inside const Get/MultiGet, which run concurrently.
+  mutable std::atomic<uint64_t> bloom_negatives_{0};
 };
 
 }  // namespace zidian

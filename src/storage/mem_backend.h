@@ -9,6 +9,10 @@
 // call. Pick MemBackend when the workload is point/MultiGet heavy and the
 // working set fits in memory; pick LsmStore when scans dominate or data
 // must spill.
+//
+// Thread safety: Get / MultiGet / NewIterator only read the table, so
+// concurrent readers are safe as long as no write is in flight (the
+// KvBackend concurrency contract).
 #ifndef ZIDIAN_STORAGE_MEM_BACKEND_H_
 #define ZIDIAN_STORAGE_MEM_BACKEND_H_
 

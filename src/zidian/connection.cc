@@ -1,8 +1,10 @@
 #include "zidian/connection.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "kba/kba_executor.h"
+#include "kba/makespan.h"
 #include "ra/eval.h"
 
 namespace zidian {
@@ -68,6 +70,7 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   out->cache_enabled = cluster.cache_enabled();
   out->cache_capacity_bytes = cluster.cache_capacity_bytes();
   out->cache_bypassed = opts.bypass_cache;
+  out->parallel_mode = opts.parallel_mode;
 
   // The prepared plan's shape survives in the info even when this run is
   // forced down the baseline, so Explain() keeps describing the plan.
@@ -79,6 +82,7 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   }
 
   Result<Relation> result = Relation();
+  auto start = std::chrono::steady_clock::now();
   if (use_baseline) {
     out->route = AnswerInfo::Route::kTaavFallback;
     out->detail = preserving_ ? "route policy forced the TaaV baseline"
@@ -87,8 +91,11 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   } else {
     out->route = planned_->scan_free ? AnswerInfo::Route::kKbaScanFree
                                      : AnswerInfo::Route::kKbaWithScans;
-    result = ExecuteKba(workers, out);
+    result = ExecuteKba(workers, opts.parallel_mode, out);
   }
+  out->metrics.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
 
   if (result.ok() && opts.backend_profile != nullptr) {
     out->sim_seconds = SimSeconds(out->metrics, *opts.backend_profile);
@@ -97,12 +104,16 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   return result;
 }
 
-Result<Relation> PreparedQuery::ExecuteKba(int workers, AnswerInfo* out) {
+Result<Relation> PreparedQuery::ExecuteKba(int workers, ParallelMode mode,
+                                           AnswerInfo* out) {
   // M3: interleaved parallel execution.
   KbaExecutor executor(&zidian_->store());
   ZIDIAN_ASSIGN_OR_RETURN(
       KvInst chain,
-      executor.Execute(*planned_->plan, workers, &out->metrics));
+      executor.Execute(*planned_->plan,
+                       KbaExecOptions{.workers = workers,
+                                      .parallel_mode = mode},
+                       &out->metrics));
 
   Relation result;
   if (planned_->stats_pushdown) {
@@ -115,15 +126,10 @@ Result<Relation> PreparedQuery::ExecuteKba(int workers, AnswerInfo* out) {
         result, FinishQuery(chain.rel, planned_->exec_spec, &out->metrics));
   }
 
-  // Refresh per-worker makespans with the post-aggregation compute counts.
-  int p = std::max(1, workers);
-  out->metrics.makespan_next = static_cast<double>(out->metrics.next_calls) / p;
-  out->metrics.makespan_compute =
-      static_cast<double>(out->metrics.compute_values) / p;
-  out->metrics.makespan_bytes =
-      static_cast<double>(out->metrics.bytes_from_storage +
-                          out->metrics.shuffle_bytes) /
-      p;
+  // Refresh per-worker makespans with the post-aggregation compute counts,
+  // through the same helper the executor uses — the simulated and
+  // threaded paths share one makespan arithmetic by construction.
+  SpreadMakespans(workers, &out->metrics);
   return result;
 }
 

@@ -22,6 +22,16 @@
 // get_round_trips) with byte-identical results. ExecOptions::bypass_cache
 // forces a cold run — the "without cache" arm of an experiment.
 //
+// ExecOptions::parallel_mode picks how `workers` executes on the KBA
+// route: kSimulated (default — one thread, workers divides the cost
+// model, the historical behavior) or kThreads (workers real threads; the
+// extension fan-out and the σ/π/⋈-probe operators run data-parallel).
+// Both modes return byte-identical rows and identical QueryMetrics
+// counters; kThreads additionally fills metrics.wall_seconds (and the
+// per-phase wall timings) with measured time, so SimSeconds predictions
+// can be validated against the clock. The TaaV baseline route ignores
+// the mode and always runs simulated.
+//
 // The old one-shot calls (Zidian::Answer / AnswerSpec / AnswerBaseline)
 // remain as thin shims over this API.
 #ifndef ZIDIAN_ZIDIAN_CONNECTION_H_
@@ -30,6 +40,7 @@
 #include <optional>
 #include <string>
 
+#include "common/thread_pool.h"
 #include "zidian/zidian.h"
 
 namespace zidian {
@@ -50,6 +61,10 @@ struct ExecOptions {
   /// cache stays attached and coherent; Put/Delete still invalidate).
   /// All cache_* counters of the run stay zero.
   bool bypass_cache = false;
+  /// kSimulated: one thread, `workers` only divides the cost model.
+  /// kThreads: `workers` real threads on the KBA route — identical rows
+  /// and counters, measured wall-clock in the metrics.
+  ParallelMode parallel_mode = ParallelMode::kSimulated;
 };
 
 /// A parsed, bound, routed and planned query, ready to run many times.
@@ -81,7 +96,7 @@ class PreparedQuery {
   /// One-time M1 (preservation) + M2 (plan generation).
   Status Plan();
   /// M3 + query finishing for the KBA route.
-  Result<Relation> ExecuteKba(int workers, AnswerInfo* out);
+  Result<Relation> ExecuteKba(int workers, ParallelMode mode, AnswerInfo* out);
 
   Zidian* zidian_;
   QuerySpec spec_;

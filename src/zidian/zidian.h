@@ -28,6 +28,7 @@
 #include "baav/baav_store.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "ra/taav.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
@@ -63,6 +64,10 @@ struct AnswerInfo {
   bool cache_enabled = false;
   uint64_t cache_capacity_bytes = 0;
   bool cache_bypassed = false;
+  /// How `workers` executed this run (ExecOptions::parallel_mode):
+  /// simulated cost accounting or real threads. Under kThreads,
+  /// metrics.wall_seconds carries the measured time next to sim_seconds.
+  ParallelMode parallel_mode = ParallelMode::kSimulated;
   QueryMetrics metrics;
   std::string plan_text;
   std::string detail;

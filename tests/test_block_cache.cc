@@ -118,6 +118,46 @@ TEST(BlockCache, OversizedValueIsNotCached) {
   EXPECT_EQ(cache.GetStats().entries, 0u);
 }
 
+TEST(BlockCache, NegativeEntriesProbeAsConfirmedAbsent) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 10, .shards = 2});
+  std::string value;
+  EXPECT_EQ(cache.Probe("gone", &value), CacheLookup::kMiss);
+  cache.InsertNegative("gone");
+  EXPECT_EQ(cache.Probe("gone", &value), CacheLookup::kNegativeHit);
+  // The bool API reads a negative entry as "no value available".
+  EXPECT_FALSE(cache.Lookup("gone", &value));
+
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.negative_hits, 2u);  // Probe + the Lookup wrapper
+  EXPECT_EQ(stats.negative_entries, 1u);
+  EXPECT_EQ(stats.entries, 1u);
+  EXPECT_EQ(stats.bytes, 4u);  // key only — negatives carry no value
+
+  // A real value overwrites the remembered absence; Erase drops either.
+  cache.Insert("gone", "back");
+  EXPECT_EQ(cache.Probe("gone", &value), CacheLookup::kHit);
+  EXPECT_EQ(value, "back");
+  EXPECT_EQ(cache.GetStats().negative_entries, 0u);
+  cache.InsertNegative("gone");
+  cache.Erase("gone");
+  EXPECT_EQ(cache.Probe("gone", &value), CacheLookup::kMiss);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().bytes, 0u);
+}
+
+TEST(BlockCache, NegativeEntriesAreEvictableLikeValues) {
+  // 16-byte budget in one shard: a negative ("nk" = 2 bytes) plus an
+  // 8-byte value entry fit; the next insert evicts the LRU negative.
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 16, .shards = 1});
+  cache.InsertNegative("nk");
+  EXPECT_EQ(cache.Insert("k1", "123456"), 0u);  // 2 + 6 bytes; 10 of 16 used
+  EXPECT_EQ(cache.Insert("k2", "123456"), 1u);  // evicts the negative (LRU)
+  std::string value;
+  EXPECT_EQ(cache.Probe("nk", &value), CacheLookup::kMiss);
+  EXPECT_EQ(cache.Probe("k1", &value), CacheLookup::kHit);
+  EXPECT_EQ(cache.GetStats().negative_entries, 0u);
+}
+
 // ------------------------------------------------------- cluster level ---
 
 ClusterOptions CachedOptions(BackendKind backend = BackendKind::kLsm) {
@@ -221,6 +261,69 @@ TEST(ClusterCache, NoFillReadsNeverPopulateTheCache) {
   ASSERT_TRUE(cluster.Get("key", &after, CacheFill::kNoFill).ok());
   EXPECT_EQ(after.cache_hits, 1u);
   EXPECT_EQ(after.get_round_trips, 0u);
+}
+
+TEST(ClusterCache, RepeatedAbsentGetsStopPayingRoundTrips) {
+  Cluster cluster(CachedOptions());
+  QueryMetrics m;
+  // First miss confirms the absence at the backend and remembers it.
+  EXPECT_FALSE(cluster.Get("ghost", &m).ok());
+  EXPECT_EQ(m.get_round_trips, 1u);
+  EXPECT_EQ(m.cache_misses, 1u);
+  EXPECT_EQ(m.cache_negative_hits, 0u);
+  // Repeats answer from the negative entry: logical gets, zero trips.
+  EXPECT_FALSE(cluster.Get("ghost", &m).ok());
+  EXPECT_FALSE(cluster.Get("ghost", &m).ok());
+  EXPECT_EQ(m.get_calls, 3u);
+  EXPECT_EQ(m.get_round_trips, 1u);
+  EXPECT_EQ(m.cache_negative_hits, 2u);
+  EXPECT_EQ(m.bytes_from_storage, 0u);
+  EXPECT_EQ(cluster.block_cache()->GetStats().negative_entries, 1u);
+}
+
+TEST(ClusterCache, MultiGetServesCachedAbsencesWithoutTrips) {
+  Cluster cluster(CachedOptions());
+  ASSERT_TRUE(cluster.Put("present-1", "v1").ok());
+  ASSERT_TRUE(cluster.Put("present-2", "v2").ok());
+  std::vector<std::string> keys{"present-1", "absent-1", "present-2",
+                                "absent-2"};
+  QueryMetrics cold;
+  auto first = cluster.MultiGet(keys, &cold);
+  EXPECT_TRUE(first[0].has_value());
+  EXPECT_FALSE(first[1].has_value());
+  EXPECT_GT(cold.get_round_trips, 0u);
+
+  // Warm pass: positives hit, absences negative-hit, nothing travels.
+  QueryMetrics warm;
+  auto second = cluster.MultiGet(keys, &warm);
+  EXPECT_EQ(warm.get_calls, 4u);
+  EXPECT_EQ(warm.cache_hits, 2u);
+  EXPECT_EQ(warm.cache_negative_hits, 2u);
+  EXPECT_EQ(warm.get_round_trips, 0u);
+  EXPECT_EQ(warm.bytes_from_storage, 0u);
+  for (size_t i = 0; i < keys.size(); ++i) {
+    EXPECT_EQ(second[i].has_value(), first[i].has_value()) << i;
+  }
+}
+
+TEST(ClusterCache, PutInvalidatesNegativeEntry) {
+  Cluster cluster(CachedOptions());
+  QueryMetrics m;
+  EXPECT_FALSE(cluster.Get("late", &m).ok());        // plants the negative
+  ASSERT_TRUE(cluster.Put("late", "arrived").ok());  // must erase it
+  auto r = cluster.Get("late", &m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "arrived");
+  EXPECT_EQ(m.cache_negative_hits, 0u);  // never served stale absence
+}
+
+TEST(ClusterCache, NoFillAbsentReadsLeaveNoNegativeBehind) {
+  Cluster cluster(CachedOptions());
+  QueryMetrics m;
+  EXPECT_FALSE(cluster.Get("ghost", &m, CacheFill::kNoFill).ok());
+  EXPECT_FALSE(cluster.Get("ghost", &m, CacheFill::kNoFill).ok());
+  EXPECT_EQ(m.get_round_trips, 2u);  // every no-fill read paid its trip
+  EXPECT_EQ(cluster.block_cache()->GetStats().entries, 0u);
 }
 
 TEST(ClusterCache, PutInvalidatesCachedKey) {
