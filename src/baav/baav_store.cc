@@ -52,9 +52,14 @@ Result<Tuple> BaavStore::ProjectTuple(
 Status BaavStore::WriteBlock(const KvSchema& kv, const Tuple& key,
                              const std::vector<Tuple>& rows) {
   // Determine the previous segment count so stale segments get deleted.
+  // kNoFill: this is internal bookkeeping, not a query read — letting its
+  // misses plant negative entries would make every bulk-build Put an
+  // install (Cluster::Put upgrades negatives), silently pre-warming the
+  // whole cache during load.
   uint64_t old_segments = 0;
   {
-    auto res = cluster_->Get(SegmentKey(kv, key, 0), nullptr);
+    auto res =
+        cluster_->Get(SegmentKey(kv, key, 0), nullptr, CacheFill::kNoFill);
     if (res.ok()) {
       std::string_view sv = res.value();
       GetVarint64(&sv, &old_segments);
@@ -366,10 +371,18 @@ Status BaavStore::ScanInstance(
     const KvSchema& kv, QueryMetrics* m,
     const std::function<void(const Tuple&, const std::vector<Tuple>&)>& fn)
     const {
+  return ScanInstance(kv, m, nullptr, 1, fn);
+}
+
+Status BaavStore::ScanInstance(
+    const KvSchema& kv, QueryMetrics* m, ThreadPool* pool, int workers,
+    const std::function<void(const Tuple&, const std::vector<Tuple>&)>& fn)
+    const {
   std::string prefix = InstancePrefix(kv);
   Status st = Status::OK();
   // Collect per-key segments: hash partitioning scatters segments across
-  // nodes, so group by X first, then decode in segment order.
+  // nodes, so group by X first, then decode in segment order. The ordered
+  // map fixes the block order every chunking below must reproduce.
   std::map<std::string, std::map<int64_t, std::string>> by_key;
   cluster_->ScanPrefix(prefix, m,
                        [&](std::string_view key, std::string_view value) {
@@ -390,29 +403,67 @@ Status BaavStore::ScanInstance(
                          by_key[xpart][seg] = std::string(value);
                        });
   ZIDIAN_RETURN_NOT_OK(st);
-  for (const auto& [xpart, segments] : by_key) {
+
+  // Decode chunk-per-worker: each worker owns a contiguous range of
+  // blocks, decodes into its own slot and meters its own delta; the merge
+  // walks the slots in worker order and hands every block to `fn` on the
+  // calling thread — same block order, same counters as the sequential
+  // scan, whatever the scheduler did.
+  std::vector<const std::pair<const std::string,
+                              std::map<int64_t, std::string>>*> blocks;
+  blocks.reserve(by_key.size());
+  for (const auto& entry : by_key) blocks.push_back(&entry);
+
+  struct Decoded {
     Tuple key;
-    if (!DecodeKeyTuple(xpart, kv.key_attrs.size(), &key)) {
-      return Status::Corruption("bad BaaV key for " + kv.name);
-    }
     std::vector<Tuple> rows;
-    for (const auto& [seg_no, data] : segments) {
-      std::string_view sv = data;
-      if (seg_no == 0) {
-        uint64_t n;
-        if (!GetVarint64(&sv, &n)) {
-          return Status::Corruption("bad segment header");
-        }
+  };
+  struct WorkerSlot {
+    std::vector<Decoded> decoded;
+    QueryMetrics m;
+    Status status;
+  };
+  size_t p = static_cast<size_t>(std::max(1, workers));
+  std::vector<WorkerSlot> slots(p);
+  auto run_worker = [&](size_t w) {
+    WorkerSlot& slot = slots[w];
+    auto [begin, end] = ChunkRange(blocks.size(), w, p);
+    for (size_t i = begin; i < end; ++i) {
+      const auto& [xpart, segments] = *blocks[i];
+      Decoded d;
+      if (!DecodeKeyTuple(xpart, kv.key_attrs.size(), &d.key)) {
+        slot.status = Status::Corruption("bad BaaV key for " + kv.name);
+        return;
       }
-      std::vector<Tuple> part;
-      ZIDIAN_RETURN_NOT_OK(DecodeBlock(sv, kv.value_attrs.size(), &part));
-      rows.insert(rows.end(), std::make_move_iterator(part.begin()),
-                  std::make_move_iterator(part.end()));
+      for (const auto& [seg_no, data] : segments) {
+        std::string_view sv = data;
+        if (seg_no == 0) {
+          uint64_t n;
+          if (!GetVarint64(&sv, &n)) {
+            slot.status = Status::Corruption("bad segment header");
+            return;
+          }
+        }
+        std::vector<Tuple> part;
+        slot.status = DecodeBlock(sv, kv.value_attrs.size(), &part);
+        if (!slot.status.ok()) return;
+        d.rows.insert(d.rows.end(), std::make_move_iterator(part.begin()),
+                      std::make_move_iterator(part.end()));
+      }
+      slot.m.values_accessed +=
+          d.rows.size() * kv.value_attrs.size() + d.key.size();
+      slot.decoded.push_back(std::move(d));
     }
-    if (m != nullptr) {
-      m->values_accessed += rows.size() * kv.value_attrs.size() + key.size();
-    }
-    fn(key, rows);
+  };
+  if (pool != nullptr && p > 1) {
+    pool->ParallelFor(p, run_worker);
+  } else {
+    for (size_t w = 0; w < p; ++w) run_worker(w);
+  }
+  for (auto& slot : slots) {
+    ZIDIAN_RETURN_NOT_OK(slot.status);
+    if (m != nullptr) *m += slot.m;
+    for (const auto& d : slot.decoded) fn(d.key, d.rows);
   }
   return Status::OK();
 }

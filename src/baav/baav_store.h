@@ -27,6 +27,7 @@
 #include "baav/kv_schema.h"
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
 #include "storage/cluster.h"
@@ -86,6 +87,17 @@ class BaavStore {
   /// block segment plus the shipped bytes.
   Status ScanInstance(
       const KvSchema& kv, QueryMetrics* m,
+      const std::function<void(const Tuple& key,
+                               const std::vector<Tuple>& rows)>& fn) const;
+
+  /// Data-parallel instance scan: key enumeration stays sequential (it
+  /// fixes the block order), then block decode is chunked across
+  /// `workers` on `pool` with per-worker QueryMetrics deltas; `fn` is
+  /// invoked on the calling thread in the same block order as the
+  /// sequential scan, with identical metering. Null pool or workers <= 1
+  /// degrades to the sequential code path.
+  Status ScanInstance(
+      const KvSchema& kv, QueryMetrics* m, ThreadPool* pool, int workers,
       const std::function<void(const Tuple& key,
                                const std::vector<Tuple>& rows)>& fn) const;
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <atomic>
+#include <exception>
 
 namespace zidian {
 
@@ -69,15 +70,29 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   // of it, or the State could be destroyed under that helper.
   struct State {
     std::atomic<size_t> next{0};
+    std::atomic<bool> failed{false};
     std::mutex mu;
     std::condition_variable done;
-    size_t exited = 0;  // guarded by mu
+    size_t exited = 0;                 // guarded by mu
+    std::exception_ptr first_error;    // guarded by mu
   } state;
 
+  // Every worker keeps claiming indices until the range is exhausted (the
+  // drain the join depends on), but after a throw the remaining indices
+  // are skipped: the batch is already doomed, and a helper must never let
+  // an exception escape into WorkerLoop (that would std::terminate the
+  // thread and wedge the pool).
   auto drain = [&state, &fn, n] {
     size_t i;
     while ((i = state.next.fetch_add(1, std::memory_order_relaxed)) < n) {
-      fn(i);
+      if (state.failed.load(std::memory_order_relaxed)) continue;
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        if (!state.first_error) state.first_error = std::current_exception();
+        state.failed.store(true, std::memory_order_relaxed);
+      }
     }
   };
 
@@ -90,8 +105,14 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
     });
   }
   drain();
-  std::unique_lock<std::mutex> lock(state.mu);
-  state.done.wait(lock, [&state, helpers] { return state.exited == helpers; });
+  {
+    std::unique_lock<std::mutex> lock(state.mu);
+    state.done.wait(lock,
+                    [&state, helpers] { return state.exited == helpers; });
+  }
+  // The join point: every helper has exited, so rethrowing cannot leave a
+  // task still touching this frame's state.
+  if (state.first_error) std::rethrow_exception(state.first_error);
 }
 
 }  // namespace zidian

@@ -1,8 +1,12 @@
 // A small fixed-size thread pool for data-parallel query execution. The
-// KBA executor maps `workers = p` onto p-wide ParallelFor regions: the
+// executors map `workers = p` onto p-wide ParallelFor regions: the
 // calling thread participates, so a pool of p-1 threads executes a
-// p-worker region at full width. Tasks must not throw (the codebase is
-// exception-free; fallible work records a Status into its own slot).
+// p-worker region at full width. Fallible work should record a Status
+// into its own slot (the codebase is exception-free by convention), but
+// a task that does throw — bad_alloc, third-party code — must not take
+// the pool down: ParallelFor captures the first exception of the batch,
+// drains the remaining indices without running them, and rethrows at the
+// join point, leaving the pool threads alive and reusable.
 //
 // ParallelFor is the only coordination primitive the executors need:
 // indices are claimed from a shared atomic counter, every worker writes
@@ -14,14 +18,26 @@
 #define ZIDIAN_COMMON_THREAD_POOL_H_
 
 #include <condition_variable>
+#include <cstddef>
 #include <deque>
 #include <functional>
 #include <mutex>
 #include <string_view>
 #include <thread>
+#include <utility>
 #include <vector>
 
 namespace zidian {
+
+/// Contiguous chunk [begin, end) of `n` items for worker `w` of `p`.
+/// THE chunk partition of the codebase: every data-parallel stage (scan,
+/// filter, probe, aggregate) must split with this exact formula, because
+/// the kSimulated-vs-kThreads parity contract — and the aggregate's
+/// floating-sum association — depends on chunking being a function of
+/// `workers` alone, identical across stages and modes.
+inline std::pair<size_t, size_t> ChunkRange(size_t n, size_t w, size_t p) {
+  return {n * w / p, n * (w + 1) / p};
+}
 
 /// How an executor maps `workers` onto execution resources.
 enum class ParallelMode {
@@ -45,10 +61,12 @@ class ThreadPool {
 
   int num_threads() const { return static_cast<int>(threads_.size()); }
 
-  /// Runs fn(0) .. fn(n-1), each exactly once, across the pool plus the
-  /// calling thread. Blocks until all n calls have returned. fn must not
-  /// throw; concurrent calls of fn must only touch disjoint state (the
-  /// per-worker-slot discipline).
+  /// Runs fn(0) .. fn(n-1), each at most once, across the pool plus the
+  /// calling thread. Blocks until every started call has returned.
+  /// Concurrent calls of fn must only touch disjoint state (the
+  /// per-worker-slot discipline). If any fn throws, the first captured
+  /// exception is rethrown here after the batch drains; indices claimed
+  /// after the capture are skipped, and the pool stays usable.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

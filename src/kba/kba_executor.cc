@@ -66,14 +66,17 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, const ExecCtx& ctx,
       out.key_cols = QualifyAll(plan.alias, kv->key_attrs);
       out.value_cols = QualifyAll(plan.alias, kv->value_attrs);
       out.rel = Relation(out.AllCols());
+      auto start = std::chrono::steady_clock::now();
       ZIDIAN_RETURN_NOT_OK(store_->ScanInstance(
-          *kv, m, [&](const Tuple& key, const std::vector<Tuple>& rows) {
+          *kv, m, ctx.pool, workers,
+          [&](const Tuple& key, const std::vector<Tuple>& rows) {
             for (const auto& y : rows) {
               Tuple t = key;
               t.insert(t.end(), y.begin(), y.end());
               out.rel.Add(std::move(t));
             }
           }));
+      if (m != nullptr) m->wall_fetch_seconds += SecondsSince(start);
       return out;
     }
 
@@ -174,9 +177,12 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, const ExecCtx& ctx,
       ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], ctx, m));
       if (plan.from_stats) return EvalGroupAggFromStats(plan, in, m);
       ChargeShuffleBytes(in.rel.ByteSize(), workers, m);
+      auto start = std::chrono::steady_clock::now();
       ZIDIAN_ASSIGN_OR_RETURN(
           Relation out_rel,
-          GroupAggregate(in.rel, plan.group_by, plan.agg_items, m));
+          GroupAggregate(in.rel, plan.group_by, plan.agg_items, m, ctx.pool,
+                         workers));
+      if (m != nullptr) m->wall_compute_seconds += SecondsSince(start);
       KvInst out;
       for (const auto& g : plan.group_by) {
         out.key_cols.push_back(g.Qualified());

@@ -14,11 +14,6 @@ namespace {
 /// change a result or a metric.
 constexpr size_t kParallelRowCutoff = 512;
 
-/// Contiguous chunk [begin, end) of `n` rows for worker `w` of `p`.
-std::pair<size_t, size_t> ChunkRange(size_t n, size_t w, size_t p) {
-  return {n * w / p, n * (w + 1) / p};
-}
-
 bool UseParallel(ThreadPool* pool, int workers, size_t rows) {
   return pool != nullptr && workers > 1 && rows >= kParallelRowCutoff;
 }
@@ -279,6 +274,25 @@ struct AggState {
     ++count;
   }
 
+  /// Combines another chunk's partial state into this one. All combine
+  /// rules are order-independent except the floating sum, whose
+  /// association is fixed by the chunking — which depends only on
+  /// `workers`, never on scheduling, so both parallel modes agree.
+  void Merge(const AggState& o) {
+    if (o.any) {
+      if (!any) {
+        min = o.min;
+        max = o.max;
+        any = true;
+      } else {
+        if (o.min < min) min = o.min;
+        if (max < o.max) max = o.max;
+      }
+    }
+    sum += o.sum;
+    count += o.count;
+  }
+
   Value Finish(AggFn fn) const {
     switch (fn) {
       case AggFn::kSum:
@@ -305,6 +319,14 @@ Result<Relation> GroupAggregate(const Relation& input,
                                 const std::vector<AttrRef>& group_by,
                                 const std::vector<SelectItem>& items,
                                 QueryMetrics* m) {
+  return GroupAggregate(input, group_by, items, m, nullptr, 1);
+}
+
+Result<Relation> GroupAggregate(const Relation& input,
+                                const std::vector<AttrRef>& group_by,
+                                const std::vector<SelectItem>& items,
+                                QueryMetrics* m, ThreadPool* pool,
+                                int workers) {
   std::vector<int> gidx;
   for (const auto& g : group_by) {
     int i = input.ColumnIndex(g.Qualified());
@@ -343,43 +365,101 @@ Result<Relation> GroupAggregate(const Relation& input,
     bound.push_back(std::move(b));
   }
 
-  // Accumulate.
+  // Accumulate chunk-per-worker: each worker folds its contiguous row
+  // range into a private hash table, remembering where each group first
+  // appeared. The chunking is a function of `workers` alone (never of
+  // scheduling or the pool), so a simulated run and a threaded run at the
+  // same worker count build bit-identical partials.
   size_t num_aggs = 0;
   for (const auto& b : bound) {
     if (b.agg != AggFn::kNone) ++num_aggs;
   }
-  std::unordered_map<Tuple, std::vector<AggState>, TupleHasher> groups;
-  for (const auto& row : input.rows()) {
-    if (row.size() != input.columns().size()) {
-      return Status::Internal(
-          "malformed relation: row arity " + std::to_string(row.size()) +
-          " vs " + std::to_string(input.columns().size()) + " columns");
-    }
-    Tuple key;
-    key.reserve(gidx.size());
-    for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
-    auto [it, inserted] = groups.emplace(std::move(key),
-                                         std::vector<AggState>(num_aggs));
-    size_t slot = 0;
-    for (const auto& b : bound) {
-      if (b.agg == AggFn::kNone) continue;
-      if (m != nullptr) m->compute_values += 1;
-      if (b.agg == AggFn::kCount && !b.expr) {
-        it->second[slot].Feed(Value(static_cast<int64_t>(1)));
-      } else {
-        it->second[slot].Feed(b.expr->Eval(row));
+  struct Group {
+    size_t first_row;  // global index of the group's first appearance
+    std::vector<AggState> states;
+  };
+  using GroupMap = std::unordered_map<Tuple, Group, TupleHasher>;
+  size_t p = static_cast<size_t>(std::max(1, workers));
+  std::vector<GroupMap> partial(p);
+  std::vector<QueryMetrics> deltas(p);
+  std::vector<Status> statuses(p, Status::OK());
+  auto accumulate = [&](size_t w) {
+    auto [begin, end] = ChunkRange(input.size(), w, p);
+    GroupMap& groups = partial[w];
+    QueryMetrics& wm = deltas[w];
+    for (size_t r = begin; r < end; ++r) {
+      const Tuple& row = input.rows()[r];
+      if (row.size() != input.columns().size()) {
+        statuses[w] = Status::Internal(
+            "malformed relation: row arity " + std::to_string(row.size()) +
+            " vs " + std::to_string(input.columns().size()) + " columns");
+        return;
       }
-      ++slot;
+      Tuple key;
+      key.reserve(gidx.size());
+      for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
+      auto [it, inserted] =
+          groups.emplace(std::move(key), Group{r, std::vector<AggState>(num_aggs)});
+      (void)inserted;
+      size_t slot = 0;
+      for (const auto& b : bound) {
+        if (b.agg == AggFn::kNone) continue;
+        wm.compute_values += 1;
+        if (b.agg == AggFn::kCount && !b.expr) {
+          it->second.states[slot].Feed(Value(static_cast<int64_t>(1)));
+        } else {
+          it->second.states[slot].Feed(b.expr->Eval(row));
+        }
+        ++slot;
+      }
     }
-    (void)inserted;
+  };
+  if (UseParallel(pool, workers, input.size())) {
+    pool->ParallelFor(p, accumulate);
+  } else {
+    for (size_t w = 0; w < p; ++w) accumulate(w);
   }
-  // Global aggregate over empty input still yields one row.
-  if (groups.empty() && group_by.empty()) {
-    groups.emplace(Tuple{}, std::vector<AggState>(num_aggs));
+  for (size_t w = 0; w < p; ++w) {
+    ZIDIAN_RETURN_NOT_OK(statuses[w]);
+    if (m != nullptr) *m += deltas[w];
   }
 
+  // Merge partials in worker-index order (deterministic whatever the
+  // scheduler did): aggregate states combine via AggState::Merge, the
+  // first-appearance index takes the minimum.
+  GroupMap merged = std::move(partial[0]);
+  for (size_t w = 1; w < p; ++w) {
+    for (auto& entry : partial[w]) {
+      auto it = merged.find(entry.first);
+      if (it == merged.end()) {
+        merged.emplace(entry.first, std::move(entry.second));
+        continue;
+      }
+      Group& g = it->second;
+      g.first_row = std::min(g.first_row, entry.second.first_row);
+      for (size_t s = 0; s < num_aggs; ++s) {
+        g.states[s].Merge(entry.second.states[s]);
+      }
+    }
+  }
+  // Global aggregate over empty input still yields one row.
+  if (merged.empty() && group_by.empty()) {
+    merged.emplace(Tuple{}, Group{0, std::vector<AggState>(num_aggs)});
+  }
+
+  // Emit in first-appearance order — canonical across modes AND worker
+  // counts (hash-map iteration order would be neither).
+  std::vector<const std::pair<const Tuple, Group>*> ordered;
+  ordered.reserve(merged.size());
+  for (const auto& entry : merged) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->second.first_row < b->second.first_row;
+  });
+
   Relation out(std::move(out_cols));
-  for (const auto& [key, states] : groups) {
+  for (const auto* entry : ordered) {
+    const Tuple& key = entry->first;
+    const std::vector<AggState>& states = entry->second.states;
     Tuple t;
     t.reserve(bound.size());
     size_t slot = 0;
@@ -425,10 +505,16 @@ Status OrderAndLimit(const std::vector<OrderKey>& order_by, int64_t limit,
 
 Result<Relation> FinishQuery(const Relation& joined, const QuerySpec& spec,
                              QueryMetrics* m) {
+  return FinishQuery(joined, spec, m, nullptr, 1);
+}
+
+Result<Relation> FinishQuery(const Relation& joined, const QuerySpec& spec,
+                             QueryMetrics* m, ThreadPool* pool, int workers) {
   Relation out;
   if (spec.HasAggregates()) {
-    ZIDIAN_ASSIGN_OR_RETURN(out, GroupAggregate(joined, spec.group_by,
-                                                spec.select_items, m));
+    ZIDIAN_ASSIGN_OR_RETURN(out,
+                            GroupAggregate(joined, spec.group_by,
+                                           spec.select_items, m, pool, workers));
   } else if (!spec.group_by.empty()) {
     // GROUP BY without aggregates == DISTINCT over the keys.
     ZIDIAN_ASSIGN_OR_RETURN(out,

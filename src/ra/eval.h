@@ -62,11 +62,25 @@ Result<Relation> ProjectSelect(const Relation& input,
 
 /// GROUP BY + aggregates. `group_by` names must exist in `input`;
 /// non-aggregate select items must be group keys. With an empty `group_by`
-/// and aggregate items, produces the single global-aggregate row.
+/// and aggregate items, produces the single global-aggregate row. Groups
+/// are emitted in first-appearance order (the input row where each group
+/// key was first seen) — a canonical order that every worker count and
+/// parallel mode reproduces exactly.
 Result<Relation> GroupAggregate(const Relation& input,
                                 const std::vector<AttrRef>& group_by,
                                 const std::vector<SelectItem>& items,
                                 QueryMetrics* m);
+
+/// Data-parallel GROUP BY: rows are chunked per worker, each worker folds
+/// its chunk into a private hash table with its own QueryMetrics delta,
+/// and the partial tables merge order-independently (sums/counts add,
+/// min/max combine, first-appearance indices take the minimum). Rows and
+/// counters are identical to the sequential run at the same `workers`.
+Result<Relation> GroupAggregate(const Relation& input,
+                                const std::vector<AttrRef>& group_by,
+                                const std::vector<SelectItem>& items,
+                                QueryMetrics* m, ThreadPool* pool,
+                                int workers);
 
 /// ORDER BY (on output column names) then LIMIT (-1 = no limit).
 Status OrderAndLimit(const std::vector<OrderKey>& order_by, int64_t limit,
@@ -76,6 +90,11 @@ Status OrderAndLimit(const std::vector<OrderKey>& order_by, int64_t limit,
 /// performs aggregation or projection, then order/limit.
 Result<Relation> FinishQuery(const Relation& joined, const QuerySpec& spec,
                              QueryMetrics* m);
+
+/// Data-parallel FinishQuery: aggregation runs through the parallel
+/// GroupAggregate; projection and order/limit stay sequential.
+Result<Relation> FinishQuery(const Relation& joined, const QuerySpec& spec,
+                             QueryMetrics* m, ThreadPool* pool, int workers);
 
 }  // namespace zidian
 

@@ -1,8 +1,11 @@
 #include "ra/taav.h"
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <memory>
 #include <set>
+#include <thread>
 
 #include "common/coding.h"
 #include "ra/eval.h"
@@ -49,31 +52,105 @@ Status TaavDeleteTuple(Cluster* cluster, const TableSchema& schema,
 Result<Relation> TaavScanTable(const Cluster& cluster,
                                const TableSchema& schema,
                                const std::string& alias, QueryMetrics* m) {
+  return TaavScanTable(cluster, schema, alias, m, nullptr, 1);
+}
+
+Result<Relation> TaavScanTable(const Cluster& cluster,
+                               const TableSchema& schema,
+                               const std::string& alias, QueryMetrics* m,
+                               ThreadPool* pool, int workers) {
   std::vector<std::string> cols;
   for (const auto& c : schema.columns()) cols.push_back(alias + "." + c.name);
   Relation out(std::move(cols));
 
-  Status decode_status = Status::OK();
-  cluster.ScanPrefix(
-      TaavPrefix(schema.name()), m,
-      [&](std::string_view key, std::string_view value) {
-        (void)key;
-        // Under TaaV, the scan enumerates keys via next() and fetches each
-        // tuple via get() (§3): ScanPrefix metered the next()s and bytes;
-        // add the per-tuple get and the values read.
-        if (m != nullptr) {
-          m->get_calls += 1;
-          m->values_accessed += schema.arity();
-        }
-        Tuple t;
-        std::string_view sv = value;
-        if (!DecodeTuplePayload(&sv, schema.arity(), &t)) {
-          decode_status = Status::Corruption("bad tuple in " + schema.name());
-          return;
-        }
-        out.Add(std::move(t));
-      });
-  ZIDIAN_RETURN_NOT_OK(decode_status);
+  // Each simulated per-tuple get stalls for the cluster's injected
+  // round-trip latency — the baseline's per-tuple RTT cost, paid
+  // back-to-back sequentially and overlapped under kThreads, which is
+  // what makespan_get predicts. One get + arity values metered per
+  // tuple on either path below; the totals — and the row order — cannot
+  // differ between them.
+  const int stall_us = cluster.round_trip_latency_us();
+  auto start = std::chrono::steady_clock::now();
+
+  if (pool == nullptr || workers <= 1) {
+    // No threads to feed: stream-decode straight off the scan iterator,
+    // never materializing the encoded table a second time.
+    Status decode_status = Status::OK();
+    cluster.ScanPrefix(
+        TaavPrefix(schema.name()), m,
+        [&](std::string_view key, std::string_view value) {
+          (void)key;
+          if (m != nullptr) {
+            m->get_calls += 1;
+            m->values_accessed += schema.arity();
+          }
+          if (stall_us > 0) {
+            std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+          }
+          Tuple t;
+          std::string_view sv = value;
+          if (!DecodeTuplePayload(&sv, schema.arity(), &t)) {
+            decode_status = Status::Corruption("bad tuple in " + schema.name());
+            return;
+          }
+          out.Add(std::move(t));
+        });
+    ZIDIAN_RETURN_NOT_OK(decode_status);
+    if (m != nullptr) {
+      m->wall_fetch_seconds += std::chrono::duration<double>(
+                                   std::chrono::steady_clock::now() - start)
+                                   .count();
+    }
+    return out;
+  }
+
+  // Threaded: phase 1 enumerates the keys sequentially (ScanPrefix meters
+  // the next()s and the shipped pair bytes, fixing the row order the
+  // chunking must reproduce), then phase 2 runs the per-tuple get+decode
+  // chunk-per-worker — each worker meters its own delta and decodes into
+  // its own slot, slots merge in worker order, so rows and counters are
+  // byte-identical to the streaming path.
+  std::vector<std::string> payloads;
+  cluster.ScanPrefix(TaavPrefix(schema.name()), m,
+                     [&](std::string_view key, std::string_view value) {
+                       (void)key;
+                       payloads.emplace_back(value);
+                     });
+  size_t p = static_cast<size_t>(workers);
+  struct WorkerSlot {
+    Relation partial;
+    QueryMetrics m;
+    Status status;
+  };
+  std::vector<WorkerSlot> slots(p);
+  pool->ParallelFor(p, [&](size_t w) {
+    WorkerSlot& slot = slots[w];
+    auto [begin, end] = ChunkRange(payloads.size(), w, p);
+    for (size_t i = begin; i < end; ++i) {
+      slot.m.get_calls += 1;
+      slot.m.values_accessed += schema.arity();
+      if (stall_us > 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      }
+      Tuple t;
+      std::string_view sv = payloads[i];
+      if (!DecodeTuplePayload(&sv, schema.arity(), &t)) {
+        slot.status = Status::Corruption("bad tuple in " + schema.name());
+        return;
+      }
+      slot.partial.Add(std::move(t));
+    }
+  });
+  for (auto& slot : slots) {
+    ZIDIAN_RETURN_NOT_OK(slot.status);
+    if (m != nullptr) *m += slot.m;
+    for (auto& row : slot.partial.rows()) out.Add(std::move(row));
+  }
+  if (m != nullptr) {
+    m->wall_fetch_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+  }
   return out;
 }
 
@@ -150,7 +227,7 @@ void ChargeShuffle(const Relation& rel, int workers, QueryMetrics* m) {
 
 Result<Relation> JoinAll(const QuerySpec& spec,
                          std::vector<Relation> per_alias, int workers,
-                         QueryMetrics* m) {
+                         QueryMetrics* m, ThreadPool* pool) {
   EqClasses eq(spec);
   std::vector<Relation> pending = std::move(per_alias);
   if (pending.empty()) return Status::InvalidArgument("no tables");
@@ -181,20 +258,38 @@ Result<Relation> JoinAll(const QuerySpec& spec,
     }
     ChargeShuffle(acc, workers, m);
     ChargeShuffle(pending[pick], workers, m);
-    ZIDIAN_ASSIGN_OR_RETURN(acc, HashJoin(acc, pending[pick], pairs, m));
+    ZIDIAN_ASSIGN_OR_RETURN(
+        acc, HashJoin(acc, pending[pick], pairs, m, pool, workers));
     pending.erase(pending.begin() + static_cast<long>(pick));
   }
   return acc;
 }
 
-Result<Relation> TaavExecutor::Execute(const QuerySpec& spec, int workers,
+Result<Relation> TaavExecutor::Execute(const QuerySpec& spec,
+                                       const TaavExecOptions& opts,
                                        QueryMetrics* m) const {
+  const int workers = std::max(1, opts.workers);
+  // Threaded mode gets a pool of workers-1 threads (the calling thread
+  // participates in every region), preferring an externally-owned pool so
+  // repeated executions amortize thread startup.
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> owned_pool;
+  if (opts.parallel_mode == ParallelMode::kThreads && workers > 1) {
+    if (opts.pool != nullptr) {
+      pool = opts.pool;
+    } else {
+      owned_pool = std::make_unique<ThreadPool>(workers - 1);
+      pool = owned_pool.get();
+    }
+  }
+
   // (a) Retrieve all involved relations from storage (§7.1) — no pushdown.
   std::vector<Relation> per_alias;
   for (const auto& t : spec.tables) {
     ZIDIAN_ASSIGN_OR_RETURN(TableSchema schema, catalog_->Get(t.table));
-    ZIDIAN_ASSIGN_OR_RETURN(Relation rel,
-                            TaavScanTable(*cluster_, schema, t.alias, m));
+    ZIDIAN_ASSIGN_OR_RETURN(
+        Relation rel,
+        TaavScanTable(*cluster_, schema, t.alias, m, pool, workers));
     // (b) Selections evaluated in the SQL layer, after the data movement.
     std::vector<ExprPtr> filters;
     for (const auto& [attr, value] : spec.const_eqs) {
@@ -212,13 +307,22 @@ Result<Relation> TaavExecutor::Execute(const QuerySpec& spec, int workers,
       for (const auto* c : cols) single &= (c->alias == t.alias);
       if (single) filters.push_back(f);
     }
-    ZIDIAN_RETURN_NOT_OK(ApplyFilters(filters, &rel, m));
+    auto compute_start = std::chrono::steady_clock::now();
+    ZIDIAN_RETURN_NOT_OK(ApplyFilters(filters, &rel, m, pool, workers));
+    if (m != nullptr) {
+      m->wall_compute_seconds +=
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        compute_start)
+              .count();
+    }
     per_alias.push_back(std::move(rel));
   }
 
   // (c) Parallel hash joins with shuffle accounting.
-  ZIDIAN_ASSIGN_OR_RETURN(Relation joined,
-                          JoinAll(spec, std::move(per_alias), workers, m));
+  auto compute_start = std::chrono::steady_clock::now();
+  ZIDIAN_ASSIGN_OR_RETURN(
+      Relation joined,
+      JoinAll(spec, std::move(per_alias), workers, m, pool));
 
   // Multi-alias residual filters.
   std::vector<ExprPtr> late;
@@ -229,15 +333,20 @@ Result<Relation> TaavExecutor::Execute(const QuerySpec& spec, int workers,
     for (const auto* c : cols) aliases.insert(c->alias);
     if (aliases.size() != 1) late.push_back(f);
   }
-  ZIDIAN_RETURN_NOT_OK(ApplyFilters(late, &joined, m));
+  ZIDIAN_RETURN_NOT_OK(ApplyFilters(late, &joined, m, pool, workers));
 
   // Group-by repartition shuffle.
   if (spec.HasAggregates() && !spec.group_by.empty()) {
     ChargeShuffle(joined, workers, m);
   }
-  ZIDIAN_ASSIGN_OR_RETURN(Relation out, FinishQuery(joined, spec, m));
+  ZIDIAN_ASSIGN_OR_RETURN(Relation out,
+                          FinishQuery(joined, spec, m, pool, workers));
 
   if (m != nullptr) {
+    m->wall_compute_seconds +=
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      compute_start)
+            .count();
     // Per-worker makespans under the no-skew assumption (§7.2). Only gets
     // that reached storage cost per-get latency; cache hits are local.
     double p = std::max(1, workers);

@@ -10,7 +10,11 @@
 // from the storage layer, move them to the SQL layer, then evaluate with
 // selections, parallel hash joins and aggregation. Parallelism over p
 // workers is accounted (scan partitioning, shuffle repartitioning for joins
-// and group-by), and recorded as per-worker makespan counters.
+// and group-by) and recorded as per-worker makespan counters; under
+// ParallelMode::kThreads the same per-worker decomposition runs on real
+// threads (TaavExecOptions) with byte-identical rows and counters — the
+// control arm of every KBA-vs-TaaV comparison shares the KBA treatment's
+// execution substrate.
 #ifndef ZIDIAN_RA_TAAV_H_
 #define ZIDIAN_RA_TAAV_H_
 
@@ -18,6 +22,7 @@
 
 #include "common/metrics.h"
 #include "common/result.h"
+#include "common/thread_pool.h"
 #include "relational/relation.h"
 #include "relational/schema.h"
 #include "sql/query_spec.h"
@@ -47,9 +52,35 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
                                const TableSchema& schema,
                                const std::string& alias, QueryMetrics* m);
 
+/// Data-parallel table scan: the key enumeration (next()s) runs once on
+/// the calling thread, then the per-tuple get()+decode stage is chunked
+/// across `workers` — each chunk on its own task with its own
+/// QueryMetrics delta, merged back in worker order, so rows and counters
+/// are byte-identical to the sequential scan. When the cluster injects a
+/// per-read round-trip latency, each simulated per-tuple get stalls for
+/// it (inside the worker, in both modes): the sequential scan pays the
+/// stalls back-to-back while the threaded scan overlaps them — exactly
+/// the per-worker cost makespan_get models for the baseline.
+Result<Relation> TaavScanTable(const Cluster& cluster,
+                               const TableSchema& schema,
+                               const std::string& alias, QueryMetrics* m,
+                               ThreadPool* pool, int workers);
+
 /// Point lookup of one tuple by primary key (used by KV-workload benches).
 Result<Tuple> TaavGetTuple(const Cluster& cluster, const TableSchema& schema,
                            const Tuple& pk_values, QueryMetrics* m);
+
+/// How the baseline executor maps `workers` onto execution resources —
+/// the TaaV counterpart of KbaExecOptions, so the paper's KBA-vs-TaaV
+/// comparisons run treatment and control on the same substrate.
+struct TaavExecOptions {
+  int workers = 1;
+  ParallelMode parallel_mode = ParallelMode::kSimulated;
+  /// Optional externally-owned pool for kThreads (e.g. the
+  /// Connection-shared pool). When null, Execute spins up a per-call
+  /// pool of workers-1 threads.
+  ThreadPool* pool = nullptr;
+};
 
 /// Baseline executor: evaluates a bound query directly over TaaV storage.
 class TaavExecutor {
@@ -57,10 +88,19 @@ class TaavExecutor {
   TaavExecutor(const Catalog* catalog, Cluster* cluster)
       : catalog_(catalog), cluster_(cluster) {}
 
-  /// Executes with `workers` simulated compute nodes. Fills `m` with counts
-  /// and per-worker makespans.
-  Result<Relation> Execute(const QuerySpec& spec, int workers,
+  /// Executes under the given worker count and parallel mode. Fills `m`
+  /// with counts and per-worker makespans; under kThreads the scan,
+  /// filter, join-probe and aggregation stages run `workers` real
+  /// threads with byte-identical rows and counters vs kSimulated.
+  Result<Relation> Execute(const QuerySpec& spec,
+                           const TaavExecOptions& opts,
                            QueryMetrics* m) const;
+
+  /// Back-compat shim: `workers` simulated compute nodes on one thread.
+  Result<Relation> Execute(const QuerySpec& spec, int workers,
+                           QueryMetrics* m) const {
+    return Execute(spec, TaavExecOptions{.workers = workers}, m);
+  }
 
  private:
   const Catalog* catalog_;
@@ -71,10 +111,11 @@ class TaavExecutor {
 /// from per-alias base relations. Shared by both executors' fallback paths.
 /// `per_alias` must contain one filtered relation per alias, with qualified
 /// column names. Shuffle bytes for each join are charged to `m` assuming
-/// hash repartitioning over `workers` nodes.
+/// hash repartitioning over `workers` nodes. With a non-null `pool`, every
+/// hash-join probe runs chunk-per-worker (ra/eval parallel variant).
 Result<Relation> JoinAll(const QuerySpec& spec,
                          std::vector<Relation> per_alias, int workers,
-                         QueryMetrics* m);
+                         QueryMetrics* m, ThreadPool* pool = nullptr);
 
 }  // namespace zidian
 

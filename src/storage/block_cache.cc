@@ -99,6 +99,41 @@ size_t BlockCache::InsertEntry(std::string_view key, std::string_view value,
   return evicted;
 }
 
+size_t BlockCache::OnPut(std::string_view key, std::string_view value) {
+  Shard& shard = ShardFor(key);
+  size_t entry_bytes = key.size() + value.size();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) return 0;  // uncached: writes never populate
+  if (!it->second->negative || entry_bytes > shard.capacity) {
+    // Positive entry (stale bytes) or a value too big to ever fit: drop.
+    shard.bytes -= it->second->key.size() + it->second->value.size();
+    shard.negative_entries -= it->second->negative ? 1 : 0;
+    shard.lru.erase(it->second);
+    shard.index.erase(it);
+    return 0;
+  }
+  // Negative entry: install the just-written value in place, so a write
+  // immediately followed by a read hits without a round trip.
+  shard.bytes -= it->second->key.size() + it->second->value.size();
+  it->second->value.assign(value);
+  it->second->negative = false;
+  --shard.negative_entries;
+  shard.bytes += entry_bytes;
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  size_t evicted = 0;
+  while (shard.bytes > shard.capacity && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.key.size() + victim.value.size();
+    shard.negative_entries -= victim.negative ? 1 : 0;
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  shard.evictions += evicted;
+  return evicted;
+}
+
 void BlockCache::Erase(std::string_view key) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);

@@ -90,6 +90,17 @@ class BlockCache {
   /// Drops `key` if cached. The invalidation entry point for writes.
   void Erase(std::string_view key);
 
+  /// Write-path invalidation (Cluster::Put): a *negative* entry for `key`
+  /// is replaced by the newly written value — the writer just proved the
+  /// key exists, so merely evicting would make an immediate read-back
+  /// miss and pay a round trip for bytes the middleware was holding. A
+  /// positive entry is erased (conservative: stale bytes never linger),
+  /// and an uncached key stays uncached (a write is not a read; it must
+  /// not populate the cache). Returns entries evicted by the install, for
+  /// QueryMetrics::cache_evictions. An oversized value erases the
+  /// negative entry instead of installing (never leave a stale absence).
+  size_t OnPut(std::string_view key, std::string_view value);
+
   /// Drops everything (bulk reload / LoadFromDir).
   void Clear();
 

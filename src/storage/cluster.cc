@@ -80,10 +80,24 @@ Status Cluster::Put(std::string_view key, std::string_view value,
     m->put_calls += 1;
     m->bytes_to_storage += key.size() + value.size();
   }
-  // Invalidate before the write lands so a concurrent reader can at worst
-  // re-fetch; never skipped under bypass — coherence is unconditional.
-  if (cache_ != nullptr) cache_->Erase(key);
-  return nodes_[NodeFor(key)]->Put(key, value);
+  // Invalidation is unconditional — coherence is not optional. Writes are
+  // single-writer and never overlap reads (the KvBackend contract), so
+  // ordering the cache update after the backend write is not observable —
+  // and it keeps a FAILED write from installing a value the backend never
+  // stored: only a successful Put upgrades a negative entry to the new
+  // value in place (the write proved the key exists; a read-back must
+  // hit). A failed or bypassed write merely erases (backend state is
+  // uncertain / the install would be a fill).
+  Status st = nodes_[NodeFor(key)]->Put(key, value);
+  if (cache_ != nullptr) {
+    if (st.ok() && CacheActive()) {
+      size_t evicted = cache_->OnPut(key, value);
+      if (m != nullptr) m->cache_evictions += evicted;
+    } else {
+      cache_->Erase(key);
+    }
+  }
+  return st;
 }
 
 Status Cluster::Delete(std::string_view key, QueryMetrics* m) {

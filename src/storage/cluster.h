@@ -98,6 +98,11 @@ class Cluster {
   /// Writes a pair. Meters (when `m` is given): one put_call and the pair
   /// bytes into bytes_to_storage. Always invalidates the key in the
   /// BlockCache, even under cache bypass — coherence is not optional.
+  /// With the cache active, a key holding a *negative* entry gets the new
+  /// value installed in its place (BlockCache::OnPut): a write followed
+  /// by a read hits instead of paying a round trip for a key the cache
+  /// had just confirmed absent. Evictions caused by that install are
+  /// charged to m->cache_evictions.
   Status Put(std::string_view key, std::string_view value,
              QueryMetrics* m = nullptr);
 

@@ -2,12 +2,23 @@
 
 #include <algorithm>
 #include <chrono>
+#include <memory>
 
 #include "kba/kba_executor.h"
 #include "kba/makespan.h"
 #include "ra/eval.h"
 
 namespace zidian {
+
+ThreadPool* SharedPoolState::GetOrCreate(int num_threads) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pool_ == nullptr || pool_->num_threads() < num_threads) {
+    // Growth by replacement: threads are cheap to respawn once, and the
+    // common case (a fixed workers count per session) never re-enters.
+    pool_ = std::make_unique<ThreadPool>(num_threads);
+  }
+  return pool_.get();
+}
 
 Status PreparedQuery::Plan() {
   // M1: can the query be answered on the BaaV store at all?
@@ -70,7 +81,27 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   out->cache_enabled = cluster.cache_enabled();
   out->cache_capacity_bytes = cluster.cache_capacity_bytes();
   out->cache_bypassed = opts.bypass_cache;
-  out->parallel_mode = opts.parallel_mode;
+
+  // Resolve the thread source once for whichever route runs. kThreads at
+  // workers <= 1 is the simulated path by construction (one worker on the
+  // calling thread), so the *effective* mode is what Explain() reports.
+  const bool threaded =
+      opts.parallel_mode == ParallelMode::kThreads && workers > 1;
+  out->parallel_mode =
+      threaded ? ParallelMode::kThreads : ParallelMode::kSimulated;
+  ThreadPool* pool = nullptr;
+  std::unique_ptr<ThreadPool> per_call_pool;
+  if (threaded) {
+    if (opts.pool != nullptr) {
+      pool = opts.pool;
+    } else if (pool_state_ != nullptr) {
+      pool = pool_state_->GetOrCreate(workers - 1);
+      out->used_shared_pool = true;
+    } else {
+      per_call_pool = std::make_unique<ThreadPool>(workers - 1);
+      pool = per_call_pool.get();
+    }
+  }
 
   // The prepared plan's shape survives in the info even when this run is
   // forced down the baseline, so Explain() keeps describing the plan.
@@ -87,11 +118,16 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
     out->route = AnswerInfo::Route::kTaavFallback;
     out->detail = preserving_ ? "route policy forced the TaaV baseline"
                               : preserve_detail_;
-    result = zidian_->AnswerBaseline(spec_, workers, &out->metrics);
+    result = zidian_->AnswerBaseline(
+        spec_,
+        TaavExecOptions{.workers = workers,
+                        .parallel_mode = out->parallel_mode,
+                        .pool = pool},
+        &out->metrics);
   } else {
     out->route = planned_->scan_free ? AnswerInfo::Route::kKbaScanFree
                                      : AnswerInfo::Route::kKbaWithScans;
-    result = ExecuteKba(workers, opts.parallel_mode, out);
+    result = ExecuteKba(workers, out->parallel_mode, pool, out);
   }
   out->metrics.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -105,6 +141,7 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
 }
 
 Result<Relation> PreparedQuery::ExecuteKba(int workers, ParallelMode mode,
+                                           ThreadPool* pool,
                                            AnswerInfo* out) {
   // M3: interleaved parallel execution.
   KbaExecutor executor(&zidian_->store());
@@ -112,7 +149,8 @@ Result<Relation> PreparedQuery::ExecuteKba(int workers, ParallelMode mode,
       KvInst chain,
       executor.Execute(*planned_->plan,
                        KbaExecOptions{.workers = workers,
-                                      .parallel_mode = mode},
+                                      .parallel_mode = mode,
+                                      .pool = pool},
                        &out->metrics));
 
   Relation result;
@@ -123,7 +161,8 @@ Result<Relation> PreparedQuery::ExecuteKba(int workers, ParallelMode mode,
                                        planned_->exec_spec.limit, &result));
   } else {
     ZIDIAN_ASSIGN_OR_RETURN(
-        result, FinishQuery(chain.rel, planned_->exec_spec, &out->metrics));
+        result, FinishQuery(chain.rel, planned_->exec_spec, &out->metrics,
+                            pool, workers));
   }
 
   // Refresh per-worker makespans with the post-aggregation compute counts,
@@ -141,6 +180,7 @@ Result<PreparedQuery> Connection::Prepare(const std::string& sql) {
 
 Result<PreparedQuery> Connection::PrepareSpec(const QuerySpec& spec) {
   PreparedQuery q(zidian_, spec);
+  q.pool_state_ = pool_state_;  // outlives the Connection if need be
   ZIDIAN_RETURN_NOT_OK(q.Plan());
   return q;
 }

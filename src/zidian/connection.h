@@ -22,21 +22,34 @@
 // get_round_trips) with byte-identical results. ExecOptions::bypass_cache
 // forces a cold run — the "without cache" arm of an experiment.
 //
-// ExecOptions::parallel_mode picks how `workers` executes on the KBA
-// route: kSimulated (default — one thread, workers divides the cost
+// ExecOptions::parallel_mode picks how `workers` executes — on BOTH
+// routes: kSimulated (default — one thread, workers divides the cost
 // model, the historical behavior) or kThreads (workers real threads; the
-// extension fan-out and the σ/π/⋈-probe operators run data-parallel).
-// Both modes return byte-identical rows and identical QueryMetrics
+// extension fan-out, instance scans, σ/π/⋈-probe and GroupAggregate run
+// data-parallel on the KBA route, and the TaaV baseline threads its
+// per-tuple get scan, filters, join probes and aggregation the same
+// way). Both modes return byte-identical rows and identical QueryMetrics
 // counters; kThreads additionally fills metrics.wall_seconds (and the
 // per-phase wall timings) with measured time, so SimSeconds predictions
-// can be validated against the clock. The TaaV baseline route ignores
-// the mode and always runs simulated.
+// can be validated against the clock.
+//
+// Threads come from one of three places, in priority order: an
+// ExecOptions::pool the caller owns, the Connection's lazily created
+// shared pool (the default — repeated Execute()s and every PreparedQuery
+// prepared on the same Connection reuse one set of threads, so high-QPS
+// serving does not pay thread startup per query), or a per-call pool as
+// the last resort. AnswerInfo reports the *effective* parallel_mode
+// (kThreads requested with workers <= 1 executes — and reports —
+// kSimulated) and whether the shared pool served the run
+// (used_shared_pool).
 //
 // The old one-shot calls (Zidian::Answer / AnswerSpec / AnswerBaseline)
 // remain as thin shims over this API.
 #ifndef ZIDIAN_ZIDIAN_CONNECTION_H_
 #define ZIDIAN_ZIDIAN_CONNECTION_H_
 
+#include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 
@@ -62,9 +75,31 @@ struct ExecOptions {
   /// All cache_* counters of the run stay zero.
   bool bypass_cache = false;
   /// kSimulated: one thread, `workers` only divides the cost model.
-  /// kThreads: `workers` real threads on the KBA route — identical rows
+  /// kThreads: `workers` real threads on either route — identical rows
   /// and counters, measured wall-clock in the metrics.
   ParallelMode parallel_mode = ParallelMode::kSimulated;
+  /// Externally-owned pool override for kThreads. When null (the
+  /// default), Execute uses the Connection's shared pool, creating it on
+  /// first use and growing it to workers-1 threads as needed.
+  ThreadPool* pool = nullptr;
+};
+
+/// The lazily created ThreadPool one Connection shares across every
+/// Execute of every PreparedQuery it prepared (copies of the Connection
+/// share it too). Thread-safe creation/growth; growth replaces the pool,
+/// so do not run concurrent Executes on one connection while also raising
+/// `workers` (the session API is single-threaded per connection, like any
+/// database session handle).
+class SharedPoolState {
+ public:
+  /// Returns a pool with at least `num_threads` threads, creating or
+  /// growing (by replacement) as needed. The pointer stays valid until
+  /// the next GetOrCreate with a larger request.
+  ThreadPool* GetOrCreate(int num_threads);
+
+ private:
+  std::mutex mu_;
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 /// A parsed, bound, routed and planned query, ready to run many times.
@@ -95,8 +130,10 @@ class PreparedQuery {
 
   /// One-time M1 (preservation) + M2 (plan generation).
   Status Plan();
-  /// M3 + query finishing for the KBA route.
-  Result<Relation> ExecuteKba(int workers, ParallelMode mode, AnswerInfo* out);
+  /// M3 + query finishing for the KBA route. `pool` is non-null only for
+  /// an effective kThreads run.
+  Result<Relation> ExecuteKba(int workers, ParallelMode mode, ThreadPool* pool,
+                              AnswerInfo* out);
 
   Zidian* zidian_;
   QuerySpec spec_;
@@ -104,6 +141,9 @@ class PreparedQuery {
   std::string preserve_detail_;
   std::optional<PlannedQuery> planned_;  // engaged iff preserving
   std::string plan_text_;                // rendered once at Prepare time
+  /// The owning Connection's shared pool, kept alive past the Connection
+  /// itself so a PreparedQuery outliving its session stays safe.
+  std::shared_ptr<SharedPoolState> pool_state_;
   AnswerInfo last_info_;
 };
 
@@ -125,11 +165,19 @@ class Connection {
 
   Zidian& zidian() { return *zidian_; }
 
+  /// The session-shared thread pool state (lazily populated on the first
+  /// effective-kThreads Execute). Exposed for diagnostics/tests.
+  const std::shared_ptr<SharedPoolState>& pool_state() const {
+    return pool_state_;
+  }
+
  private:
   friend class Zidian;
-  explicit Connection(Zidian* zidian) : zidian_(zidian) {}
+  explicit Connection(Zidian* zidian)
+      : zidian_(zidian), pool_state_(std::make_shared<SharedPoolState>()) {}
 
   Zidian* zidian_;
+  std::shared_ptr<SharedPoolState> pool_state_;
 };
 
 }  // namespace zidian

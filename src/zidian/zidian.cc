@@ -63,8 +63,14 @@ Result<Relation> Zidian::AnswerSpec(const QuerySpec& spec, int workers,
 
 Result<Relation> Zidian::AnswerBaseline(const QuerySpec& spec, int workers,
                                         QueryMetrics* m) const {
+  return AnswerBaseline(spec, TaavExecOptions{.workers = workers}, m);
+}
+
+Result<Relation> Zidian::AnswerBaseline(const QuerySpec& spec,
+                                        const TaavExecOptions& opts,
+                                        QueryMetrics* m) const {
   QueryMetrics local;
-  return baseline_.Execute(spec, workers, m != nullptr ? m : &local);
+  return baseline_.Execute(spec, opts, m != nullptr ? m : &local);
 }
 
 Result<Relation> Zidian::AnswerBaseline(const std::string& sql, int workers,

@@ -64,10 +64,16 @@ struct AnswerInfo {
   bool cache_enabled = false;
   uint64_t cache_capacity_bytes = 0;
   bool cache_bypassed = false;
-  /// How `workers` executed this run (ExecOptions::parallel_mode):
-  /// simulated cost accounting or real threads. Under kThreads,
-  /// metrics.wall_seconds carries the measured time next to sim_seconds.
+  /// How `workers` *effectively* executed this run: simulated cost
+  /// accounting or real threads. A kThreads request with workers <= 1
+  /// runs (and reports) kSimulated — one worker on the calling thread IS
+  /// the simulated path. Under kThreads, metrics.wall_seconds carries
+  /// the measured time next to sim_seconds.
   ParallelMode parallel_mode = ParallelMode::kSimulated;
+  /// Whether this run's threads came from the Connection-shared pool
+  /// (amortized across executions) rather than an ExecOptions::pool
+  /// override or a per-call pool. Always false under kSimulated.
+  bool used_shared_pool = false;
   QueryMetrics metrics;
   std::string plan_text;
   std::string detail;
@@ -116,6 +122,12 @@ class Zidian {
   Result<Relation> AnswerBaseline(const QuerySpec& spec, int workers,
                                   QueryMetrics* m) const;
   Result<Relation> AnswerBaseline(const std::string& sql, int workers,
+                                  QueryMetrics* m) const;
+  /// Baseline with full execution options (parallel mode, shared pool) —
+  /// the entry PreparedQuery::Execute uses so the TaaV control arm runs
+  /// on the same substrate as the KBA treatment.
+  Result<Relation> AnswerBaseline(const QuerySpec& spec,
+                                  const TaavExecOptions& opts,
                                   QueryMetrics* m) const;
 
  private:

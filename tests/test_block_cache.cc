@@ -6,10 +6,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdlib>
+#include <memory>
 
 #include "storage/backend.h"
 #include "storage/block_cache.h"
 #include "storage/cluster.h"
+#include "storage/mem_backend.h"
 #include "workloads/workload.h"
 #include "zidian/connection.h"
 #include "zidian/zidian.h"
@@ -306,15 +308,115 @@ TEST(ClusterCache, MultiGetServesCachedAbsencesWithoutTrips) {
   }
 }
 
-TEST(ClusterCache, PutInvalidatesNegativeEntry) {
+TEST(ClusterCache, PutOverNegativeEntryInstallsTheValue) {
   Cluster cluster(CachedOptions());
   QueryMetrics m;
   EXPECT_FALSE(cluster.Get("late", &m).ok());        // plants the negative
-  ASSERT_TRUE(cluster.Put("late", "arrived").ok());  // must erase it
+  ASSERT_TRUE(cluster.Put("late", "arrived").ok());  // upgrades it in place
   auto r = cluster.Get("late", &m);
   ASSERT_TRUE(r.ok());
   EXPECT_EQ(r.value(), "arrived");
   EXPECT_EQ(m.cache_negative_hits, 0u);  // never served stale absence
+  // The write-then-read hit: the installed value answered without a
+  // round trip (1 trip total — the original absent probe).
+  EXPECT_EQ(m.cache_hits, 1u);
+  EXPECT_EQ(m.get_round_trips, 1u);
+  EXPECT_EQ(cluster.block_cache()->GetStats().negative_entries, 0u);
+}
+
+TEST(ClusterCache, PutOverUncachedOrPositiveKeyDoesNotInstall) {
+  Cluster cluster(CachedOptions());
+  // Uncached key: a write is not a read; nothing may be planted.
+  ASSERT_TRUE(cluster.Put("fresh", "v1").ok());
+  EXPECT_EQ(cluster.block_cache()->GetStats().entries, 0u);
+  // Positive entry: the stale bytes are dropped, not overwritten —
+  // metering-wise the next read is a miss that pays its trip.
+  ASSERT_TRUE(cluster.Get("fresh", nullptr).ok());  // fill "v1"
+  ASSERT_TRUE(cluster.Put("fresh", "v2").ok());
+  QueryMetrics m;
+  auto r = cluster.Get("fresh", &m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "v2");
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.cache_misses, 1u);
+}
+
+TEST(ClusterCache, BypassedPutOverNegativeEvictsWithoutInstalling) {
+  Cluster cluster(CachedOptions());
+  EXPECT_FALSE(cluster.Get("late", nullptr).ok());  // plants the negative
+  cluster.SetCacheBypass(true);
+  ASSERT_TRUE(cluster.Put("late", "arrived").ok());  // invalidate only:
+  cluster.SetCacheBypass(false);                     // a bypassed write
+  EXPECT_EQ(cluster.block_cache()->GetStats().entries, 0u);  // cannot fill
+  QueryMetrics m;
+  auto r = cluster.Get("late", &m);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), "arrived");
+  EXPECT_EQ(m.cache_hits, 0u);
+  EXPECT_EQ(m.get_round_trips, 1u);
+}
+
+TEST(BlockCache, OnPutUpgradesNegativeEntriesInPlace) {
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 1 << 10, .shards = 1});
+  cache.InsertNegative("k");
+  EXPECT_EQ(cache.GetStats().negative_entries, 1u);
+  EXPECT_EQ(cache.OnPut("k", "value"), 0u);
+  std::string value;
+  EXPECT_EQ(cache.Probe("k", &value), CacheLookup::kHit);
+  EXPECT_EQ(value, "value");
+  auto stats = cache.GetStats();
+  EXPECT_EQ(stats.negative_entries, 0u);
+  EXPECT_EQ(stats.bytes, 1u + 5u);  // footprint grew from key to key+value
+
+  // Positive entries are dropped, unknown keys stay unknown.
+  EXPECT_EQ(cache.OnPut("k", "other"), 0u);
+  EXPECT_EQ(cache.Probe("k", &value), CacheLookup::kMiss);
+  EXPECT_EQ(cache.OnPut("unknown", "x"), 0u);
+  EXPECT_EQ(cache.Probe("unknown", &value), CacheLookup::kMiss);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+}
+
+/// MemBackend whose writes can be made to fail — the custom-engine seam
+/// (ClusterOptions::backend_factory) is exactly where Put's Status return
+/// is real, so the cache must never install a value the engine rejected.
+class FlakyPutBackend : public MemBackend {
+ public:
+  static inline bool fail_puts = false;
+  Status Put(std::string_view key, std::string_view value) override {
+    if (fail_puts) return Status::Internal("injected write failure");
+    return MemBackend::Put(key, value);
+  }
+};
+
+TEST(ClusterCache, FailedPutNeverInstallsIntoTheCache) {
+  ClusterOptions options = CachedOptions();
+  options.backend_factory = [] { return std::make_unique<FlakyPutBackend>(); };
+  Cluster cluster(options);
+  FlakyPutBackend::fail_puts = false;
+
+  EXPECT_FALSE(cluster.Get("late", nullptr).ok());  // plants the negative
+  FlakyPutBackend::fail_puts = true;
+  EXPECT_FALSE(cluster.Put("late", "phantom").ok());  // backend rejects
+  FlakyPutBackend::fail_puts = false;
+  // The failed write must not have upgraded the entry: the key is still
+  // absent in the backend, and the cache must agree (the stale negative
+  // was dropped conservatively, not served as a value).
+  QueryMetrics m;
+  EXPECT_FALSE(cluster.Get("late", &m).ok());
+  EXPECT_EQ(m.cache_hits, 0u);
+}
+
+TEST(BlockCache, OnPutOversizedValueErasesTheNegativeEntry) {
+  // Shard budget 32 bytes: the negative entry (1 byte) fits, the written
+  // value does not. The stale absence must be gone, not left to answer
+  // "NotFound" for a key that now exists.
+  BlockCache cache(BlockCacheOptions{.capacity_bytes = 32, .shards = 1});
+  cache.InsertNegative("k");
+  EXPECT_EQ(cache.OnPut("k", std::string(64, 'x')), 0u);
+  std::string value;
+  EXPECT_EQ(cache.Probe("k", &value), CacheLookup::kMiss);
+  EXPECT_EQ(cache.GetStats().entries, 0u);
+  EXPECT_EQ(cache.GetStats().negative_entries, 0u);
 }
 
 TEST(ClusterCache, NoFillAbsentReadsLeaveNoNegativeBehind) {

@@ -1,9 +1,12 @@
 // Unit + property tests for the common runtime: Status/Result, varints,
-// order-preserving codecs, hashing, RNG distributions.
+// order-preserving codecs, hashing, RNG distributions, and the
+// ThreadPool's exception contract.
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <map>
+#include <stdexcept>
 
 #include "common/coding.h"
 #include "common/hash.h"
@@ -11,6 +14,7 @@
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
+#include "common/thread_pool.h"
 
 namespace zidian {
 namespace {
@@ -213,6 +217,62 @@ TEST(Rng, ZipfIsSkewedTowardLowRanks) {
     EXPECT_GE(rank, 1u);
     EXPECT_LE(rank, 100u);
   }
+}
+
+TEST(ThreadPool, ThrowingTaskIsRethrownAtJoinAndPoolSurvives) {
+  ThreadPool pool(3);
+  std::atomic<int> ran{0};
+  auto boom = [&](size_t i) {
+    if (i == 37) throw std::runtime_error("task 37 exploded");
+    ran.fetch_add(1);
+  };
+  // The batch must not take the pool down (a helper with an escaping
+  // exception would std::terminate its thread): the first exception is
+  // captured, the remaining indices drain, and the join rethrows it.
+  try {
+    pool.ParallelFor(100, boom);
+    FAIL() << "expected the task's exception at the join point";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "task 37 exploded");
+  }
+  EXPECT_LT(ran.load(), 100);  // at least index 37 never counted
+
+  // The pool is still fully usable afterwards — same threads, new batch.
+  EXPECT_EQ(pool.num_threads(), 3);
+  std::atomic<int> after{0};
+  pool.ParallelFor(64, [&](size_t) { after.fetch_add(1); });
+  EXPECT_EQ(after.load(), 64);
+}
+
+TEST(ThreadPool, EveryTaskThrowingYieldsExactlyOneException) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    int caught = 0;
+    try {
+      pool.ParallelFor(32, [](size_t i) {
+        throw std::runtime_error("index " + std::to_string(i));
+      });
+    } catch (const std::runtime_error&) {
+      ++caught;
+    }
+    ASSERT_EQ(caught, 1) << "round " << round;
+  }
+  // Still alive after 20 poisoned batches.
+  std::atomic<int> ok{0};
+  pool.ParallelFor(8, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 8);
+}
+
+TEST(ThreadPool, CallerOnlyPathPropagatesExceptionsToo) {
+  ThreadPool pool(0);  // no helpers: the sequential fallback
+  EXPECT_THROW(
+      pool.ParallelFor(4, [](size_t i) {
+        if (i == 2) throw std::logic_error("seq");
+      }),
+      std::logic_error);
+  std::atomic<int> ok{0};
+  pool.ParallelFor(4, [&](size_t) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 4);
 }
 
 TEST(Metrics, AccumulatesAndFormats) {
