@@ -24,17 +24,26 @@
 // baseline leg must show the same wall-clock-falls-with-p shape with
 // identical counters — treatment and control on one substrate.
 //
+// A third sweep exercises the NetworkModel (storage/network_model.h):
+// node counts × batching on/off under one priced network. A batched
+// MultiGet pays one round trip per touched node where per-key gets pay
+// one per key, so batching must win by ~K/nodes — in modeled seconds
+// (makespan_net + queue delay) and on the measured clock.
+//
 // Usage: bench_fig4_parallel [--smoke]
 //   --smoke: CI-sized sweeps only; exits non-zero unless (a) counters
-//   match across modes and (b) threads at 4 workers beat threads at 1
+//   match across modes, (b) threads at 4 workers beat threads at 1
 //   worker by >= 2x wall-clock on both the extend-heavy KBA plan and
-//   the TaaV baseline leg.
+//   the TaaV baseline leg, and (c) batched MultiGets beat per-key gets
+//   by >= 2x at 8 storage nodes, modeled AND wall.
 #include <chrono>
 #include <cstring>
+#include <memory>
 
 #include "bench/bench_util.h"
 #include "kba/kba_executor.h"
 #include "kba/kba_plan.h"
+#include "kba/makespan.h"
 
 using namespace zidian;
 using namespace zidian::bench;
@@ -304,6 +313,138 @@ bool TaavSweep(double scale, int latency_us, int repeats, bool assert_smoke) {
   return ok;
 }
 
+// --------------------------------------------------- network-model leg ---
+
+/// One cell of the network sweep: `total_keys` point lookups against a
+/// cluster whose NetworkModel prices every round trip, issued either as
+/// per-worker batched MultiGets (one round trip per touched node) or as
+/// per-key single Gets. Keys are partitioned by owning node modulo
+/// workers — the extension executor's routing — so under kThreads no two
+/// workers contend for a node and the wall-clock isolates the batching
+/// economics the model prices.
+struct NetCell {
+  double sim_s = 0;    // makespan_net + modeled queue delay
+  double queue_s = 0;  // the modeled queue-delay component alone
+  double wall_s = 0;   // measured, min over repeats
+  uint64_t trips = 0;
+};
+
+NetCell RunNetCell(Cluster& cluster, const std::vector<std::string>& keys,
+                   bool batched, int workers, bool threads, int repeats) {
+  NetCell cell;
+  std::vector<std::vector<std::string>> per_worker(
+      static_cast<size_t>(workers));
+  for (const auto& k : keys) {
+    per_worker[static_cast<size_t>(cluster.NodeFor(k) % workers)].push_back(k);
+  }
+  std::unique_ptr<ThreadPool> pool;
+  if (threads && workers > 1) pool = std::make_unique<ThreadPool>(workers - 1);
+
+  for (int r = 0; r < repeats; ++r) {
+    std::vector<QueryMetrics> deltas(static_cast<size_t>(workers));
+    auto run_worker = [&](size_t w) {
+      QueryMetrics* wm = &deltas[w];
+      if (batched) {
+        cluster.MultiGet(per_worker[w], wm);
+      } else {
+        for (const auto& k : per_worker[w]) {
+          auto res = cluster.Get(k, wm);
+          if (!res.ok()) std::abort();
+        }
+      }
+    };
+    auto start = std::chrono::steady_clock::now();
+    if (pool != nullptr) {
+      pool->ParallelFor(static_cast<size_t>(workers), run_worker);
+    } else {
+      for (size_t w = 0; w < static_cast<size_t>(workers); ++w) run_worker(w);
+    }
+    double wall =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
+    if (r == 0 || wall < cell.wall_s) cell.wall_s = wall;
+
+    QueryMetrics total;
+    for (const auto& d : deltas) total += d;
+    total.makespan_net_seconds = MaxWorkerNetSeconds(deltas);
+    FinalizeNetworkQueue(&total);
+    cell.sim_s = total.makespan_net_seconds + total.net_queue_seconds;
+    cell.queue_s = total.net_queue_seconds;
+    cell.trips = 0;
+    for (uint64_t t : total.net_node_round_trips) cell.trips += t;
+  }
+  return cell;
+}
+
+/// The network leg: node counts × batching on/off under one NetworkModel
+/// (rtt + per-key marginal cost + per-byte transfer + a service-rate
+/// slot). The same K keys are fetched batched and per-key, sequentially
+/// and at 4 threaded workers. Paper shape: a batched MultiGet pays one
+/// round trip per touched node where per-key gets pay one per key, so
+/// batching wins by ~K/nodes at every node count — in modeled seconds
+/// AND on the clock.
+bool NetworkSweep(int total_keys, int repeats, bool assert_smoke) {
+  std::printf(
+      "\nNetwork-model sweep (%d keys, rtt=400us per_key=5us "
+      "per_byte=0.002us service_rate=10000/s; batched vs per-key)\n",
+      total_keys);
+  PrintRule();
+  std::printf("%-6s %-9s %-8s %10s %12s %12s %12s\n", "nodes", "batching",
+              "mode", "trips", "sim s", "wall ms", "queue ms");
+  PrintRule();
+
+  bool ok = true;
+  for (int nodes : {2, 4, 8}) {
+    ClusterOptions co{.num_storage_nodes = nodes,
+                      .backend = BackendKind::kMem};
+    co.network.link = NetworkLinkOptions{.rtt_us = 400,
+                                         .per_key_us = 5,
+                                         .per_byte_us = 0.002,
+                                         .service_rate = 10000};
+    Cluster cluster(co);
+    cluster.SetCacheBypass(true);  // round-trip economics, not cache wins
+    std::vector<std::string> keys;
+    for (int i = 0; i < total_keys; ++i) {
+      keys.push_back("net-key-" + std::to_string(i));
+      if (!cluster.Put(keys.back(), std::string(40, 'v')).ok()) std::abort();
+    }
+
+    NetCell batched_thr, per_key_thr;
+    for (bool batched : {true, false}) {
+      NetCell seq = RunNetCell(cluster, keys, batched, 1, false, repeats);
+      NetCell thr = RunNetCell(cluster, keys, batched, 4, true, repeats);
+      std::printf("%-6d %-9s %-8s %10llu %12s %12.2f %12.2f\n", nodes,
+                  batched ? "on" : "off", "seq",
+                  static_cast<unsigned long long>(seq.trips),
+                  Num(seq.sim_s).c_str(), seq.wall_s * 1e3, seq.queue_s * 1e3);
+      std::printf("%-6d %-9s %-8s %10llu %12s %12.2f %12.2f\n", nodes,
+                  batched ? "on" : "off", "threads",
+                  static_cast<unsigned long long>(thr.trips),
+                  Num(thr.sim_s).c_str(), thr.wall_s * 1e3, thr.queue_s * 1e3);
+      (batched ? batched_thr : per_key_thr) = thr;
+    }
+    double sim_ratio =
+        batched_thr.sim_s > 0 ? per_key_thr.sim_s / batched_thr.sim_s : 0;
+    double wall_ratio =
+        batched_thr.wall_s > 0 ? per_key_thr.wall_s / batched_thr.wall_s : 0;
+    std::printf(
+        "nodes=%d: per-key / batched = %.2fx modeled, %.2fx wall under "
+        "threads\n",
+        nodes, sim_ratio, wall_ratio);
+    if (assert_smoke && nodes == 8) {
+      if (sim_ratio < 2.0 || wall_ratio < 2.0) {
+        std::fprintf(stderr,
+                     "FAIL: batched MultiGet should beat per-key gets by >= "
+                     "2x at 8 nodes (modeled %.2fx, wall %.2fx)\n",
+                     sim_ratio, wall_ratio);
+        ok = false;
+      }
+    }
+  }
+  PrintRule();
+  return ok;
+}
+
 /// The pool-reuse leg: repeated threaded Executes of one PreparedQuery
 /// through the Connection-shared pool vs a freshly spun-up pool per call
 /// (what a pool-less Execute does internally). High-QPS serving is the
@@ -385,6 +526,9 @@ int main(int argc, char** argv) {
     ok = PoolReuseSweep(/*repeats=*/300, /*workers=*/8,
                         /*assert_smoke=*/true) &&
          ok;
+    ok = NetworkSweep(/*total_keys=*/96, /*repeats=*/3,
+                      /*assert_smoke=*/true) &&
+         ok;
     std::printf(ok ? "\nsmoke: OK\n" : "\nsmoke: FAILED\n");
     return ok ? 0 : 1;
   }
@@ -397,10 +541,13 @@ int main(int argc, char** argv) {
   TaavSweep(/*scale=*/0.2, /*latency_us=*/100, /*repeats=*/3,
             /*assert_smoke=*/false);
   PoolReuseSweep(/*repeats=*/300, /*workers=*/8, /*assert_smoke=*/false);
+  NetworkSweep(/*total_keys=*/96, /*repeats=*/3, /*assert_smoke=*/false);
   std::printf(
       "\npaper-shape: times fall as p grows for both systems; Zidian's comm "
       "is a small fraction of the baseline's; both scale with |D| with "
       "Zidian far below; threaded wall-clock falls with p as makespan_get "
-      "predicts on the KBA route AND the TaaV baseline\n");
+      "predicts on the KBA route AND the TaaV baseline; batched MultiGets "
+      "beat per-key gets by ~K/nodes under the NetworkModel at every node "
+      "count, in modeled seconds and on the clock\n");
   return 0;
 }

@@ -114,6 +114,12 @@ int main(int argc, char** argv) {
       }
       std::printf("\n");
     }
+    if (info.network_enabled) {
+      std::printf("network: %s | net_bytes=%llu net_queue=%.4fs\n",
+                  info.network_text.c_str(),
+                  (unsigned long long)info.metrics.net_transfer_bytes,
+                  info.metrics.net_queue_seconds);
+    }
     if (show_plan) std::printf("plan:\n%s", info.plan_text.c_str());
   }
   return 0;

@@ -1,5 +1,6 @@
 #include "common/metrics.h"
 
+#include <algorithm>
 #include <sstream>
 
 namespace zidian {
@@ -16,12 +17,40 @@ std::string QueryMetrics::ToString() const {
        << " cache_bytes=" << bytes_from_cache
        << " cache_negative_hits=" << cache_negative_hits;
   }
+  if (net_service_ns != 0 || net_transfer_bytes != 0) {
+    os << " net_bytes=" << net_transfer_bytes
+       << " net_service_s=" << static_cast<double>(net_service_ns) / 1e9
+       << " net_makespan_s=" << makespan_net_seconds
+       << " net_queue_s=" << net_queue_seconds << " net_trips=[";
+    for (size_t i = 0; i < net_node_round_trips.size(); ++i) {
+      os << (i == 0 ? "" : " ") << net_node_round_trips[i];
+    }
+    os << "] net_busy_ns=[";
+    for (size_t i = 0; i < net_node_busy_ns.size(); ++i) {
+      os << (i == 0 ? "" : " ") << net_node_busy_ns[i];
+    }
+    os << "]";
+  }
   if (wall_seconds != 0) {
     os << " wall_s=" << wall_seconds << " wall_fetch_s=" << wall_fetch_seconds
        << " wall_compute_s=" << wall_compute_seconds;
   }
   return os.str();
 }
+
+namespace {
+/// Per-node vectors compare with zero-padding: a run that never resized
+/// the histogram did the same logical work as one holding all-zero slots.
+bool NodeVectorsEqual(const std::vector<uint64_t>& a,
+                      const std::vector<uint64_t>& b) {
+  for (size_t i = 0; i < std::max(a.size(), b.size()); ++i) {
+    uint64_t va = i < a.size() ? a[i] : 0;
+    uint64_t vb = i < b.size() ? b[i] : 0;
+    if (va != vb) return false;
+  }
+  return true;
+}
+}  // namespace
 
 bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b) {
   return a.get_calls == b.get_calls &&
@@ -36,12 +65,18 @@ bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b) {
          a.cache_evictions == b.cache_evictions &&
          a.bytes_from_cache == b.bytes_from_cache &&
          a.cache_negative_hits == b.cache_negative_hits &&
+         a.net_transfer_bytes == b.net_transfer_bytes &&
+         a.net_service_ns == b.net_service_ns &&
+         NodeVectorsEqual(a.net_node_round_trips, b.net_node_round_trips) &&
+         NodeVectorsEqual(a.net_node_busy_ns, b.net_node_busy_ns) &&
          a.shuffle_bytes == b.shuffle_bytes &&
          a.compute_values == b.compute_values &&
          a.makespan_get == b.makespan_get &&
          a.makespan_next == b.makespan_next &&
          a.makespan_bytes == b.makespan_bytes &&
-         a.makespan_compute == b.makespan_compute;
+         a.makespan_compute == b.makespan_compute &&
+         a.makespan_net_seconds == b.makespan_net_seconds &&
+         a.net_queue_seconds == b.net_queue_seconds;
 }
 
 }  // namespace zidian

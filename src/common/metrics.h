@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 namespace zidian {
 
@@ -37,6 +38,23 @@ struct QueryMetrics {
   uint64_t cache_negative_hits = 0;  ///< gets answered "absent" by a cached
                                      ///< negative entry (no round trip)
 
+  // NetworkModel interaction (all zero/empty when no network is
+  // configured — see storage/network_model.h). Everything here is metered
+  // in integers (requests, bytes, nanoseconds), so the totals are
+  // bit-identical between ParallelMode::kSimulated and kThreads no matter
+  // how worker deltas are chunked and merged.
+  uint64_t net_transfer_bytes = 0;  ///< payload bytes charged per-byte
+                                    ///< transfer cost by the network
+  uint64_t net_service_ns = 0;  ///< summed modeled request latency (rtt +
+                                ///< node busy), contention excluded
+  std::vector<uint64_t> net_node_round_trips;  ///< per-node histogram of
+                                               ///< network requests (Get /
+                                               ///< per-node MultiGet batch /
+                                               ///< Put / Delete / baseline
+                                               ///< per-tuple gets)
+  std::vector<uint64_t> net_node_busy_ns;  ///< per-node serialized busy
+                                           ///< time (the queueing input)
+
   // SQL-layer work.
   uint64_t shuffle_bytes = 0;    ///< compute-node <-> compute-node traffic
   uint64_t compute_values = 0;   ///< values touched by operators
@@ -50,6 +68,13 @@ struct QueryMetrics {
   double makespan_next = 0;      ///< max per-worker #next (scan advances)
   double makespan_bytes = 0;     ///< max per-worker bytes moved
   double makespan_compute = 0;   ///< max per-worker values computed
+  double makespan_net_seconds = 0;  ///< slowest worker's modeled network
+                                    ///< time (from net_service_ns deltas)
+  double net_queue_seconds = 0;  ///< modeled queueing delay: how far the
+                                 ///< bottleneck node's busy total exceeds
+                                 ///< the per-worker network makespan
+                                 ///< (kba/makespan.h FinalizeNetworkQueue;
+                                 ///< deterministic, unlike wall_*)
 
   // Measured wall-clock (seconds), stamped by the executors when they run
   // for real; zero when not measured. Unlike every counter above, these
@@ -77,12 +102,18 @@ struct QueryMetrics {
     cache_evictions += o.cache_evictions;
     bytes_from_cache += o.bytes_from_cache;
     cache_negative_hits += o.cache_negative_hits;
+    net_transfer_bytes += o.net_transfer_bytes;
+    net_service_ns += o.net_service_ns;
+    MergeByNode(&net_node_round_trips, o.net_node_round_trips);
+    MergeByNode(&net_node_busy_ns, o.net_node_busy_ns);
     shuffle_bytes += o.shuffle_bytes;
     compute_values += o.compute_values;
     makespan_get += o.makespan_get;
     makespan_next += o.makespan_next;
     makespan_bytes += o.makespan_bytes;
     makespan_compute += o.makespan_compute;
+    makespan_net_seconds += o.makespan_net_seconds;
+    net_queue_seconds += o.net_queue_seconds;
     wall_seconds += o.wall_seconds;
     wall_fetch_seconds += o.wall_fetch_seconds;
     wall_compute_seconds += o.wall_compute_seconds;
@@ -90,6 +121,15 @@ struct QueryMetrics {
   }
 
   std::string ToString() const;
+
+ private:
+  /// Elementwise sum of per-node vectors; the shorter side is padded with
+  /// zeros (a delta that only touched node 3 merges into a 8-node total).
+  static void MergeByNode(std::vector<uint64_t>* into,
+                          const std::vector<uint64_t>& from) {
+    if (into->size() < from.size()) into->resize(from.size(), 0);
+    for (size_t i = 0; i < from.size(); ++i) (*into)[i] += from[i];
+  }
 };
 
 /// Whether two runs did exactly the same logical work: every counter and

@@ -175,7 +175,12 @@ Result<KvInst> KbaExecutor::Eval(const KbaPlan& plan, const ExecCtx& ctx,
 
     case KbaOp::kGroupAgg: {
       ZIDIAN_ASSIGN_OR_RETURN(KvInst in, Eval(*plan.children[0], ctx, m));
-      if (plan.from_stats) return EvalGroupAggFromStats(plan, in, m);
+      if (plan.from_stats) {
+        auto start = std::chrono::steady_clock::now();
+        auto res = EvalGroupAggFromStats(plan, in, ctx, m);
+        if (m != nullptr) m->wall_compute_seconds += SecondsSince(start);
+        return res;
+      }
       ChargeShuffleBytes(in.rel.ByteSize(), workers, m);
       auto start = std::chrono::steady_clock::now();
       ZIDIAN_ASSIGN_OR_RETURN(
@@ -454,15 +459,23 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
       out.rel.Add(std::move(row));
     }
   }
-  if (m != nullptr) m->makespan_get += MaxWorkerStorageGets(deltas);
+  if (m != nullptr) {
+    m->makespan_get += MaxWorkerStorageGets(deltas);
+    m->makespan_net_seconds += MaxWorkerNetSeconds(deltas);
+  }
   return out;
 }
 
 Result<KvInst> KbaExecutor::EvalGroupAggFromStats(const KbaPlan& plan,
                                                   const KvInst& in,
+                                                  const ExecCtx& ctx,
                                                   QueryMetrics* m) const {
   // The child emitted one row per keyed block with partial statistics;
-  // combine the partials per group.
+  // combine the partials per group. The fold runs chunk-per-worker like
+  // every other parallel region: chunking is a function of ctx.workers
+  // alone, partials merge in worker order, groups emit in
+  // first-appearance order — so rows and counters are identical between
+  // kSimulated and kThreads at the same worker count.
   std::vector<int> gidx;
   std::vector<std::string> out_cols;
   for (const auto& g : plan.group_by) {
@@ -477,6 +490,7 @@ Result<KvInst> KbaExecutor::EvalGroupAggFromStats(const KbaPlan& plan,
     AggFn fn;
     int col = -1;        // partial column to combine
     int group_pos = -1;  // for plain keys
+    int count_col = -1;  // AVG only: the sibling #count partial column
   };
   std::vector<Slot> slots;
   for (const auto& item : plan.agg_items) {
@@ -521,6 +535,14 @@ Result<KvInst> KbaExecutor::EvalGroupAggFromStats(const KbaPlan& plan,
       if (s.col < 0) {
         return Status::InvalidArgument("missing stats column for " + base);
       }
+      if (item.agg == AggFn::kAvg) {
+        // AVG combines two partials: #sum for the numerator and the
+        // sibling #count for the denominator, in one pass over the rows.
+        s.count_col = in.rel.ColumnIndex(base + std::string(kStatsCountSuffix));
+        if (s.count_col < 0) {
+          return Status::InvalidArgument("missing #count for AVG");
+        }
+      }
     }
     slots.push_back(s);
   }
@@ -534,89 +556,138 @@ Result<KvInst> KbaExecutor::EvalGroupAggFromStats(const KbaPlan& plan,
     }
   }
 
+  if (rows_col < 0) {
+    for (const auto& slot : slots) {
+      if (slot.col == -2) {
+        return Status::InvalidArgument("no #rows column for COUNT(*)");
+      }
+    }
+  }
+
   struct Acc {
     double sum = 0;
     uint64_t count = 0;
     bool any = false;
     double min = 0, max = 0;
+
+    void Merge(const Acc& o) {
+      sum += o.sum;
+      count += o.count;
+      if (o.any) {
+        min = any ? std::min(min, o.min) : o.min;
+        max = any ? std::max(max, o.max) : o.max;
+        any = true;
+      }
+    }
   };
-  std::unordered_map<Tuple, std::vector<Acc>, TupleHasher> groups;
-  for (const auto& row : in.rel.rows()) {
-    Tuple key;
-    for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
-    auto [it, ins] = groups.emplace(std::move(key),
-                                    std::vector<Acc>(slots.size()));
-    (void)ins;
-    for (size_t s = 0; s < slots.size(); ++s) {
-      const Slot& slot = slots[s];
-      if (slot.fn == AggFn::kNone) continue;
-      Acc& acc = it->second[s];
-      if (m != nullptr) m->compute_values += 1;
-      if (slot.col == -2) {  // COUNT(*)
-        if (rows_col < 0) {
-          return Status::InvalidArgument("no #rows column for COUNT(*)");
+  struct Group {
+    size_t first_row;  // global index where the group first appeared
+    std::vector<Acc> accs;
+  };
+  using GroupMap = std::unordered_map<Tuple, Group, TupleHasher>;
+
+  // Fold chunk-per-worker into private tables. kSimulated runs the same
+  // chunked loop on one thread, so the partial sums associate identically
+  // in both modes at the same worker count.
+  const size_t p = static_cast<size_t>(std::max(1, ctx.workers));
+  std::vector<GroupMap> partial(p);
+  std::vector<QueryMetrics> deltas(p);
+  auto accumulate = [&](size_t w) {
+    auto [begin, end] = ChunkRange(in.rel.rows().size(), w, p);
+    GroupMap& groups = partial[w];
+    QueryMetrics& wm = deltas[w];
+    for (size_t r = begin; r < end; ++r) {
+      const Tuple& row = in.rel.rows()[r];
+      Tuple key;
+      key.reserve(gidx.size());
+      for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
+      auto [it, ins] = groups.emplace(
+          std::move(key), Group{r, std::vector<Acc>(slots.size())});
+      (void)ins;
+      for (size_t s = 0; s < slots.size(); ++s) {
+        const Slot& slot = slots[s];
+        if (slot.fn == AggFn::kNone) continue;
+        Acc& acc = it->second.accs[s];
+        wm.compute_values += 1;
+        if (slot.col == -2) {  // COUNT(*): combine the #rows partials
+          acc.count += static_cast<uint64_t>(
+              row[static_cast<size_t>(rows_col)].Numeric());
+          acc.any = true;
+          continue;
         }
-        acc.count += static_cast<uint64_t>(
-            row[static_cast<size_t>(rows_col)].Numeric());
-        acc.any = true;
+        if (slot.fn == AggFn::kAvg) {
+          // Numerator and denominator from the two partial columns,
+          // independently nullable (a non-numeric column has NULL #sum
+          // but a real #count).
+          const Value& cv = row[static_cast<size_t>(slot.count_col)];
+          if (!cv.is_null()) acc.count += static_cast<uint64_t>(cv.Numeric());
+        }
+        const Value& v = row[static_cast<size_t>(slot.col)];
+        if (v.is_null()) continue;
+        double d = v.Numeric();
+        switch (slot.fn) {
+          case AggFn::kSum:
+          case AggFn::kAvg:
+            acc.sum += d;
+            acc.any = true;
+            break;
+          case AggFn::kCount:
+            acc.count += static_cast<uint64_t>(d);
+            acc.any = true;
+            break;
+          case AggFn::kMin:
+            acc.min = acc.any ? std::min(acc.min, d) : d;
+            acc.any = true;
+            break;
+          case AggFn::kMax:
+            acc.max = acc.any ? std::max(acc.max, d) : d;
+            acc.any = true;
+            break;
+          default:
+            break;
+        }
+      }
+    }
+  };
+  if (ctx.pool != nullptr && p > 1) {
+    ctx.pool->ParallelFor(p, accumulate);
+  } else {
+    for (size_t w = 0; w < p; ++w) accumulate(w);
+  }
+  for (size_t w = 0; w < p; ++w) {
+    if (m != nullptr) *m += deltas[w];
+  }
+
+  // Merge partials in worker order (deterministic whatever the scheduler
+  // did); the first-appearance index takes the minimum.
+  GroupMap merged = std::move(partial[0]);
+  for (size_t w = 1; w < p; ++w) {
+    for (auto& entry : partial[w]) {
+      auto it = merged.find(entry.first);
+      if (it == merged.end()) {
+        merged.emplace(entry.first, std::move(entry.second));
         continue;
       }
-      const Value& v = row[static_cast<size_t>(slot.col)];
-      if (v.is_null()) continue;
-      double d = v.Numeric();
-      switch (slot.fn) {
-        case AggFn::kSum:
-          acc.sum += d;
-          acc.any = true;
-          break;
-        case AggFn::kAvg: {
-          // sum from #sum; count from the sibling #count column.
-          acc.sum += d;
-          acc.any = true;
-          break;
-        }
-        case AggFn::kCount:
-          acc.count += static_cast<uint64_t>(d);
-          acc.any = true;
-          break;
-        case AggFn::kMin:
-          acc.min = acc.any ? std::min(acc.min, d) : d;
-          acc.any = true;
-          break;
-        case AggFn::kMax:
-          acc.max = acc.any ? std::max(acc.max, d) : d;
-          acc.any = true;
-          break;
-        default:
-          break;
+      it->second.first_row = std::min(it->second.first_row,
+                                      entry.second.first_row);
+      for (size_t s = 0; s < slots.size(); ++s) {
+        it->second.accs[s].Merge(entry.second.accs[s]);
       }
     }
   }
   // A global aggregate over no blocks still yields one (NULL-ish) row,
   // matching SQL semantics.
-  if (groups.empty() && gidx.empty()) {
-    groups.emplace(Tuple{}, std::vector<Acc>(slots.size()));
+  if (merged.empty() && gidx.empty()) {
+    merged.emplace(Tuple{}, Group{0, std::vector<Acc>(slots.size())});
   }
-
-  // AVG needs the count as well: combine on output using the #count column.
-  // For AVG slots, accumulate counts in a second pass.
-  for (size_t s = 0; s < slots.size(); ++s) {
-    if (slots[s].fn != AggFn::kAvg) continue;
-    const auto& item = plan.agg_items[s];  // slots parallel agg_items
-    std::string base = item.expr->QualifiedName();
-    int ccol = in.rel.ColumnIndex(base + std::string(kStatsCountSuffix));
-    if (ccol < 0) return Status::InvalidArgument("missing #count for AVG");
-    for (const auto& row : in.rel.rows()) {
-      Tuple key;
-      for (int i : gidx) key.push_back(row[static_cast<size_t>(i)]);
-      auto it = groups.find(key);
-      if (it == groups.end()) continue;
-      const Value& v = row[static_cast<size_t>(ccol)];
-      if (!v.is_null()) {
-        it->second[s].count += static_cast<uint64_t>(v.Numeric());
-      }
-    }
-  }
+  // First-appearance order: canonical across modes AND worker counts
+  // (hash-map iteration order would be neither).
+  std::vector<const std::pair<const Tuple, Group>*> ordered;
+  ordered.reserve(merged.size());
+  for (const auto& entry : merged) ordered.push_back(&entry);
+  std::sort(ordered.begin(), ordered.end(), [](const auto* a, const auto* b) {
+    return a->second.first_row < b->second.first_row;
+  });
 
   KvInst out;
   for (const auto& item : plan.agg_items) {
@@ -629,7 +700,9 @@ Result<KvInst> KbaExecutor::EvalGroupAggFromStats(const KbaPlan& plan,
     }
   }
   out.rel = Relation(out_cols);
-  for (const auto& [key, accs] : groups) {
+  for (const auto* entry : ordered) {
+    const Tuple& key = entry->first;
+    const std::vector<Acc>& accs = entry->second.accs;
     Tuple t;
     for (size_t s = 0; s < slots.size(); ++s) {
       const Slot& slot = slots[s];

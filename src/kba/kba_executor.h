@@ -69,7 +69,11 @@ class KbaExecutor {
                       QueryMetrics* m) const;
   Result<KvInst> EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
                             QueryMetrics* m) const;
+  /// Combines per-block partial statistics into the final groups. Folds
+  /// chunk-per-worker on ctx.pool (the stats-pushdown path threads like
+  /// every other region; groups emit in first-appearance order).
   Result<KvInst> EvalGroupAggFromStats(const KbaPlan& plan, const KvInst& in,
+                                       const ExecCtx& ctx,
                                        QueryMetrics* m) const;
 
   const BaavStore* store_;

@@ -38,6 +38,29 @@ inline double MaxWorkerStorageGets(const std::vector<QueryMetrics>& per_worker) 
   return static_cast<double>(worst);
 }
 
+/// The makespan_net_seconds contribution of one extension: the slowest
+/// worker's modeled network time. Deterministic because net_service_ns is
+/// integer nanoseconds summed per worker.
+inline double MaxWorkerNetSeconds(const std::vector<QueryMetrics>& per_worker) {
+  uint64_t worst = 0;
+  for (const auto& w : per_worker) worst = std::max(worst, w.net_service_ns);
+  return static_cast<double>(worst) / 1e9;
+}
+
+/// Recomputes the modeled queueing delay from the metered per-node busy
+/// totals: a schedule can finish no earlier than max(slowest worker's own
+/// network time, busiest node's serialized work), so the queueing delay
+/// is however far the bottleneck node exceeds the per-worker makespan.
+/// Idempotent — safe to call from every makespan refresh. Derived purely
+/// from integer-metered totals, so kSimulated and kThreads agree exactly.
+inline void FinalizeNetworkQueue(QueryMetrics* m) {
+  if (m == nullptr) return;
+  uint64_t busiest = 0;
+  for (uint64_t b : m->net_node_busy_ns) busiest = std::max(busiest, b);
+  m->net_queue_seconds = std::max(
+      0.0, static_cast<double>(busiest) / 1e9 - m->makespan_net_seconds);
+}
+
 /// Recomputes the evenly-spread makespan components from the totals in
 /// `m` under the no-skew assumption: scans, compute and bytes divide by
 /// p. makespan_get is NOT touched — extension records its true per-worker
@@ -49,6 +72,10 @@ inline void SpreadMakespans(int workers, QueryMetrics* m) {
   m->makespan_compute = static_cast<double>(m->compute_values) / p;
   m->makespan_bytes =
       static_cast<double>(m->bytes_from_storage + m->shuffle_bytes) / p;
+  // makespan_net_seconds is NOT touched either — extension records its
+  // true per-worker maxima via MaxWorkerNetSeconds — but the queueing
+  // delay is refreshed from the final per-node busy totals.
+  FinalizeNetworkQueue(m);
 }
 
 }  // namespace zidian

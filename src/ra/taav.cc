@@ -5,9 +5,9 @@
 #include <map>
 #include <memory>
 #include <set>
-#include <thread>
 
 #include "common/coding.h"
+#include "kba/makespan.h"
 #include "ra/eval.h"
 
 namespace zidian {
@@ -63,29 +63,34 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
   for (const auto& c : schema.columns()) cols.push_back(alias + "." + c.name);
   Relation out(std::move(cols));
 
-  // Each simulated per-tuple get stalls for the cluster's injected
-  // round-trip latency — the baseline's per-tuple RTT cost, paid
-  // back-to-back sequentially and overlapped under kThreads, which is
-  // what makespan_get predicts. One get + arity values metered per
-  // tuple on either path below; the totals — and the row order — cannot
-  // differ between them.
-  const int stall_us = cluster.round_trip_latency_us();
+  // Each simulated per-tuple get is priced by the cluster's NetworkModel
+  // (one request of the pair's bytes to the owning node) — the baseline's
+  // per-tuple round-trip cost, paid back-to-back sequentially and
+  // overlapped under kThreads, which is what makespan_net predicts. One
+  // get + arity values metered per tuple on either path below; the totals
+  // — and the row order — cannot differ between them. (The flat-RTT shim
+  // reduces this to the historical per-tuple stall.)
+  const NetworkModel* net = cluster.network();
   auto start = std::chrono::steady_clock::now();
 
   if (pool == nullptr || workers <= 1) {
     // No threads to feed: stream-decode straight off the scan iterator,
-    // never materializing the encoded table a second time.
+    // never materializing the encoded table a second time. Per-tuple
+    // network latencies are kept so the chunked per-worker maxima below
+    // can be computed exactly as the threaded path computes them.
     Status decode_status = Status::OK();
+    std::vector<int64_t> net_lat_ns;
     cluster.ScanPrefix(
         TaavPrefix(schema.name()), m,
         [&](std::string_view key, std::string_view value) {
-          (void)key;
           if (m != nullptr) {
             m->get_calls += 1;
             m->values_accessed += schema.arity();
           }
-          if (stall_us > 0) {
-            std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+          if (net != nullptr) {
+            int64_t lat = net->OnGet(cluster.NodeFor(key), 1,
+                                     key.size() + value.size(), m);
+            if (m != nullptr) net_lat_ns.push_back(lat);
           }
           Tuple t;
           std::string_view sv = value;
@@ -97,6 +102,23 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
         });
     ZIDIAN_RETURN_NOT_OK(decode_status);
     if (m != nullptr) {
+      // True per-worker network maxima: the per-tuple gets chunk over
+      // `workers` exactly as the threaded path chunks them, so a slow
+      // node whose tuples land in one chunk shows up in makespan_net
+      // identically in both modes (an even spread would hide the skew).
+      if (!net_lat_ns.empty()) {
+        size_t p = static_cast<size_t>(std::max(1, workers));
+        uint64_t worst = 0;
+        for (size_t w = 0; w < p; ++w) {
+          auto [begin, end] = ChunkRange(net_lat_ns.size(), w, p);
+          uint64_t sum = 0;
+          for (size_t i = begin; i < end; ++i) {
+            sum += static_cast<uint64_t>(net_lat_ns[i]);
+          }
+          worst = std::max(worst, sum);
+        }
+        m->makespan_net_seconds += static_cast<double>(worst) / 1e9;
+      }
       m->wall_fetch_seconds += std::chrono::duration<double>(
                                    std::chrono::steady_clock::now() - start)
                                    .count();
@@ -111,9 +133,11 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
   // its own slot, slots merge in worker order, so rows and counters are
   // byte-identical to the streaming path.
   std::vector<std::string> payloads;
+  std::vector<std::pair<int, uint32_t>> origins;  // (owning node, key bytes)
   cluster.ScanPrefix(TaavPrefix(schema.name()), m,
                      [&](std::string_view key, std::string_view value) {
-                       (void)key;
+                       origins.emplace_back(cluster.NodeFor(key),
+                                            static_cast<uint32_t>(key.size()));
                        payloads.emplace_back(value);
                      });
   size_t p = static_cast<size_t>(workers);
@@ -129,8 +153,9 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
     for (size_t i = begin; i < end; ++i) {
       slot.m.get_calls += 1;
       slot.m.values_accessed += schema.arity();
-      if (stall_us > 0) {
-        std::this_thread::sleep_for(std::chrono::microseconds(stall_us));
+      if (net != nullptr) {
+        net->OnGet(origins[i].first, 1, origins[i].second + payloads[i].size(),
+                   &slot.m);
       }
       Tuple t;
       std::string_view sv = payloads[i];
@@ -147,6 +172,15 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
     for (auto& row : slot.partial.rows()) out.Add(std::move(row));
   }
   if (m != nullptr) {
+    // The slowest worker's network time for this scan — the per-worker
+    // deltas ARE the chunk sums the sequential path reconstructs above.
+    if (net != nullptr) {
+      uint64_t worst = 0;
+      for (const auto& slot : slots) {
+        worst = std::max(worst, slot.m.net_service_ns);
+      }
+      m->makespan_net_seconds += static_cast<double>(worst) / 1e9;
+    }
     m->wall_fetch_seconds +=
         std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
             .count();
@@ -355,6 +389,12 @@ Result<Relation> TaavExecutor::Execute(const QuerySpec& spec,
     m->makespan_bytes =
         static_cast<double>(m->bytes_from_storage + m->shuffle_bytes) / p;
     m->makespan_compute = static_cast<double>(m->compute_values) / p;
+    // makespan_net_seconds was accumulated per scan as the true slowest
+    // worker's chunk (TaavScanTable) — not overwritten by an even spread
+    // that would hide slow-node skew; only the queueing delay is
+    // recomputed from the final per-node busy totals, the same
+    // arithmetic the KBA route uses.
+    FinalizeNetworkQueue(m);
   }
   return out;
 }

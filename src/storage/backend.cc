@@ -36,7 +36,13 @@ double SimSeconds(const QueryMetrics& m, const BackendProfile& profile) {
               m.makespan_next * profile.next_us +
               m.makespan_bytes * profile.byte_us +
               m.makespan_compute * profile.value_us;
-  return profile.startup_s + us / 1e6;
+  // The NetworkModel leg (zero when no network is configured): the
+  // slowest worker's modeled network time plus the queueing delay the
+  // bottleneck storage node adds on top. The profile's get_us still
+  // charges the engine-side cost of a get; rtt/transfer/queueing are the
+  // wire's, priced separately.
+  return profile.startup_s + us / 1e6 + m.makespan_net_seconds +
+         m.net_queue_seconds;
 }
 
 }  // namespace zidian

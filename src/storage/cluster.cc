@@ -1,9 +1,7 @@
 #include "storage/cluster.h"
 
 #include <cerrno>
-#include <chrono>
 #include <cstdlib>
-#include <thread>
 
 #include "storage/mem_backend.h"
 
@@ -56,8 +54,7 @@ std::string_view BackendKindName(BackendKind kind) {
   return "unknown";
 }
 
-Cluster::Cluster(ClusterOptions options)
-    : round_trip_latency_us_(options.round_trip_latency_us) {
+Cluster::Cluster(ClusterOptions options) {
   nodes_.reserve(options.num_storage_nodes);
   for (int i = 0; i < options.num_storage_nodes; ++i) {
     nodes_.push_back(MakeBackend(options));
@@ -67,11 +64,17 @@ Cluster::Cluster(ClusterOptions options)
   if (cache.capacity_bytes > 0) {
     cache_ = std::make_unique<BlockCache>(cache);
   }
-}
-
-void Cluster::SimulateRoundTrip() const {
-  if (round_trip_latency_us_ <= 0) return;
-  std::this_thread::sleep_for(std::chrono::microseconds(round_trip_latency_us_));
+  // The flat round_trip_latency_us knob survives as a degenerate uniform
+  // network: one fixed RTT per read round trip, nothing else. A real
+  // NetworkOptions wins when it carries any cost of its own.
+  NetworkOptions net = options.network;
+  if (!net.Enabled() && options.round_trip_latency_us > 0) {
+    net.link.rtt_us = options.round_trip_latency_us;
+  }
+  if (net.Enabled()) {
+    network_ = std::make_unique<NetworkModel>(std::move(net),
+                                              options.num_storage_nodes);
+  }
 }
 
 Status Cluster::Put(std::string_view key, std::string_view value,
@@ -88,7 +91,14 @@ Status Cluster::Put(std::string_view key, std::string_view value,
   // value in place (the write proved the key exists; a read-back must
   // hit). A failed or bypassed write merely erases (backend state is
   // uncertain / the install would be a fill).
-  Status st = nodes_[NodeFor(key)]->Put(key, value);
+  int node = NodeFor(key);
+  Status st = nodes_[node]->Put(key, value);
+  // Writes are metered into the network (per-node trip, transfer bytes)
+  // but never stalled — the same contract the flat-RTT knob had; bulk
+  // loads pass m = nullptr and the model stays untouched entirely.
+  if (network_ != nullptr && m != nullptr) {
+    network_->OnWrite(node, 1, key.size() + value.size(), m);
+  }
   if (cache_ != nullptr) {
     if (st.ok() && CacheActive()) {
       size_t evicted = cache_->OnPut(key, value);
@@ -106,7 +116,11 @@ Status Cluster::Delete(std::string_view key, QueryMetrics* m) {
     m->bytes_to_storage += key.size();
   }
   if (cache_ != nullptr) cache_->Erase(key);
-  return nodes_[NodeFor(key)]->Delete(key);
+  int node = NodeFor(key);
+  if (network_ != nullptr && m != nullptr) {
+    network_->OnWrite(node, 1, key.size(), m);
+  }
+  return nodes_[node]->Delete(key);
 }
 
 Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
@@ -132,8 +146,16 @@ Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
     }
   }
   if (m != nullptr) m->get_round_trips += 1;
-  SimulateRoundTrip();
-  auto res = nodes_[NodeFor(key)]->Get(key);
+  int node = NodeFor(key);
+  auto res = nodes_[node]->Get(key);
+  // One network round trip: the key travels out, the value (if any)
+  // travels back. The stall covers the modeled latency plus any queueing
+  // at the node — unconditionally, like the old flat-RTT knob: unmetered
+  // reads pay the wire too.
+  if (network_ != nullptr) {
+    network_->OnGet(node, 1,
+                    key.size() + (res.ok() ? res.value().size() : 0), m);
+  }
   if (res.ok()) {
     if (m != nullptr) {
       m->bytes_from_storage += key.size() + res.value().size();
@@ -224,9 +246,11 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
                                                end - begin),
         &out);
     if (m != nullptr) m->get_round_trips += 1;
-    SimulateRoundTrip();
+    uint64_t shipped = 0;  // keys out + found values back, for the network
     for (size_t j = begin; j < end; ++j) {
+      shipped += batch[j].key.size();
       const auto& value = out[batch[j].slot];
+      if (value.has_value()) shipped += value->size();
       if (!value.has_value()) {
         // The node confirmed the key absent: remember that, so the next
         // batch over the same keys skips this round trip.
@@ -243,6 +267,12 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
         size_t evicted = cache_->Insert(batch[j].key, *value);
         if (m != nullptr) m->cache_evictions += evicted;
       }
+    }
+    // The batching economics in one line: this whole per-node batch pays
+    // ONE round trip (rtt once) plus a marginal per-key cost — where the
+    // same keys as single Gets would pay the rtt per key.
+    if (network_ != nullptr) {
+      network_->OnGet(static_cast<int>(n), end - begin, shipped, m);
     }
   }
   return out;

@@ -16,6 +16,15 @@
 // metered as cache_negative_hits and invalidated by Put/Delete like any
 // other entry.
 //
+// When ClusterOptions::network carries any cost, every backend-reaching
+// access is priced by the NetworkModel (storage/network_model.h): a Get
+// and each per-node MultiGet batch pay one round trip (stalling the
+// caller for the modeled latency plus any per-node queueing), Put/Delete
+// are metered but never stalled, and the net_* QueryMetrics fields record
+// the traffic. Cache hits and prefix scans bypass the network: hits are
+// middleware-local memory, and scans stream (the paper's per-round-trip
+// economics are about point access — the path the network model prices).
+//
 // Thread safety: the read path (Get / MultiGet / ScanPrefix / CountPrefix)
 // is safe from any number of concurrent threads as long as no writes are
 // in flight and each thread meters into its own QueryMetrics — this is
@@ -38,6 +47,7 @@
 #include "storage/block_cache.h"
 #include "storage/kv_backend.h"
 #include "storage/lsm_store.h"
+#include "storage/network_model.h"
 
 namespace zidian {
 
@@ -73,14 +83,17 @@ struct ClusterOptions {
   /// used instead — the switch the cache-enabled CI configuration flips
   /// without touching call sites.
   BlockCacheOptions cache;
-  /// Injected latency per *read* round trip, in microseconds (0 = off).
-  /// The embedded engines answer in ~µs where a remote store pays a
-  /// network RTT, so with this knob each Get / per-node MultiGet batch
-  /// stalls like a real round trip: sequential execution pays the stalls
-  /// back-to-back, the threaded executor's per-worker fan-out overlaps
-  /// them — which is exactly what makespan_get models, so measured
-  /// wall-clock can validate SimSeconds on any core count. Writes are
-  /// not stalled (bulk loads would crawl); benches stall reads only.
+  /// The network between the SQL layer and the storage nodes: per-node
+  /// queues, per-request RTT, marginal per-key batching cost and
+  /// per-byte transfer cost (storage/network_model.h). All-zero (the
+  /// default) means no network model — reads answer at memory speed.
+  NetworkOptions network;
+  /// Compatibility shim for the pre-NetworkModel flat latency knob: when
+  /// `network` is left all-default and this is > 0, it configures the
+  /// degenerate uniform model {rtt_us = round_trip_latency_us} — every
+  /// Get / per-node MultiGet batch stalls one flat round trip, writes are
+  /// not stalled, exactly the historical behavior. Ignored when `network`
+  /// carries any cost of its own.
   int round_trip_latency_us = 0;
 };
 
@@ -184,17 +197,23 @@ class Cluster {
   bool cache_bypassed() const { return cache_bypass_; }
 
   /// The injected per-read-round-trip latency (µs), for diagnostics.
-  int round_trip_latency_us() const { return round_trip_latency_us_; }
+  /// With a full NetworkOptions configured this reports node 0's RTT.
+  int round_trip_latency_us() const {
+    return network_ ? static_cast<int>(network_->link(0).rtt_us) : 0;
+  }
+
+  /// The attached network model, or nullptr when no network cost is
+  /// configured. Gets/MultiGets/Puts/Deletes are metered and stalled
+  /// through it; executors use it to price simulated per-tuple gets.
+  const NetworkModel* network() const { return network_.get(); }
 
  private:
   bool CacheActive() const { return cache_ != nullptr && !cache_bypass_; }
-  /// Stalls for the configured round-trip latency (no-op when 0).
-  void SimulateRoundTrip() const;
 
   std::vector<std::unique_ptr<KvBackend>> nodes_;
   std::unique_ptr<BlockCache> cache_;
   bool cache_bypass_ = false;
-  int round_trip_latency_us_ = 0;
+  std::unique_ptr<NetworkModel> network_;
 };
 
 }  // namespace zidian

@@ -1,0 +1,133 @@
+#include "storage/network_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+#include <thread>
+
+namespace zidian {
+
+namespace {
+
+/// Rounds a microsecond cost to integer nanoseconds. Integer metering is
+/// load-bearing: sums of int64 are associative, so per-worker deltas
+/// merged in any chunking produce bit-identical totals — the determinism
+/// contract between ParallelMode::kSimulated and kThreads.
+int64_t UsToNs(double us) {
+  if (us <= 0) return 0;
+  return static_cast<int64_t>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+NetworkModel::NetworkModel(NetworkOptions options, int num_nodes)
+    : epoch_(std::chrono::steady_clock::now()) {
+  links_.resize(static_cast<size_t>(std::max(1, num_nodes)), options.link);
+  for (size_t i = 0; i < options.node_links.size() && i < links_.size(); ++i) {
+    links_[i] = options.node_links[i];
+  }
+  free_at_ns_ =
+      std::make_unique<std::atomic<int64_t>[]>(links_.size());
+  for (size_t i = 0; i < links_.size(); ++i) free_at_ns_[i] = 0;
+}
+
+NetworkModel::Cost NetworkModel::RequestCost(int node, uint64_t keys,
+                                             uint64_t bytes) const {
+  const NetworkLinkOptions& l = links_[static_cast<size_t>(node)];
+  double slot_us = l.service_rate > 0 ? 1e6 / l.service_rate : 0;
+  double busy_us = slot_us + static_cast<double>(keys) * l.per_key_us +
+                   static_cast<double>(bytes) * l.per_byte_us;
+  Cost c;
+  c.busy_ns = UsToNs(busy_us);
+  c.latency_ns = UsToNs(l.rtt_us) + c.busy_ns;
+  return c;
+}
+
+int64_t NetworkModel::NowNs() const {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - epoch_)
+      .count();
+}
+
+int64_t NetworkModel::ClaimNode(int node, int64_t busy_ns,
+                                int64_t now_ns) const {
+  if (busy_ns <= 0) return now_ns;
+  std::atomic<int64_t>& clock = free_at_ns_[static_cast<size_t>(node)];
+  int64_t cur = clock.load(std::memory_order_relaxed);
+  int64_t start, next;
+  do {
+    start = std::max(now_ns, cur);
+    next = start + busy_ns;
+  } while (!clock.compare_exchange_weak(cur, next, std::memory_order_acq_rel,
+                                        std::memory_order_relaxed));
+  return start;
+}
+
+void NetworkModel::Meter(int node, const Cost& cost, uint64_t bytes,
+                         QueryMetrics* m) const {
+  if (m == nullptr) return;
+  size_t n = static_cast<size_t>(node);
+  if (m->net_node_round_trips.size() < links_.size()) {
+    m->net_node_round_trips.resize(links_.size(), 0);
+    m->net_node_busy_ns.resize(links_.size(), 0);
+  }
+  m->net_node_round_trips[n] += 1;
+  m->net_node_busy_ns[n] += static_cast<uint64_t>(cost.busy_ns);
+  m->net_transfer_bytes += bytes;
+  m->net_service_ns += static_cast<uint64_t>(cost.latency_ns);
+}
+
+int64_t NetworkModel::OnGet(int node, uint64_t keys, uint64_t bytes,
+                            QueryMetrics* m) const {
+  Cost cost = RequestCost(node, keys, bytes);
+  Meter(node, cost, bytes, m);
+  // The stall is real in BOTH parallel modes (exactly like the old flat
+  // RTT knob): a sequential caller pays requests back-to-back while
+  // threaded workers overlap propagation — so measured wall-clock can
+  // validate what the makespan model predicts. Queueing is physical too:
+  // the node's next-free-time clock serializes the busy components of
+  // concurrent requests.
+  int64_t now = NowNs();
+  int64_t start = ClaimNode(node, cost.busy_ns, now);
+  int64_t wake = start + cost.latency_ns;
+  if (wake > now) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wake - now));
+  }
+  return cost.latency_ns;
+}
+
+void NetworkModel::OnWrite(int node, uint64_t keys, uint64_t bytes,
+                           QueryMetrics* m) const {
+  Cost cost = RequestCost(node, keys, bytes);
+  Meter(node, cost, bytes, m);
+  // No stall — bulk loads must not crawl — but the node clock advances:
+  // a write burst still delays the reads racing it.
+  ClaimNode(node, cost.busy_ns, NowNs());
+}
+
+std::string NetworkModel::ToString() const {
+  std::ostringstream os;
+  const NetworkLinkOptions& d = links_[0];
+  bool uniform = true;
+  for (const auto& l : links_) {
+    uniform &= l.rtt_us == d.rtt_us && l.per_key_us == d.per_key_us &&
+               l.per_byte_us == d.per_byte_us &&
+               l.service_rate == d.service_rate;
+  }
+  os << links_.size() << " nodes, "
+     << (uniform ? "uniform" : "non-uniform");
+  os << "; link[0]: rtt=" << d.rtt_us << "us per_key=" << d.per_key_us
+     << "us per_byte=" << d.per_byte_us << "us";
+  if (d.service_rate > 0) os << " service_rate=" << d.service_rate << "/s";
+  if (!uniform) {
+    double lo = links_[0].rtt_us, hi = links_[0].rtt_us;
+    for (const auto& l : links_) {
+      lo = std::min(lo, l.rtt_us);
+      hi = std::max(hi, l.rtt_us);
+    }
+    os << "; rtt range [" << lo << ", " << hi << "]us";
+  }
+  return os.str();
+}
+
+}  // namespace zidian

@@ -1,0 +1,153 @@
+// Simulated network substrate between the SQL layer and the storage nodes
+// (replaces the flat ClusterOptions::round_trip_latency_us knob). The
+// paper's cost model is phrased in communication rounds; this subsystem
+// gives each round a price and each storage node a queue, so the
+// KBA-vs-TaaV round-trip advantage can be studied under realistic load:
+//
+//  * Per-request fixed latency (`rtt_us`): wire propagation — paid once
+//    per request, overlaps freely across concurrent requests.
+//  * Marginal per-key cost (`per_key_us`): node-side work per key in a
+//    batch. A MultiGet of k keys to one node pays ONE round trip plus
+//    k marginal key costs, where k single Gets pay k round trips — the
+//    batching economics the PR 1 MultiGet seam exists to exploit.
+//  * Per-byte transfer cost (`per_byte_us`): payload serialization /
+//    bandwidth, charged on the shipped bytes.
+//  * Service rate (`service_rate`): requests/second one node can admit.
+//    Each request occupies the node for a fixed slot (1e6/service_rate
+//    microseconds) plus its per-key and per-byte processing; concurrent
+//    requests to the same node queue behind each other on a per-node
+//    next-free-time clock. Propagation (rtt) never serializes.
+//
+// Links may differ per node (`NetworkOptions::node_links`) — a
+// non-uniform network where one slow or overloaded node becomes the
+// bottleneck the makespan model must expose.
+//
+// Determinism contract: every *metered* quantity (per-node round-trip
+// histogram, transfer bytes, service nanoseconds, per-node busy
+// nanoseconds) is a pure function of the request stream — integer
+// nanoseconds, so sums are associative and ParallelMode::kSimulated and
+// kThreads meter bit-identical values no matter how the scheduler
+// interleaves workers. Only the *stalls* (real sleeps) and the measured
+// wall clock depend on scheduling; the modeled queueing delay that feeds
+// SimSeconds is recomputed deterministically from the metered totals
+// (kba/makespan.h: FinalizeNetworkQueue).
+//
+// Thread safety: OnGet/OnWrite are safe from any number of concurrent
+// threads; the per-node clocks are lock-free atomics.
+#ifndef ZIDIAN_STORAGE_NETWORK_MODEL_H_
+#define ZIDIAN_STORAGE_NETWORK_MODEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+
+namespace zidian {
+
+/// Cost parameters of the link between the query node and ONE storage
+/// node. All costs default to zero (a free, infinitely parallel network).
+struct NetworkLinkOptions {
+  double rtt_us = 0;       ///< fixed round-trip latency per request
+  double per_key_us = 0;   ///< marginal node-side cost per key in a batch
+  double per_byte_us = 0;  ///< transfer cost per payload byte
+  /// Requests/second the node admits; > 0 gives every request a fixed
+  /// service slot of 1e6/service_rate us that serializes at the node.
+  /// 0 = infinitely parallel node (no slot, no queue from the slot).
+  double service_rate = 0;
+
+  bool Free() const {
+    return rtt_us <= 0 && per_key_us <= 0 && per_byte_us <= 0 &&
+           service_rate <= 0;
+  }
+};
+
+struct NetworkOptions {
+  /// The default link, applied to every node without an override.
+  NetworkLinkOptions link;
+  /// Per-node overrides, indexed by storage-node id; nodes beyond the
+  /// vector use `link`. This is how a non-uniform network is configured.
+  /// An override REPLACES the whole link for that node — it does not
+  /// overlay onto `link` — so start from a copy of the default when only
+  /// one parameter should differ:
+  ///   NetworkLinkOptions slow = options.link; slow.rtt_us = 2000;
+  ///   options.node_links = {slow};
+  std::vector<NetworkLinkOptions> node_links;
+
+  /// Whether any link carries a cost. A disabled network is never
+  /// instantiated — the read path stays exactly as fast as before.
+  bool Enabled() const {
+    if (!link.Free()) return true;
+    for (const auto& l : node_links) {
+      if (!l.Free()) return true;
+    }
+    return false;
+  }
+};
+
+class NetworkModel {
+ public:
+  NetworkModel(NetworkOptions options, int num_nodes);
+
+  int num_nodes() const { return static_cast<int>(links_.size()); }
+  const NetworkLinkOptions& link(int node) const {
+    return links_[static_cast<size_t>(node)];
+  }
+
+  /// The deterministic price of one request, in integer nanoseconds.
+  struct Cost {
+    int64_t latency_ns = 0;  ///< rtt + busy: the request's own response
+                             ///< time with an idle node (no queueing)
+    int64_t busy_ns = 0;     ///< the node-serialized part (slot + per-key
+                             ///< + per-byte); excludes propagation
+  };
+  /// Pure math, no side effects: `keys` keys and `bytes` payload bytes to
+  /// `node`. latency = rtt + busy; busy = slot + keys*per_key +
+  /// bytes*per_byte. One batched request of k keys is cheaper than k
+  /// single requests by (k-1) round trips — the batching economics.
+  Cost RequestCost(int node, uint64_t keys, uint64_t bytes) const;
+
+  /// One read round trip: meters the request into `m` (per-node round
+  /// trip, transfer bytes, service ns, per-node busy ns; no-op when m is
+  /// null) and stalls the calling thread for the modeled latency PLUS any
+  /// queueing delay at the node's next-free-time clock. Sequential
+  /// execution therefore pays requests back-to-back while concurrent
+  /// workers overlap propagation and queue only on node contention —
+  /// which is exactly what the makespan model predicts. Returns the
+  /// request's modeled latency (ns, queueing excluded) so callers that
+  /// chunk work per worker can compute true per-chunk maxima.
+  int64_t OnGet(int node, uint64_t keys, uint64_t bytes,
+                QueryMetrics* m) const;
+
+  /// One write: metered identically to OnGet but never stalled — bulk
+  /// loads and maintenance writes must not crawl (the same contract the
+  /// old round_trip_latency_us knob had). The write still occupies the
+  /// node's clock, so an in-flight write delays subsequent reads.
+  void OnWrite(int node, uint64_t keys, uint64_t bytes, QueryMetrics* m) const;
+
+  /// One-line configuration summary for Explain()/AnswerInfo.
+  std::string ToString() const;
+
+ private:
+  /// Nanoseconds since the model's epoch on the monotonic clock.
+  int64_t NowNs() const;
+  /// Advances `node`'s next-free-time clock by `busy_ns` and returns the
+  /// instant the node starts serving this request (>= now).
+  int64_t ClaimNode(int node, int64_t busy_ns, int64_t now_ns) const;
+  void Meter(int node, const Cost& cost, uint64_t bytes,
+             QueryMetrics* m) const;
+
+  std::vector<NetworkLinkOptions> links_;  // resolved per node
+  std::chrono::steady_clock::time_point epoch_;
+  /// Per-node next-free-time (ns since epoch_). Unique_ptr because
+  /// atomics are not movable; one cache line each would be overkill for
+  /// a simulator.
+  std::unique_ptr<std::atomic<int64_t>[]> free_at_ns_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_STORAGE_NETWORK_MODEL_H_

@@ -32,6 +32,10 @@ Status PreparedQuery::Plan() {
   last_info_.result_preserving = preserving_;
   last_info_.cache_enabled = zidian_->cluster().cache_enabled();
   last_info_.cache_capacity_bytes = zidian_->cluster().cache_capacity_bytes();
+  if (const NetworkModel* net = zidian_->cluster().network()) {
+    last_info_.network_enabled = true;
+    last_info_.network_text = net->ToString();
+  }
   if (!preserving_) {
     last_info_.route = AnswerInfo::Route::kTaavFallback;
     last_info_.detail = preserve_detail_;
@@ -81,6 +85,10 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   out->cache_enabled = cluster.cache_enabled();
   out->cache_capacity_bytes = cluster.cache_capacity_bytes();
   out->cache_bypassed = opts.bypass_cache;
+  if (const NetworkModel* net = cluster.network()) {
+    out->network_enabled = true;
+    out->network_text = net->ToString();
+  }
 
   // Resolve the thread source once for whichever route runs. kThreads at
   // workers <= 1 is the simulated path by construction (one worker on the

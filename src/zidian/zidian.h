@@ -64,6 +64,12 @@ struct AnswerInfo {
   bool cache_enabled = false;
   uint64_t cache_capacity_bytes = 0;
   bool cache_bypassed = false;
+  /// NetworkModel configuration the run (or Prepare) saw — whether
+  /// ClusterOptions::network (or the round_trip_latency_us shim) attached
+  /// a network, and its one-line summary (node count, uniform or not,
+  /// link costs). The traffic itself lands in metrics.net_*.
+  bool network_enabled = false;
+  std::string network_text;
   /// How `workers` *effectively* executed this run: simulated cost
   /// accounting or real threads. A kThreads request with workers <= 1
   /// runs (and reports) kSimulated — one worker on the calling thread IS

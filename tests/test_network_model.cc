@@ -1,0 +1,332 @@
+// NetworkModel coverage: the queueing/batching arithmetic (one round trip
+// per per-node MultiGet batch, marginal per-key cost, per-node queue delay
+// under concurrent outstanding requests), the flat-RTT compatibility shim,
+// and the cluster-level determinism contract — identical rows and
+// CountersEqual metrics between ParallelMode::kSimulated and kThreads
+// under a non-uniform network, on both routes.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "kba/makespan.h"
+#include "storage/backend.h"
+#include "storage/cluster.h"
+#include "storage/network_model.h"
+#include "workloads/workload.h"
+#include "zidian/connection.h"
+#include "zidian/zidian.h"
+
+namespace zidian {
+namespace {
+
+double SecondsSince(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+// ------------------------------------------------------- unit: the math ---
+
+TEST(NetworkModelTest, RequestCostChargesRttSlotKeysAndBytes) {
+  NetworkOptions opts;
+  opts.link = NetworkLinkOptions{.rtt_us = 100,
+                                 .per_key_us = 5,
+                                 .per_byte_us = 0.5,
+                                 .service_rate = 10000};  // 100us slot
+  NetworkModel net(opts, 4);
+
+  // busy = slot 100 + 1 key * 5 + 10 bytes * 0.5 = 110us; latency adds rtt.
+  NetworkModel::Cost single = net.RequestCost(0, 1, 10);
+  EXPECT_EQ(single.busy_ns, 110'000);
+  EXPECT_EQ(single.latency_ns, 210'000);
+
+  // A batch pays the rtt and the slot ONCE plus marginal per-key/byte:
+  // busy = 100 + 8*5 + 80*0.5 = 180us; latency = 280us.
+  NetworkModel::Cost batch = net.RequestCost(0, 8, 80);
+  EXPECT_EQ(batch.latency_ns, 280'000);
+  // ...which beats eight single requests by 7 rtts and 7 slots.
+  EXPECT_EQ(8 * single.latency_ns - batch.latency_ns, 7 * 200'000);
+}
+
+TEST(NetworkModelTest, NodeLinksMakeTheNetworkNonUniform) {
+  NetworkOptions opts;
+  opts.link.rtt_us = 50;
+  opts.node_links = {NetworkLinkOptions{.rtt_us = 500}};
+  ASSERT_TRUE(opts.Enabled());
+  NetworkModel net(opts, 2);
+  EXPECT_EQ(net.RequestCost(0, 1, 0).latency_ns, 500'000);  // override
+  EXPECT_EQ(net.RequestCost(1, 1, 0).latency_ns, 50'000);   // default link
+}
+
+TEST(NetworkModelTest, DisabledNetworkReportsDisabled) {
+  EXPECT_FALSE(NetworkOptions{}.Enabled());
+  NetworkOptions with_override;
+  with_override.node_links = {NetworkLinkOptions{}, {.per_byte_us = 0.1}};
+  EXPECT_TRUE(with_override.Enabled());
+}
+
+TEST(NetworkModelTest, OnGetMetersHistogramTransferAndServiceTime) {
+  NetworkOptions opts;
+  opts.link = NetworkLinkOptions{.rtt_us = 10, .per_key_us = 2};
+  NetworkModel net(opts, 3);
+  QueryMetrics m;
+  net.OnGet(1, 4, 100, &m);
+  net.OnGet(1, 1, 0, &m);
+  net.OnGet(2, 1, 0, &m);
+  ASSERT_EQ(m.net_node_round_trips.size(), 3u);
+  EXPECT_EQ(m.net_node_round_trips[0], 0u);
+  EXPECT_EQ(m.net_node_round_trips[1], 2u);
+  EXPECT_EQ(m.net_node_round_trips[2], 1u);
+  EXPECT_EQ(m.net_transfer_bytes, 100u);
+  // 4-key batch: 10+8us; two singles: 12us each.
+  EXPECT_EQ(m.net_service_ns, 18'000u + 12'000u + 12'000u);
+  EXPECT_EQ(m.net_node_busy_ns[1], 8'000u + 2'000u);
+
+  // Deltas merged via += pad the shorter per-node vectors with zeros,
+  // and CountersEqual treats missing trailing entries as zero.
+  QueryMetrics delta;
+  net.OnGet(0, 1, 0, &delta);
+  QueryMetrics total = m;
+  total += delta;
+  EXPECT_EQ(total.net_node_round_trips[0], 1u);
+  QueryMetrics same = total;
+  same.net_node_round_trips.resize(8, 0);
+  EXPECT_TRUE(CountersEqual(total, same));
+}
+
+TEST(NetworkModelTest, QueueDelaySerializesConcurrentRequestsAtOneNode) {
+  // One node admitting 250 req/s (4ms slot), no propagation: four
+  // concurrent requests must queue behind each other — the last response
+  // can't arrive before 4 slots of serialized service.
+  NetworkOptions opts;
+  opts.link.service_rate = 250;
+  NetworkModel net(opts, 1);
+
+  auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  std::vector<QueryMetrics> deltas(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&net, &deltas, t] { net.OnGet(0, 1, 0, &deltas[t]); });
+  }
+  for (auto& t : threads) t.join();
+  double elapsed = SecondsSince(start);
+  EXPECT_GE(elapsed, 4 * 0.004 - 0.0005);
+
+  // The metered (deterministic) side is contention-free by design: each
+  // request records its own 4ms service time, and the queueing shows up
+  // through the node-busy total instead.
+  QueryMetrics total;
+  for (const auto& d : deltas) total += d;
+  EXPECT_EQ(total.net_service_ns, 4u * 4'000'000u);
+  EXPECT_EQ(total.net_node_busy_ns[0], 4u * 4'000'000u);
+}
+
+TEST(NetworkModelTest, FinalizeNetworkQueueExposesTheBottleneckNode) {
+  QueryMetrics m;
+  m.makespan_net_seconds = 0.010;
+  m.net_node_busy_ns = {2'000'000, 30'000'000};  // node 1 is the bottleneck
+  FinalizeNetworkQueue(&m);
+  EXPECT_DOUBLE_EQ(m.net_queue_seconds, 0.020);
+
+  // SimSeconds folds both network legs in on top of the profile costs.
+  QueryMetrics empty;
+  EXPECT_NEAR(SimSeconds(m, SoH()) - SimSeconds(empty, SoH()),
+              0.010 + 0.020, 1e-12);
+
+  // A bottleneck below the per-worker makespan adds no queueing.
+  m.net_node_busy_ns = {2'000'000};
+  FinalizeNetworkQueue(&m);
+  EXPECT_DOUBLE_EQ(m.net_queue_seconds, 0.0);
+}
+
+// --------------------------------------------------- cluster-level wiring ---
+
+TEST(ClusterNetworkTest, MultiGetPaysOneRoundTripPerNodeSinglesPayPerKey) {
+  ClusterOptions co{.num_storage_nodes = 4, .backend = BackendKind::kMem};
+  co.network.link = NetworkLinkOptions{.rtt_us = 50, .per_key_us = 1};
+  Cluster cluster(co);
+  // The *_cached ctest configuration force-enables the BlockCache via the
+  // environment; these assertions count backend round trips, so the cache
+  // must stay out of the way.
+  cluster.SetCacheBypass(true);
+  std::vector<std::string> keys;
+  for (int i = 0; i < 32; ++i) {
+    keys.push_back("key-" + std::to_string(i));
+    ASSERT_TRUE(cluster.Put(keys.back(), "value-" + std::to_string(i)).ok());
+  }
+
+  QueryMetrics batched;
+  auto values = cluster.MultiGet(keys, &batched);
+  ASSERT_EQ(values.size(), keys.size());
+  uint64_t batched_trips = 0;
+  for (uint64_t t : batched.net_node_round_trips) batched_trips += t;
+  EXPECT_LE(batched_trips, 4u);  // one per touched node
+  EXPECT_EQ(batched_trips, batched.get_round_trips);
+
+  QueryMetrics singles;
+  for (const auto& k : keys) ASSERT_TRUE(cluster.Get(k, &singles).ok());
+  uint64_t single_trips = 0;
+  for (uint64_t t : singles.net_node_round_trips) single_trips += t;
+  EXPECT_EQ(single_trips, 32u);  // one per key
+
+  // Same payloads shipped either way; the batch saves (32 - nodes) RTTs.
+  EXPECT_EQ(singles.net_transfer_bytes, batched.net_transfer_bytes);
+  EXPECT_EQ(singles.net_service_ns - batched.net_service_ns,
+            (single_trips - batched_trips) * 50'000);
+}
+
+TEST(ClusterNetworkTest, FlatRttKnobIsADegenerateUniformModel) {
+  ClusterOptions co{.num_storage_nodes = 2,
+                    .backend = BackendKind::kMem,
+                    .round_trip_latency_us = 2000};
+  Cluster cluster(co);
+  cluster.SetCacheBypass(true);  // see above: round-trip counting test
+  ASSERT_NE(cluster.network(), nullptr);
+  EXPECT_EQ(cluster.round_trip_latency_us(), 2000);
+
+  ASSERT_TRUE(cluster.Put("a", "1").ok());
+  QueryMetrics m;
+  auto start = std::chrono::steady_clock::now();
+  auto r = cluster.Get("a", &m);
+  double elapsed = SecondsSince(start);
+  ASSERT_TRUE(r.ok());
+  EXPECT_GE(elapsed, 0.002);  // the read really stalls one round trip
+  EXPECT_EQ(m.net_service_ns, 2'000'000u);
+  EXPECT_EQ(m.net_transfer_bytes, 2u);  // "a" out, "1" back
+
+  // An explicit NetworkOptions with its own cost wins over the shim.
+  ClusterOptions both{.num_storage_nodes = 2, .backend = BackendKind::kMem};
+  both.network.link.rtt_us = 10;
+  both.round_trip_latency_us = 5000;
+  Cluster cluster2(both);
+  EXPECT_EQ(cluster2.round_trip_latency_us(), 10);
+}
+
+TEST(ClusterNetworkTest, WritesAreMeteredButNeverStalled) {
+  ClusterOptions co{.num_storage_nodes = 2, .backend = BackendKind::kMem};
+  co.network.link.rtt_us = 50000;  // 50ms — a stalled write would be visible
+  Cluster cluster(co);
+  QueryMetrics m;
+  auto start = std::chrono::steady_clock::now();
+  ASSERT_TRUE(cluster.Put("k", "vv", &m).ok());
+  ASSERT_TRUE(cluster.Delete("k", &m).ok());
+  EXPECT_LT(SecondsSince(start), 0.040);
+  uint64_t trips = 0;
+  for (uint64_t t : m.net_node_round_trips) trips += t;
+  EXPECT_EQ(trips, 2u);
+  EXPECT_EQ(m.net_transfer_bytes, 3u + 1u);  // put ships k+vv, delete ships k
+}
+
+// ------------------------------------- mode parity, non-uniform network ---
+
+class NetworkParityFixture : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    auto w = MakeMot(0.1, 31);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+    ClusterOptions co{.num_storage_nodes = 4, .backend = GetParam()};
+    // Non-uniform: node 2 is 8x slower than node 1 and rate-limited, so
+    // the bottleneck-node queueing term is exercised for real.
+    co.network.link =
+        NetworkLinkOptions{.rtt_us = 20, .per_key_us = 1, .per_byte_us = 0.001};
+    co.network.node_links = {
+        NetworkLinkOptions{.rtt_us = 40, .per_key_us = 1},
+        NetworkLinkOptions{.rtt_us = 10},
+        NetworkLinkOptions{.rtt_us = 80, .per_key_us = 2, .service_rate = 20000},
+        NetworkLinkOptions{.rtt_us = 20, .per_byte_us = 0.002},
+    };
+    cluster_ = std::make_unique<Cluster>(co);
+    zidian_ = std::make_unique<Zidian>(&workload_.catalog, cluster_.get(),
+                                       workload_.baav);
+    ASSERT_TRUE(zidian_->LoadTaav(workload_.data).ok());
+    ASSERT_TRUE(zidian_->BuildBaav(workload_.data).ok());
+  }
+
+  void ExpectParity(const std::string& sql, RoutePolicy policy) {
+    Connection conn = zidian_->Connect();
+    auto prepared = conn.Prepare(sql);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    EXPECT_TRUE(prepared->Explain().network_enabled);
+
+    // Under the cache-enabled ctest configuration the first run fills the
+    // BlockCache; warm it so the reference and every threaded run see the
+    // same residency (the contract test_parallel_exec uses too).
+    if (cluster_->cache_enabled()) {
+      auto warm = prepared->Execute(
+          ExecOptions{.workers = 8, .route_policy = policy});
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    }
+
+    AnswerInfo sim;
+    auto ref = prepared->Execute(
+        ExecOptions{.workers = 8, .route_policy = policy}, &sim);
+    ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+    // A warm BlockCache may legitimately serve the whole run without a
+    // single network request — that IS the cache's job — so only a
+    // cache-less run must show network traffic.
+    if (!cluster_->cache_enabled()) {
+      EXPECT_GT(sim.metrics.net_service_ns, 0u);
+    }
+    std::string reference = ref->ToString(1u << 20);
+
+    for (int run = 0; run < 3; ++run) {
+      AnswerInfo thr;
+      auto r = prepared->Execute(
+          ExecOptions{.workers = 8,
+                      .route_policy = policy,
+                      .parallel_mode = ParallelMode::kThreads},
+          &thr);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r->ToString(1u << 20), reference) << "run " << run;
+      ASSERT_TRUE(CountersEqual(thr.metrics, sim.metrics))
+          << "run " << run << "\n  sim: " << sim.metrics.ToString()
+          << "\n  thr: " << thr.metrics.ToString();
+    }
+  }
+
+  Workload workload_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Zidian> zidian_;
+};
+
+TEST_P(NetworkParityFixture, KbaRouteCountersMatchAcrossModes) {
+  // mot-q1: scan-free extension fan-out — the batched MultiGet hot path.
+  ExpectParity(workload_.queries[0].sql, RoutePolicy::kAuto);
+}
+
+TEST_P(NetworkParityFixture, BaselineCountersMatchAcrossModes) {
+  // mot-q9 via the baseline: per-tuple gets priced by the non-uniform
+  // network, chunked across workers under kThreads.
+  ExpectParity(workload_.queries[8].sql, RoutePolicy::kForceBaseline);
+}
+
+TEST_P(NetworkParityFixture, SimSecondsReflectsTheNetworkLeg) {
+  Connection conn = zidian_->Connect();
+  auto prepared = conn.Prepare(workload_.queries[0].sql);
+  ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+  AnswerInfo info;
+  auto r = prepared->Execute(
+      ExecOptions{.workers = 4, .backend_profile = &SoH()}, &info);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  // The network contribution is visible in sim_seconds: stripping the
+  // net legs from the metrics must strictly lower the estimate.
+  QueryMetrics stripped = info.metrics;
+  stripped.makespan_net_seconds = 0;
+  stripped.net_queue_seconds = 0;
+  EXPECT_GT(info.sim_seconds, SimSeconds(stripped, SoH()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, NetworkParityFixture,
+                         ::testing::Values(BackendKind::kLsm,
+                                           BackendKind::kMem),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace zidian

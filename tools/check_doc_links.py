@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Fails on dead relative links in the repo's Markdown files.
+
+Scans every *.md under the repository root (skipping build trees and .git),
+extracts inline links/images `[text](target)` and reference definitions
+`[ref]: target`, and checks that every relative target resolves to an
+existing file or directory. External schemes (http/https/mailto) and
+pure-anchor links (#section) are ignored; a `path#anchor` target only has
+its path checked.
+
+Usage: python3 tools/check_doc_links.py [repo_root]
+Exit status: 0 when every relative link resolves, 1 otherwise.
+"""
+import os
+import re
+import sys
+
+SKIP_DIRS = {".git", "build", "build-tsan", ".claude"}
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+EXTERNAL = re.compile(r"^[a-zA-Z][a-zA-Z0-9+.-]*:")  # http:, https:, mailto:
+
+
+def md_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [d for d in dirnames if d not in SKIP_DIRS]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def targets_in(path):
+    with open(path, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    # Fenced code blocks routinely contain [x](y)-shaped non-links.
+    text = re.sub(r"```.*?```", "", text, flags=re.DOTALL)
+    for match in INLINE_LINK.finditer(text):
+        yield match.group(1)
+    for match in REF_DEF.finditer(text):
+        yield match.group(1)
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    dead = []
+    checked = 0
+    for md in md_files(root):
+        for target in targets_in(md):
+            if EXTERNAL.match(target) or target.startswith("#"):
+                continue
+            rel = target.split("#", 1)[0]
+            if not rel:
+                continue
+            base = root if rel.startswith("/") else os.path.dirname(md)
+            resolved = os.path.normpath(os.path.join(base, rel.lstrip("/")))
+            checked += 1
+            if not os.path.exists(resolved):
+                dead.append((os.path.relpath(md, root), target))
+    if dead:
+        print(f"{len(dead)} dead relative link(s):")
+        for md, target in dead:
+            print(f"  {md}: {target}")
+        return 1
+    print(f"doc links OK ({checked} relative links checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
