@@ -143,7 +143,11 @@ Status DecodeBlock(std::string_view data, size_t arity,
     ZIDIAN_RETURN_NOT_OK(DecodeStatsSection(&sv, arity, &scratch));
   }
   rows->clear();
-  rows->reserve(row_count);
+  // The header's row_count is untrusted input: reserve at most one row per
+  // payload byte (an encoded tuple is never empty), so a corrupt header
+  // cannot demand an arbitrary up-front allocation. Honest blocks still get
+  // a full reservation — compressed blocks at worst regrow.
+  rows->reserve(std::min<uint64_t>(row_count, data.size()));
   for (uint64_t i = 0; i < entry_count; ++i) {
     Tuple t;
     if (!DecodeTuplePayload(&sv, arity, &t)) {
@@ -152,6 +156,12 @@ Status DecodeBlock(std::string_view data, size_t arity,
     uint64_t mult = 1;
     if (flags & kFlagCompressed) {
       if (!GetVarint64(&sv, &mult)) return Status::Corruption("bad count");
+      // Validate before replicating, not after: a corrupt multiplicity must
+      // fail here rather than materialize up to 2^64 copies first and only
+      // then trip the row-count check below.
+      if (mult == 0 || mult > row_count - rows->size()) {
+        return Status::Corruption("bad block multiplicity");
+      }
     }
     for (uint64_t k = 1; k < mult; ++k) rows->push_back(t);
     rows->push_back(std::move(t));

@@ -26,6 +26,10 @@ bool GetVarint64(std::string_view* src, uint64_t* v) {
     if (src->empty()) return false;
     uint8_t byte = static_cast<uint8_t>(src->front());
     src->remove_prefix(1);
+    // The tenth byte holds only bit 63: any higher payload bit would shift
+    // past the top of the result and vanish, so an encoding carrying one is
+    // rejected rather than silently truncated to the low 64 bits.
+    if (shift == 63 && (byte & 0x7E) != 0) return false;
     out |= static_cast<uint64_t>(byte & 0x7F) << shift;
     if ((byte & 0x80) == 0) {
       *v = out;

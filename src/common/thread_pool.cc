@@ -25,27 +25,27 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (auto& t : threads_) t.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!shutdown_ && queue_.empty()) cv_.Wait(mu_);
       if (queue_.empty()) return;  // shutdown with a drained queue
       task = std::move(queue_.front());
       queue_.pop_front();
@@ -71,10 +71,10 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   struct State {
     std::atomic<size_t> next{0};
     std::atomic<bool> failed{false};
-    std::mutex mu;
-    std::condition_variable done;
-    size_t exited = 0;                 // guarded by mu
-    std::exception_ptr first_error;    // guarded by mu
+    Mutex mu;
+    CondVar done;
+    size_t exited GUARDED_BY(mu) = 0;
+    std::exception_ptr first_error GUARDED_BY(mu);
   } state;
 
   // Every worker keeps claiming indices until the range is exhausted (the
@@ -89,7 +89,7 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
       try {
         fn(i);
       } catch (...) {
-        std::lock_guard<std::mutex> lock(state.mu);
+        MutexLock lock(state.mu);
         if (!state.first_error) state.first_error = std::current_exception();
         state.failed.store(true, std::memory_order_relaxed);
       }
@@ -100,19 +100,21 @@ void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   for (size_t h = 0; h < helpers; ++h) {
     Submit([&state, &drain, helpers] {
       drain();
-      std::lock_guard<std::mutex> lock(state.mu);
-      if (++state.exited == helpers) state.done.notify_one();
+      MutexLock lock(state.mu);
+      if (++state.exited == helpers) state.done.NotifyOne();
     });
   }
   drain();
-  {
-    std::unique_lock<std::mutex> lock(state.mu);
-    state.done.wait(lock,
-                    [&state, helpers] { return state.exited == helpers; });
-  }
   // The join point: every helper has exited, so rethrowing cannot leave a
-  // task still touching this frame's state.
-  if (state.first_error) std::rethrow_exception(state.first_error);
+  // task still touching this frame's state. The error is copied out under
+  // the lock — the rethrow itself must not run with mu held.
+  std::exception_ptr first_error;
+  {
+    MutexLock lock(state.mu);
+    while (state.exited != helpers) state.done.Wait(state.mu);
+    first_error = state.first_error;
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 }  // namespace zidian

@@ -17,15 +17,16 @@
 #ifndef ZIDIAN_COMMON_THREAD_POOL_H_
 #define ZIDIAN_COMMON_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <string_view>
 #include <thread>
 #include <utility>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace zidian {
 
@@ -67,16 +68,21 @@ class ThreadPool {
   /// per-worker-slot discipline). If any fn throws, the first captured
   /// exception is rethrown here after the batch drains; indices claimed
   /// after the capture are skipped, and the pool stays usable.
-  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+  /// EXCLUDES(mu_): calling this while holding the queue mutex (i.e. from
+  /// inside pool-internal code) would deadlock against Submit.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn)
+      EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
-  void Submit(std::function<void()> task);
+  void WorkerLoop() EXCLUDES(mu_);
+  void Submit(std::function<void()> task) EXCLUDES(mu_);
 
-  std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
+  Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ GUARDED_BY(mu_);
+  bool shutdown_ GUARDED_BY(mu_) = false;
+  /// Written only by the constructor; joined by the destructor. Never
+  /// mutated while a ParallelFor can run, so reads need no lock.
   std::vector<std::thread> threads_;
 };
 

@@ -11,8 +11,23 @@
 #include <vector>
 
 #include "common/metrics.h"
+#include "common/thread_annotations.h"
 
 namespace zidian {
+
+/// Phantom capability standing for "a ParallelFor batch is still in
+/// flight on the executing pool". Nothing on the merge path ever holds
+/// it — ThreadPool::ParallelFor's join IS the release — so the
+/// REQUIRES(!pool_busy) contracts below state, in the compiler's
+/// vocabulary instead of a comment, that the per-worker merge helpers
+/// may only run strictly after the join: while workers are live, the
+/// per-worker QueryMetrics slots they read are still being written.
+/// A worker-side function annotated REQUIRES(pool_busy) could never
+/// call them (clang rejects the call with -Wthread-safety), which is
+/// exactly the "merge only after join" rule of the determinism
+/// contract (docs/ARCHITECTURE.md).
+class CAPABILITY("pool_busy") PoolBusyCapability {};
+inline PoolBusyCapability pool_busy;
 
 /// Gets of `m` that actually reached a storage node. BlockCache hits —
 /// positive and negative — are middleware-local memory and carry no
@@ -32,7 +47,8 @@ inline void ChargeShuffleBytes(size_t bytes, int workers, QueryMetrics* m) {
 /// The makespan_get contribution of one extension: the slowest worker's
 /// storage-reaching gets (Theorem 8's per-worker maximum). `per_worker`
 /// holds each worker's metric delta for the extend.
-inline double MaxWorkerStorageGets(const std::vector<QueryMetrics>& per_worker) {
+inline double MaxWorkerStorageGets(const std::vector<QueryMetrics>& per_worker)
+    REQUIRES(!pool_busy) {
   uint64_t worst = 0;
   for (const auto& w : per_worker) worst = std::max(worst, StorageGets(w));
   return static_cast<double>(worst);
@@ -41,7 +57,8 @@ inline double MaxWorkerStorageGets(const std::vector<QueryMetrics>& per_worker) 
 /// The makespan_net_seconds contribution of one extension: the slowest
 /// worker's modeled network time. Deterministic because net_service_ns is
 /// integer nanoseconds summed per worker.
-inline double MaxWorkerNetSeconds(const std::vector<QueryMetrics>& per_worker) {
+inline double MaxWorkerNetSeconds(const std::vector<QueryMetrics>& per_worker)
+    REQUIRES(!pool_busy) {
   uint64_t worst = 0;
   for (const auto& w : per_worker) worst = std::max(worst, w.net_service_ns);
   return static_cast<double>(worst) / 1e9;
@@ -53,7 +70,7 @@ inline double MaxWorkerNetSeconds(const std::vector<QueryMetrics>& per_worker) {
 /// is however far the bottleneck node exceeds the per-worker makespan.
 /// Idempotent — safe to call from every makespan refresh. Derived purely
 /// from integer-metered totals, so kSimulated and kThreads agree exactly.
-inline void FinalizeNetworkQueue(QueryMetrics* m) {
+inline void FinalizeNetworkQueue(QueryMetrics* m) REQUIRES(!pool_busy) {
   if (m == nullptr) return;
   uint64_t busiest = 0;
   for (uint64_t b : m->net_node_busy_ns) busiest = std::max(busiest, b);
@@ -65,7 +82,7 @@ inline void FinalizeNetworkQueue(QueryMetrics* m) {
 /// `m` under the no-skew assumption: scans, compute and bytes divide by
 /// p. makespan_get is NOT touched — extension records its true per-worker
 /// maxima via MaxWorkerStorageGets as the plan executes.
-inline void SpreadMakespans(int workers, QueryMetrics* m) {
+inline void SpreadMakespans(int workers, QueryMetrics* m) REQUIRES(!pool_busy) {
   if (m == nullptr) return;
   int p = std::max(1, workers);
   m->makespan_next = static_cast<double>(m->next_calls) / p;

@@ -24,13 +24,34 @@ BlockCache::Shard& BlockCache::ShardFor(std::string_view key) {
   return shards_[Hash64(key) % shards_.size()];
 }
 
+void BlockCache::EraseLocked(Shard& shard, Index::iterator it) {
+  shard.bytes -= it->second->key.size() + it->second->value.size();
+  shard.negative_entries -= it->second->negative ? 1 : 0;
+  shard.lru.erase(it->second);
+  shard.index.erase(it);
+}
+
+size_t BlockCache::EvictToFitLocked(Shard& shard) {
+  size_t evicted = 0;
+  while (shard.bytes > shard.capacity && shard.lru.size() > 1) {
+    const Entry& victim = shard.lru.back();
+    shard.bytes -= victim.key.size() + victim.value.size();
+    shard.negative_entries -= victim.negative ? 1 : 0;
+    shard.index.erase(std::string_view(victim.key));
+    shard.lru.pop_back();
+    ++evicted;
+  }
+  shard.evictions += evicted;
+  return evicted;
+}
+
 bool BlockCache::Lookup(std::string_view key, std::string* value) {
   return Probe(key, value) == CacheLookup::kHit;
 }
 
 CacheLookup BlockCache::Probe(std::string_view key, std::string* value) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) {
     ++shard.misses;
@@ -58,7 +79,7 @@ size_t BlockCache::InsertEntry(std::string_view key, std::string_view value,
                                bool negative) {
   Shard& shard = ShardFor(key);
   size_t entry_bytes = key.size() + value.size();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   if (entry_bytes > shard.capacity) {
     // Larger than the shard's whole budget: could never fit even after
     // evicting everything else, so oversized segments are not cached.
@@ -86,31 +107,18 @@ size_t BlockCache::InsertEntry(std::string_view key, std::string_view value,
     shard.negative_entries += negative ? 1 : 0;
     ++shard.inserts;
   }
-  size_t evicted = 0;
-  while (shard.bytes > shard.capacity && shard.lru.size() > 1) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.key.size() + victim.value.size();
-    shard.negative_entries -= victim.negative ? 1 : 0;
-    shard.index.erase(std::string_view(victim.key));
-    shard.lru.pop_back();
-    ++evicted;
-  }
-  shard.evictions += evicted;
-  return evicted;
+  return EvictToFitLocked(shard);
 }
 
 size_t BlockCache::OnPut(std::string_view key, std::string_view value) {
   Shard& shard = ShardFor(key);
   size_t entry_bytes = key.size() + value.size();
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return 0;  // uncached: writes never populate
   if (!it->second->negative || entry_bytes > shard.capacity) {
     // Positive entry (stale bytes) or a value too big to ever fit: drop.
-    shard.bytes -= it->second->key.size() + it->second->value.size();
-    shard.negative_entries -= it->second->negative ? 1 : 0;
-    shard.lru.erase(it->second);
-    shard.index.erase(it);
+    EraseLocked(shard, it);
     return 0;
   }
   // Negative entry: install the just-written value in place, so a write
@@ -121,33 +129,20 @@ size_t BlockCache::OnPut(std::string_view key, std::string_view value) {
   --shard.negative_entries;
   shard.bytes += entry_bytes;
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
-  size_t evicted = 0;
-  while (shard.bytes > shard.capacity && shard.lru.size() > 1) {
-    const Entry& victim = shard.lru.back();
-    shard.bytes -= victim.key.size() + victim.value.size();
-    shard.negative_entries -= victim.negative ? 1 : 0;
-    shard.index.erase(std::string_view(victim.key));
-    shard.lru.pop_back();
-    ++evicted;
-  }
-  shard.evictions += evicted;
-  return evicted;
+  return EvictToFitLocked(shard);
 }
 
 void BlockCache::Erase(std::string_view key) {
   Shard& shard = ShardFor(key);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   auto it = shard.index.find(key);
   if (it == shard.index.end()) return;
-  shard.bytes -= it->second->key.size() + it->second->value.size();
-  shard.negative_entries -= it->second->negative ? 1 : 0;
-  shard.lru.erase(it->second);
-  shard.index.erase(it);
+  EraseLocked(shard, it);
 }
 
 void BlockCache::Clear() {
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     shard.index.clear();
     shard.lru.clear();
     shard.bytes = 0;
@@ -158,7 +153,7 @@ void BlockCache::Clear() {
 BlockCache::Stats BlockCache::GetStats() const {
   Stats stats;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard.mu);
+    MutexLock lock(shard.mu);
     stats.hits += shard.hits;
     stats.misses += shard.misses;
     stats.evictions += shard.evictions;

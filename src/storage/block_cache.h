@@ -23,11 +23,13 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace zidian {
 
@@ -127,23 +129,41 @@ class BlockCache {
     std::string value;
     bool negative = false;  // value empty, key confirmed absent
   };
+  using LruList = std::list<Entry>;
+  using Index = std::unordered_map<std::string_view, LruList::iterator>;
+
+  /// One independently locked LRU. Everything mutable is guarded by `mu`;
+  /// `capacity` is written once by the BlockCache constructor before the
+  /// cache is shared and is immutable afterwards, so reads need no lock.
   struct Shard {
-    mutable std::mutex mu;
-    std::list<Entry> lru;  // front = most recently used
-    std::unordered_map<std::string_view, std::list<Entry>::iterator> index;
-    size_t bytes = 0;
+    mutable Mutex mu;
+    LruList lru GUARDED_BY(mu);  // front = most recently used
+    Index index GUARDED_BY(mu);
+    size_t bytes GUARDED_BY(mu) = 0;
     size_t capacity = 0;
-    size_t negative_entries = 0;
-    uint64_t hits = 0;
-    uint64_t misses = 0;
-    uint64_t evictions = 0;
-    uint64_t inserts = 0;
-    uint64_t negative_hits = 0;
+    size_t negative_entries GUARDED_BY(mu) = 0;
+    uint64_t hits GUARDED_BY(mu) = 0;
+    uint64_t misses GUARDED_BY(mu) = 0;
+    uint64_t evictions GUARDED_BY(mu) = 0;
+    uint64_t inserts GUARDED_BY(mu) = 0;
+    uint64_t negative_hits GUARDED_BY(mu) = 0;
   };
 
   Shard& ShardFor(std::string_view key);
   size_t InsertEntry(std::string_view key, std::string_view value,
                      bool negative);
+
+  // Locked internal helpers (the FooLocked() REQUIRES(mu) discipline):
+  // the public methods take the shard lock exactly once, then compose
+  // these under it.
+
+  /// Drops the entry `it` points at — LRU node, index slot, byte and
+  /// negative-entry accounting.
+  void EraseLocked(Shard& shard, Index::iterator it) REQUIRES(shard.mu);
+  /// Evicts least-recently-used entries until the shard fits its budget
+  /// (never evicting the most-recent entry). Returns entries evicted and
+  /// charges them to the shard's eviction counter.
+  size_t EvictToFitLocked(Shard& shard) REQUIRES(shard.mu);
 
   BlockCacheOptions options_;
   std::vector<Shard> shards_;

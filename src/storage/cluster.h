@@ -30,7 +30,13 @@
 // in flight and each thread meters into its own QueryMetrics — this is
 // the contract the threaded KBA executor runs on (per-worker metric
 // deltas, merged at join). Put / Delete / Flush / Compact / Load are
-// single-writer operations and must not overlap reads.
+// single-writer operations and must not overlap reads. The two locked
+// seams a concurrent read path crosses — the BlockCache's per-shard
+// mutexes and the NetworkModel's atomic clocks — carry their own
+// compile-time contracts (GUARDED_BY / REQUIRES on the cache, atomics on
+// the network); the Cluster itself holds no lock, which is exactly what
+// the capability analysis verifies when it compiles this header clean
+// (docs/ARCHITECTURE.md "Concurrency contract").
 #ifndef ZIDIAN_STORAGE_CLUSTER_H_
 #define ZIDIAN_STORAGE_CLUSTER_H_
 

@@ -33,7 +33,11 @@
 // (kba/makespan.h: FinalizeNetworkQueue).
 //
 // Thread safety: OnGet/OnWrite are safe from any number of concurrent
-// threads; the per-node clocks are lock-free atomics.
+// threads; the per-node next-free clocks are lock-free atomics (CAS
+// loops), so no GUARDED_BY contract applies — the net_node_* accumulators
+// live in the caller's per-worker QueryMetrics, never in shared state
+// (docs/ARCHITECTURE.md "Concurrency contract"; TSan CI covers this
+// path via test_network_model).
 #ifndef ZIDIAN_STORAGE_NETWORK_MODEL_H_
 #define ZIDIAN_STORAGE_NETWORK_MODEL_H_
 

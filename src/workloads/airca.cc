@@ -36,8 +36,11 @@ TableSchema WideSchema(const std::string& name,
 }
 
 /// Appends filler values for the columns beyond the leading ones.
+/// emplace_back constructs the Value in place: no moved-from temporary,
+/// which also sidesteps GCC 12's spurious -Wmaybe-uninitialized on
+/// moving a variant that provably holds the int alternative.
 void Fill(Tuple* t, size_t total, Rng* rng) {
-  while (t->size() < total) t->push_back(Value(rng->Uniform(0, 999)));
+  while (t->size() < total) t->emplace_back(rng->Uniform(0, 999));
 }
 
 }  // namespace

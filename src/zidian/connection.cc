@@ -11,7 +11,7 @@
 namespace zidian {
 
 ThreadPool* SharedPoolState::GetOrCreate(int num_threads) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (pool_ == nullptr || pool_->num_threads() < num_threads) {
     // Growth by replacement: threads are cheap to respawn once, and the
     // common case (a fixed workers count per session) never re-enters.

@@ -49,10 +49,11 @@
 #define ZIDIAN_ZIDIAN_CONNECTION_H_
 
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 #include "zidian/zidian.h"
 
@@ -95,11 +96,16 @@ class SharedPoolState {
   /// Returns a pool with at least `num_threads` threads, creating or
   /// growing (by replacement) as needed. The pointer stays valid until
   /// the next GetOrCreate with a larger request.
-  ThreadPool* GetOrCreate(int num_threads);
+  ThreadPool* GetOrCreate(int num_threads) EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::unique_ptr<ThreadPool> pool_;
+  Mutex mu_;
+  /// The handle itself is guarded; the pool it points at is returned out
+  /// of the lock by design — replacement only happens on a GetOrCreate
+  /// with a larger request, which the single-threaded-session contract
+  /// (one Execute at a time per connection) keeps ordered after every
+  /// use of the previous pointer.
+  std::unique_ptr<ThreadPool> pool_ GUARDED_BY(mu_);
 };
 
 /// A parsed, bound, routed and planned query, ready to run many times.

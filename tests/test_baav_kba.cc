@@ -6,6 +6,7 @@
 
 #include "baav/baav_store.h"
 #include "baav/block.h"
+#include "common/coding.h"
 #include "common/rng.h"
 #include "kba/kba_executor.h"
 #include "kba/kba_plan.h"
@@ -81,6 +82,42 @@ TEST(BlockCodec, RejectsCorruptData) {
   std::vector<Tuple> back;
   EXPECT_FALSE(DecodeBlock(data.substr(0, data.size() / 2), 3, &back).ok());
   EXPECT_FALSE(DecodeBlock("", 3, &back).ok());
+}
+
+TEST(BlockCodec, RejectsCorruptRowCountWithoutHugeAllocation) {
+  // A corrupt header claiming ~2^60 rows must fail cleanly — the decoder
+  // may not trust row_count for its up-front reservation (the reserve alone
+  // would be an exabyte-scale allocation).
+  std::string data;
+  PutVarint64(&data, 0);          // flags: plain
+  PutVarint64(&data, 1ull << 60); // row_count: absurd
+  PutVarint64(&data, 1);          // entry_count
+  EncodeTuplePayload({Value(int64_t{7})}, &data);
+  std::vector<Tuple> back;
+  EXPECT_FALSE(DecodeBlock(data, 1, &back).ok());
+}
+
+TEST(BlockCodec, RejectsCorruptMultiplicityBeforeReplicating) {
+  // Compressed entries carry a multiplicity. A corrupt count of ~2^60 must
+  // be rejected before the replication loop, not after materializing the
+  // copies; zero is equally impossible (the encoder never writes it).
+  auto encode_with_mult = [](uint64_t mult) {
+    std::string data;
+    PutVarint64(&data, 1);  // flags: kFlagCompressed
+    PutVarint64(&data, 2);  // row_count
+    PutVarint64(&data, 1);  // entry_count
+    EncodeTuplePayload({Value(int64_t{7})}, &data);
+    PutVarint64(&data, mult);
+    return data;
+  };
+  std::vector<Tuple> back;
+  EXPECT_FALSE(DecodeBlock(encode_with_mult(1ull << 60), 1, &back).ok());
+  EXPECT_FALSE(DecodeBlock(encode_with_mult(0), 1, &back).ok());
+  // The honest multiplicity still decodes.
+  ASSERT_TRUE(DecodeBlock(encode_with_mult(2), 1, &back).ok());
+  ASSERT_EQ(back.size(), 2u);
+  EXPECT_EQ(back[0][0].AsInt(), 7);
+  EXPECT_EQ(back[1][0].AsInt(), 7);
 }
 
 class BaavStoreFixture : public ::testing::Test {

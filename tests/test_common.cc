@@ -88,6 +88,31 @@ TEST(Coding, VarintRejectsTruncation) {
   EXPECT_FALSE(GetVarint64(&sv, &out));
 }
 
+TEST(Coding, VarintRejectsOverflow) {
+  // Ten continuation bytes: an eleventh byte can never contribute.
+  std::string eleven(10, '\x80');
+  eleven.push_back('\x01');
+  std::string_view sv = eleven;
+  uint64_t out;
+  EXPECT_FALSE(GetVarint64(&sv, &out));
+
+  // Ten bytes, but the tenth carries payload above bit 63: the decoder used
+  // to shift those bits off the top and return the truncated low 64 bits.
+  std::string overflow(9, '\xFF');
+  overflow.push_back('\x02');  // bit 64 of the decoded value
+  sv = overflow;
+  EXPECT_FALSE(GetVarint64(&sv, &out));
+
+  // The genuine 10-byte encoding of UINT64_MAX (tenth byte == 0x01) stays
+  // accepted — only impossible encodings are rejected.
+  std::string max(9, '\xFF');
+  max.push_back('\x01');
+  sv = max;
+  ASSERT_TRUE(GetVarint64(&sv, &out));
+  EXPECT_EQ(out, UINT64_MAX);
+  EXPECT_TRUE(sv.empty());
+}
+
 TEST(Coding, ZigZag) {
   for (int64_t v : std::vector<int64_t>{0, -1, 1, -500, 500, INT64_MIN,
                                         INT64_MAX}) {

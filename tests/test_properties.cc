@@ -158,7 +158,6 @@ TEST_P(UpdateSequenceProperty, IncrementalMaintenanceEqualsRebuild) {
   ASSERT_TRUE(z.BuildBaav(w->data).ok());
 
   Relation tests = w->data.at("mot_test");
-  const TableSchema& schema = *w->catalog.Find("mot_test");
   // Random inserts and deletes, applied both to the live store and to a
   // shadow copy of the relation.
   for (int op = 0; op < 30; ++op) {

@@ -1,0 +1,7 @@
+// Fixture: a QueryMetrics whose every counter is registered (see the
+// sibling metrics.cc and docs/ARCHITECTURE.md).
+struct QueryMetrics {
+  uint64_t get_calls = 0;
+  std::vector<uint64_t> node_trips;
+  double wall_seconds = 0;  // nondeterministic: glossary yes, equality no
+};

@@ -1,0 +1,6 @@
+// Fixture: a fully annotated lock — the shape every real mutex must have.
+class Pool {
+ private:
+  Mutex mu_;
+  int jobs_ GUARDED_BY(mu_) = 0;
+};

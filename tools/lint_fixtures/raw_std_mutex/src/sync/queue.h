@@ -1,0 +1,9 @@
+// Fixture: a raw std::mutex outside common/mutex.h — invisible to the
+// thread-safety analysis, so the mutex check must reject it.
+#include <mutex>
+
+class Queue {
+ private:
+  std::mutex mu_;
+  int depth_ = 0;
+};

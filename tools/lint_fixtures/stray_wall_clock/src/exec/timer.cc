@@ -1,0 +1,8 @@
+// Fixture: a wall-clock read in a file that is not a whitelisted wall_*
+// metering site — a determinism hazard the wall-clock check must flag.
+#include <chrono>
+
+double NowSeconds() {
+  auto t = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(t.time_since_epoch()).count();
+}

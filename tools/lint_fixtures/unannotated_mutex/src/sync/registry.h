@@ -1,0 +1,7 @@
+// Fixture: the mutex exists but no field says it is guarded by it — the
+// contract the mutex check requires is missing.
+class Registry {
+ private:
+  Mutex mu_;
+  int entries_ = 0;  // should be GUARDED_BY(mu_)
+};

@@ -1,0 +1,7 @@
+// Fixture: `stray_counter` is declared but neither compared by
+// CountersEqual nor documented in the glossary — the exact drift the
+// counters check exists to catch.
+struct QueryMetrics {
+  uint64_t get_calls = 0;
+  uint64_t stray_counter = 0;
+};

@@ -1,0 +1,275 @@
+#!/usr/bin/env python3
+"""Repo-invariant linter: mechanical enforcement of contracts that live in
+prose (DESIGN.md, docs/ARCHITECTURE.md) but that nothing else checks.
+
+Checks, each a CI failure when violated:
+
+  counters   Every QueryMetrics field (src/common/metrics.h) must be
+             compared by CountersEqual (src/common/metrics.cc) and
+             documented in the docs/ARCHITECTURE.md glossary table. The
+             nondeterministic wall_* timings are the one sanctioned
+             exception: they must appear in the glossary but must NOT be
+             compared by CountersEqual (they measure the machine, not the
+             query — the kSimulated/kThreads determinism contract).
+
+  wall-clock Wall-clock reads (std::chrono::steady_clock / system_clock /
+             high_resolution_clock) may only appear in the whitelisted
+             wall_* metering sites. Anywhere else in src/ they are a
+             determinism hazard: counters derived from the clock would
+             break the bit-identical kSimulated/kThreads contract.
+
+  mutex      The compile-time locking contract must stay annotatable:
+             (a) raw std::mutex (or friends) outside common/mutex.h is
+             forbidden — clang's thread-safety analysis cannot see it;
+             use the annotated zidian::Mutex;
+             (b) every Mutex member must be named by at least one
+             GUARDED_BY(...) contract in the same file — a lock that
+             guards nothing on record guards nothing at all;
+             (c) NO_THREAD_SAFETY_ANALYSIS must not appear in repo
+             headers (zero-suppression rule of the thread-safety CI job).
+
+Usage:
+  tools/lint_invariants.py             lint the repository (exit 1 on any
+                                       violation)
+  tools/lint_invariants.py --self-test run the linter against the fixture
+                                       trees in tools/lint_fixtures/ and
+                                       verify each fails (or passes) for
+                                       exactly the expected reason
+"""
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+# Files in src/ allowed to read the wall clock, and why:
+#   kba_executor.cc / taav.cc   stamp wall_fetch/wall_compute phase timings
+#   connection.cc               stamps wall_seconds around Execute()
+#   network_model.{h,cc}        the physical stall machinery (epoch_/NowNs):
+#                               stalls are real sleeps by design; everything
+#                               *metered* there is integer arithmetic
+WALL_CLOCK_WHITELIST = {
+    "src/kba/kba_executor.cc",
+    "src/ra/taav.cc",
+    "src/zidian/connection.cc",
+    "src/storage/network_model.cc",
+    "src/storage/network_model.h",
+}
+
+CLOCK_RE = re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\b")
+RAW_MUTEX_RE = re.compile(r"\bstd::(recursive_|shared_|timed_|recursive_timed_)?mutex\b")
+MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?Mutex\s+(\w+)\s*;", re.M)
+FIELD_RE = re.compile(
+    r"^\s*(?:uint64_t|double|std::vector<uint64_t>)\s+(\w+)\s*(?:=[^;]*)?;",
+    re.M)
+
+
+def strip_comments(text):
+    """Removes // and /* */ comments so commented-out code never trips a
+    check (string literals in this codebase never contain comment
+    markers, so a lexer would be overkill)."""
+    text = re.sub(r"/\*.*?\*/", "", text, flags=re.S)
+    text = re.sub(r"//[^\n]*", "", text)
+    return text
+
+
+def src_files(root):
+    src = root / "src"
+    if not src.is_dir():
+        return []
+    return sorted(p for p in src.rglob("*") if p.suffix in (".h", ".cc"))
+
+
+class Violation:
+    def __init__(self, check, where, message):
+        self.check = check
+        self.where = where
+        self.message = message
+
+    def __str__(self):
+        return f"[{self.check}] {self.where}: {self.message}"
+
+
+# --------------------------------------------------------------- counters ---
+
+def query_metrics_fields(metrics_h_text):
+    """Field names of struct QueryMetrics, in declaration order."""
+    text = strip_comments(metrics_h_text)
+    m = re.search(r"struct QueryMetrics\s*\{(.*?)^\};", text, re.S | re.M)
+    if m is None:
+        return None
+    return FIELD_RE.findall(m.group(1))
+
+
+def check_counters(root):
+    violations = []
+    metrics_h = root / "src" / "common" / "metrics.h"
+    metrics_cc = root / "src" / "common" / "metrics.cc"
+    glossary_md = root / "docs" / "ARCHITECTURE.md"
+    if not metrics_h.is_file():
+        return violations  # nothing to check in this tree
+    fields = query_metrics_fields(metrics_h.read_text())
+    if fields is None:
+        return [Violation("counters", metrics_h,
+                          "could not find struct QueryMetrics")]
+
+    equal_body = ""
+    if metrics_cc.is_file():
+        m = re.search(r"bool CountersEqual\([^)]*\)\s*\{(.*?)^\}",
+                      strip_comments(metrics_cc.read_text()), re.S | re.M)
+        if m is not None:
+            equal_body = m.group(1)
+        else:
+            violations.append(Violation("counters", metrics_cc,
+                                        "could not find CountersEqual"))
+    else:
+        violations.append(Violation("counters", metrics_cc,
+                                    "missing (CountersEqual lives here)"))
+
+    glossary = glossary_md.read_text() if glossary_md.is_file() else ""
+
+    for field in fields:
+        compared = re.search(rf"\ba\.{field}\b", equal_body) is not None
+        if field.startswith("wall_"):
+            if compared:
+                violations.append(Violation(
+                    "counters", metrics_cc,
+                    f"wall timing '{field}' must NOT be compared by "
+                    "CountersEqual (wall_* measures the machine, not the "
+                    "query)"))
+        elif not compared:
+            violations.append(Violation(
+                "counters", metrics_cc,
+                f"QueryMetrics counter '{field}' is not compared by "
+                "CountersEqual — register it (or it silently escapes the "
+                "kSimulated/kThreads parity contract)"))
+        if f"`{field}`" not in glossary:
+            violations.append(Violation(
+                "counters", glossary_md,
+                f"QueryMetrics field '{field}' is missing from the "
+                "docs/ARCHITECTURE.md glossary table"))
+    return violations
+
+
+# -------------------------------------------------------------- wall-clock ---
+
+def check_wall_clock(root):
+    violations = []
+    for path in src_files(root):
+        rel = path.relative_to(root).as_posix()
+        if rel in WALL_CLOCK_WHITELIST:
+            continue
+        text = strip_comments(path.read_text())
+        for lineno, line in enumerate(text.splitlines(), start=1):
+            m = CLOCK_RE.search(line)
+            if m is not None:
+                violations.append(Violation(
+                    "wall-clock", f"{rel}:{lineno}",
+                    f"wall-clock read ({m.group(1)}) outside the "
+                    "whitelisted wall_* metering sites — clock-derived "
+                    "values break the deterministic-counters contract"))
+    return violations
+
+
+# ------------------------------------------------------------------- mutex ---
+
+def check_mutex(root):
+    violations = []
+    for path in src_files(root):
+        rel = path.relative_to(root).as_posix()
+        text = strip_comments(path.read_text())
+
+        if rel != "src/common/mutex.h":
+            for lineno, line in enumerate(text.splitlines(), start=1):
+                if RAW_MUTEX_RE.search(line):
+                    violations.append(Violation(
+                        "mutex", f"{rel}:{lineno}",
+                        "raw std::mutex — the thread-safety analysis "
+                        "cannot see it; use the annotated zidian::Mutex "
+                        "(common/mutex.h)"))
+
+        for m in MUTEX_MEMBER_RE.finditer(text):
+            name = m.group(1)
+            if not re.search(rf"GUARDED_BY\(\s*{re.escape(name)}\s*\)", text):
+                lineno = text[:m.start()].count("\n") + 1
+                violations.append(Violation(
+                    "mutex", f"{rel}:{lineno}",
+                    f"Mutex member '{name}' has no GUARDED_BY({name}) "
+                    "contract on any field — declare what it protects"))
+
+        if path.suffix == ".h" and "NO_THREAD_SAFETY_ANALYSIS" in text \
+                and rel != "src/common/thread_annotations.h":
+            violations.append(Violation(
+                "mutex", rel,
+                "NO_THREAD_SAFETY_ANALYSIS in a header — suppressions "
+                "are forbidden in repo headers"))
+    return violations
+
+
+# --------------------------------------------------------------- self-test ---
+
+# Fixture tree -> the exact set of check names that must report at least
+# one violation there (empty set = the fixture must pass clean).
+FIXTURES = {
+    "clean": frozenset(),
+    "unregistered_counter": frozenset({"counters"}),
+    "stray_wall_clock": frozenset({"wall-clock"}),
+    "unannotated_mutex": frozenset({"mutex"}),
+    "raw_std_mutex": frozenset({"mutex"}),
+}
+
+
+def run_checks(root):
+    return check_counters(root) + check_wall_clock(root) + check_mutex(root)
+
+
+def self_test():
+    fixtures_dir = REPO_ROOT / "tools" / "lint_fixtures"
+    failures = 0
+    for name, expected in sorted(FIXTURES.items()):
+        tree = fixtures_dir / name
+        if not tree.is_dir():
+            print(f"self-test FAIL: fixture '{name}' missing at {tree}")
+            failures += 1
+            continue
+        got = frozenset(v.check for v in run_checks(tree))
+        if got == expected:
+            verdict = "fails as intended" if expected else "passes clean"
+            print(f"self-test ok: {name} {verdict}")
+        else:
+            print(f"self-test FAIL: {name}: expected violations from "
+                  f"{sorted(expected) or 'no check'}, got "
+                  f"{sorted(got) or 'none'}")
+            for v in run_checks(tree):
+                print(f"    {v}")
+            failures += 1
+    return failures == 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--self-test", action="store_true",
+                        help="verify the linter against its fixtures")
+    parser.add_argument("--root", type=Path, default=REPO_ROOT,
+                        help="tree to lint (default: the repository)")
+    args = parser.parse_args()
+
+    if args.self_test:
+        ok = self_test()
+        print("lint_invariants self-test:", "OK" if ok else "FAILED")
+        return 0 if ok else 1
+
+    violations = run_checks(args.root)
+    for v in violations:
+        print(v)
+    if violations:
+        print(f"lint_invariants: {len(violations)} violation(s)")
+        return 1
+    print("lint_invariants: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
