@@ -18,6 +18,7 @@
 
 #include <condition_variable>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/thread_annotations.h"
 
@@ -51,6 +52,57 @@ class SCOPED_CAPABILITY MutexLock {
 
  private:
   Mutex& mu_;
+};
+
+/// A reader/writer capability: any number of shared holders or one
+/// exclusive holder. The serving layer's write gate is the canonical use
+/// (serve/server.h): concurrent read queries hold it shared while BaaV
+/// maintenance writes hold it exclusive, so the Cluster's "no writes
+/// overlap reads" contract survives multi-session execution without the
+/// lock-free read path itself taking any lock.
+class CAPABILITY("mutex") SharedMutex {
+ public:
+  SharedMutex() = default;
+  SharedMutex(const SharedMutex&) = delete;
+  SharedMutex& operator=(const SharedMutex&) = delete;
+
+  void Lock() ACQUIRE() { mu_.lock(); }
+  void Unlock() RELEASE() { mu_.unlock(); }
+  void LockShared() ACQUIRE_SHARED() { mu_.lock_shared(); }
+  void UnlockShared() RELEASE_SHARED() { mu_.unlock_shared(); }
+
+ private:
+  std::shared_mutex mu_;
+};
+
+/// RAII exclusive holder of a SharedMutex (the writer side).
+class SCOPED_CAPABILITY WriterMutexLock {
+ public:
+  explicit WriterMutexLock(SharedMutex& mu) ACQUIRE(mu) : mu_(mu) {
+    mu_.Lock();
+  }
+  ~WriterMutexLock() RELEASE() { mu_.Unlock(); }
+
+  WriterMutexLock(const WriterMutexLock&) = delete;
+  WriterMutexLock& operator=(const WriterMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
+};
+
+/// RAII shared holder of a SharedMutex (the reader side).
+class SCOPED_CAPABILITY ReaderMutexLock {
+ public:
+  explicit ReaderMutexLock(SharedMutex& mu) ACQUIRE_SHARED(mu) : mu_(mu) {
+    mu_.LockShared();
+  }
+  ~ReaderMutexLock() RELEASE_GENERIC() { mu_.UnlockShared(); }
+
+  ReaderMutexLock(const ReaderMutexLock&) = delete;
+  ReaderMutexLock& operator=(const ReaderMutexLock&) = delete;
+
+ private:
+  SharedMutex& mu_;
 };
 
 /// Condition variable bound to a Mutex at each wait site. Wait atomically

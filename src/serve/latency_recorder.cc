@@ -1,0 +1,131 @@
+#include "serve/latency_recorder.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+namespace zidian {
+namespace serve {
+
+namespace {
+
+// Bucket geometry: bucket 0 is [0, kMinNs) — everything below the 1 µs
+// resolution floor — then geometric bounds growing by kGrowth = 2^(1/8)
+// (~9% per bucket, 8 buckets per octave) until kMaxNs (100 s), then one
+// overflow bucket. ~220 uint64 counters per recorder.
+constexpr int64_t kMinNs = 1000;          // 1 µs resolution floor
+constexpr int64_t kMaxNs = 100000000000;  // 100 s: beyond is overflow
+constexpr double kGrowth = 1.0905077326652577;  // 2^(1/8)
+
+const std::vector<int64_t>& BucketLowerBounds() {
+  static const std::vector<int64_t> bounds = [] {
+    std::vector<int64_t> b;
+    b.push_back(0);
+    int64_t v = kMinNs;
+    while (v < kMaxNs) {
+      b.push_back(v);
+      // Strictly increasing even where the geometric step rounds to 0.
+      v = std::max(v + 1, static_cast<int64_t>(double(v) * kGrowth));
+    }
+    b.push_back(kMaxNs);  // the overflow bucket's lower bound
+    return b;
+  }();
+  return bounds;
+}
+
+}  // namespace
+
+LatencyRecorder::LatencyRecorder()
+    : counts_(BucketLowerBounds().size(), 0) {}
+
+int LatencyRecorder::num_buckets() {
+  return static_cast<int>(BucketLowerBounds().size());
+}
+
+int64_t LatencyRecorder::BucketLowerNs(int i) {
+  return BucketLowerBounds()[static_cast<size_t>(i)];
+}
+
+int64_t LatencyRecorder::BucketUpperNs(int i) {
+  const auto& b = BucketLowerBounds();
+  size_t next = static_cast<size_t>(i) + 1;
+  return next < b.size() ? b[next] : std::numeric_limits<int64_t>::max();
+}
+
+int LatencyRecorder::BucketFor(int64_t latency_ns) {
+  const auto& b = BucketLowerBounds();
+  // First bound strictly greater than the sample, minus one: the bucket
+  // whose [lower, upper) range covers it.
+  auto it = std::upper_bound(b.begin(), b.end(), latency_ns);
+  return static_cast<int>(it - b.begin()) - 1;
+}
+
+void LatencyRecorder::Record(int64_t latency_ns) {
+  if (latency_ns < 0) latency_ns = 0;
+  counts_[static_cast<size_t>(BucketFor(latency_ns))]++;
+  if (count_ == 0 || latency_ns < min_ns_) min_ns_ = latency_ns;
+  if (count_ == 0 || latency_ns > max_ns_) max_ns_ = latency_ns;
+  count_++;
+  total_ns_ += latency_ns;
+}
+
+void LatencyRecorder::Merge(const LatencyRecorder& other) {
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  if (other.count_ > 0) {
+    if (count_ == 0 || other.min_ns_ < min_ns_) min_ns_ = other.min_ns_;
+    if (count_ == 0 || other.max_ns_ > max_ns_) max_ns_ = other.max_ns_;
+  }
+  count_ += other.count_;
+  total_ns_ += other.total_ns_;
+}
+
+int64_t LatencyRecorder::Quantile(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  double target = q * static_cast<double>(count_);
+  if (target <= 0) return min_ns_;
+  uint64_t cum = 0;
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    uint64_t c = counts_[i];
+    if (c == 0) continue;
+    if (static_cast<double>(cum) + static_cast<double>(c) >= target) {
+      int bucket = static_cast<int>(i);
+      int64_t lower = BucketLowerNs(bucket);
+      // The overflow bucket has no finite width: report the recorded
+      // maximum (exact for the tail the bucket exists to catch).
+      if (bucket == num_buckets() - 1) return max_ns_;
+      int64_t upper = BucketUpperNs(bucket);
+      double frac = (target - static_cast<double>(cum)) / double(c);
+      int64_t v =
+          lower + static_cast<int64_t>(frac * double(upper - lower));
+      return std::clamp(v, min_ns_, max_ns_);
+    }
+    cum += c;
+  }
+  return max_ns_;
+}
+
+namespace {
+std::string FormatNs(int64_t ns) {
+  char buf[32];
+  if (ns >= 1000000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", double(ns) / 1e9);
+  } else if (ns >= 1000000) {
+    std::snprintf(buf, sizeof(buf), "%.2fms", double(ns) / 1e6);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.1fus", double(ns) / 1e3);
+  }
+  return buf;
+}
+}  // namespace
+
+std::string LatencyRecorder::Summary() const {
+  if (count_ == 0) return "no samples";
+  return "p50=" + FormatNs(Quantile(0.50)) +
+         " p95=" + FormatNs(Quantile(0.95)) +
+         " p99=" + FormatNs(Quantile(0.99)) +
+         " p999=" + FormatNs(Quantile(0.999)) + " max=" + FormatNs(max_ns_);
+}
+
+}  // namespace serve
+}  // namespace zidian

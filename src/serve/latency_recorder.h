@@ -1,0 +1,85 @@
+// Fixed-bucket latency histogram for the serving layer: wall latencies in
+// integer nanoseconds, geometric bucket bounds, percentile estimation by
+// linear interpolation within the covering bucket.
+//
+// "Lock-free enough" by ownership, not by atomics: each session thread
+// records into its OWN recorder while the run is in flight (Record takes
+// no lock and touches no shared state), and the per-session recorders are
+// merged — an exact, associative integer sum — after the session threads
+// have joined. A recorder is therefore single-owner while hot and freely
+// shareable once cold; nothing in this class may be called concurrently
+// on one instance.
+//
+// Accuracy contract: a percentile is exact at the distribution's extremes
+// (results are clamped to the recorded min/max) and otherwise off by at
+// most one bucket width, i.e. a relative error bounded by kGrowth - 1
+// (~9%) — plenty for p50/p95/p99/p999 next to a throughput curve, and
+// cheap enough (one array of uint64 counters) to keep one per session.
+#ifndef ZIDIAN_SERVE_LATENCY_RECORDER_H_
+#define ZIDIAN_SERVE_LATENCY_RECORDER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace zidian {
+namespace serve {
+
+class LatencyRecorder {
+ public:
+  LatencyRecorder();
+
+  /// Records one wall latency. Negative samples clamp to zero (a
+  /// scheduled open-loop arrival can postdate its completion only
+  /// through clock skew; never let that corrupt the histogram).
+  void Record(int64_t latency_ns);
+
+  /// Exact, associative, commutative merge: per-bucket integer sums plus
+  /// min/max/total aggregation. Merging the same set of recorders in any
+  /// order yields bit-identical percentiles.
+  void Merge(const LatencyRecorder& other);
+
+  /// The q-quantile (q in [0, 1], so p99 = Quantile(0.99)) in
+  /// nanoseconds, linearly interpolated within the covering bucket and
+  /// clamped to [min_ns, max_ns]. Returns 0 on an empty recorder.
+  int64_t Quantile(double q) const;
+
+  uint64_t count() const { return count_; }
+  int64_t min_ns() const { return count_ == 0 ? 0 : min_ns_; }
+  int64_t max_ns() const { return count_ == 0 ? 0 : max_ns_; }
+  /// Sum of all recorded samples (exact; for mean = sum / count).
+  int64_t total_ns() const { return total_ns_; }
+  double MeanNs() const {
+    return count_ == 0 ? 0 : static_cast<double>(total_ns_) / double(count_);
+  }
+
+  /// One-line "p50=.. p95=.. p99=.. p999=.." summary in human units.
+  std::string Summary() const;
+
+  // --- bucket geometry, exposed for the unit tests -------------------
+
+  /// Number of buckets, including the final overflow bucket.
+  static int num_buckets();
+  /// Inclusive lower bound of bucket `i` in ns (bucket 0 starts at 0).
+  static int64_t BucketLowerNs(int i);
+  /// Exclusive upper bound of bucket `i`; the overflow bucket reports
+  /// INT64_MAX.
+  static int64_t BucketUpperNs(int i);
+  /// The bucket a sample lands in.
+  static int BucketFor(int64_t latency_ns);
+  uint64_t bucket_count(int i) const {
+    return counts_[static_cast<size_t>(i)];
+  }
+
+ private:
+  std::vector<uint64_t> counts_;  // one per bucket, overflow last
+  uint64_t count_ = 0;
+  int64_t min_ns_ = 0;
+  int64_t max_ns_ = 0;
+  int64_t total_ns_ = 0;
+};
+
+}  // namespace serve
+}  // namespace zidian
+
+#endif  // ZIDIAN_SERVE_LATENCY_RECORDER_H_

@@ -1,0 +1,104 @@
+#include "serve/load_generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace zidian {
+namespace serve {
+
+namespace {
+
+/// Samples a template index by cumulative weight. Templates with
+/// non-positive weight are never chosen.
+uint32_t SampleTemplate(const std::vector<double>& cumulative, Rng* rng) {
+  double u = rng->NextDouble() * cumulative.back();
+  auto it = std::upper_bound(cumulative.begin(), cumulative.end(), u);
+  size_t idx = static_cast<size_t>(it - cumulative.begin());
+  return static_cast<uint32_t>(std::min(idx, cumulative.size() - 1));
+}
+
+}  // namespace
+
+std::vector<ServeOp> GenerateStream(const LoadOptions& options,
+                                    uint32_t stream) {
+  std::vector<ServeOp> schedule;
+  if (options.mix.empty()) return schedule;
+  std::vector<double> cumulative;
+  cumulative.reserve(options.mix.size());
+  double acc = 0;
+  for (const auto& t : options.mix) {
+    acc += std::max(0.0, t.weight);
+    cumulative.push_back(acc);
+  }
+  if (acc <= 0) return schedule;
+
+  // One deterministic stream per (seed, stream id): the multiplier is an
+  // odd 64-bit constant so distinct streams land on well-separated
+  // SplitMix64 seeding trajectories.
+  Rng rng(options.seed * 0x9E3779B97F4A7C15ull + stream + 1);
+  Zipf zipf(std::max<uint64_t>(1, options.zipf_keys), options.zipf_s);
+
+  int streams = std::max(1, options.streams);
+  double stream_rate =
+      options.offered_load > 0 ? options.offered_load / streams : 0;
+  double arrival_s = 0;
+  schedule.reserve(options.ops_per_stream);
+  for (uint64_t seq = 0; seq < options.ops_per_stream; ++seq) {
+    ServeOp op;
+    op.stream = stream;
+    op.seq = seq;
+    op.template_idx = SampleTemplate(cumulative, &rng);
+    op.key = zipf.Sample(&rng);
+    if (stream_rate > 0) {
+      // Exponential inter-arrival at the stream's share of the offered
+      // load (a Poisson arrival process, the open-loop standard).
+      double u = rng.NextDouble();
+      arrival_s += -std::log(1.0 - u) / stream_rate;
+      op.arrival_ns = static_cast<int64_t>(arrival_s * 1e9);
+    }
+    schedule.push_back(op);
+  }
+  return schedule;
+}
+
+std::vector<ServeOp> GenerateFeed(const LoadOptions& options) {
+  int streams = std::max(1, options.streams);
+  std::vector<std::vector<ServeOp>> per_stream;
+  per_stream.reserve(static_cast<size_t>(streams));
+  for (int s = 0; s < streams; ++s) {
+    per_stream.push_back(GenerateStream(options, static_cast<uint32_t>(s)));
+  }
+
+  std::vector<ServeOp> feed;
+  size_t total = 0;
+  for (const auto& sched : per_stream) total += sched.size();
+  feed.reserve(total);
+
+  if (options.offered_load > 0) {
+    for (auto& sched : per_stream) {
+      feed.insert(feed.end(), sched.begin(), sched.end());
+    }
+    std::sort(feed.begin(), feed.end(),
+              [](const ServeOp& a, const ServeOp& b) {
+                if (a.arrival_ns != b.arrival_ns)
+                  return a.arrival_ns < b.arrival_ns;
+                if (a.stream != b.stream) return a.stream < b.stream;
+                return a.seq < b.seq;
+              });
+  } else {
+    // Saturation mode has no arrival clock: interleave streams
+    // round-robin so no stream is drained to exhaustion before another
+    // starts.
+    for (uint64_t seq = 0; seq < options.ops_per_stream; ++seq) {
+      for (const auto& sched : per_stream) {
+        if (seq < sched.size()) feed.push_back(sched[seq]);
+      }
+    }
+  }
+  return feed;
+}
+
+}  // namespace serve
+}  // namespace zidian

@@ -1,0 +1,199 @@
+// The serving layer is one of the sanctioned wall-clock sites
+// (tools/lint_invariants.py): arrival pacing and wall latency are what a
+// server measures, by design. Nothing read from the clock here feeds any
+// QueryMetrics counter — latency lands in LatencyRecorder, throughput in
+// ServeResult::wall_seconds, both documented as nondeterministic.
+#include "serve/server.h"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+
+#include "zidian/zidian.h"
+
+namespace zidian {
+namespace serve {
+
+namespace {
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void SleepUntilNs(int64_t deadline_ns) {
+  int64_t delta = deadline_ns - NowNs();
+  if (delta > 0) std::this_thread::sleep_for(std::chrono::nanoseconds(delta));
+}
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(size_t depth) : depth_(std::max<size_t>(1, depth)) {}
+
+bool AdmissionQueue::TryPush(const AdmittedOp& item) {
+  {
+    MutexLock lock(mu_);
+    if (closed_ || queue_.size() >= depth_) return false;
+    queue_.push_back(item);
+  }
+  can_pop_.NotifyOne();
+  return true;
+}
+
+void AdmissionQueue::PushBlocking(const AdmittedOp& item) {
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && queue_.size() >= depth_) can_push_.Wait(mu_);
+    if (closed_) return;
+    queue_.push_back(item);
+  }
+  can_pop_.NotifyOne();
+}
+
+bool AdmissionQueue::Pop(AdmittedOp* out) {
+  {
+    MutexLock lock(mu_);
+    while (!closed_ && queue_.empty()) can_pop_.Wait(mu_);
+    if (queue_.empty()) return false;  // closed and drained
+    *out = queue_.front();
+    queue_.pop_front();
+  }
+  can_push_.NotifyOne();
+  return true;
+}
+
+void AdmissionQueue::Close() {
+  {
+    MutexLock lock(mu_);
+    closed_ = true;
+  }
+  can_pop_.NotifyAll();
+  can_push_.NotifyAll();
+}
+
+Server::Server(Zidian* zidian, ServeOptions options)
+    : zidian_(zidian), options_(std::move(options)) {}
+
+void Server::SessionLoop(AdmissionQueue* queue, int64_t epoch_ns,
+                         SessionStats* stats) {
+  // One Connection per session, with a prepared-statement cache keyed by
+  // rendered SQL: under Zipfian skew the hot keys' statements prepare
+  // once and execute many times, exactly the Prepare-once contract the
+  // Connection API exists for.
+  Connection conn = zidian_->Connect();
+  std::unordered_map<std::string, PreparedQuery> statements;
+
+  AdmittedOp item;
+  while (queue->Pop(&item)) {
+    const ServeTemplate& t =
+        options_.load.mix[static_cast<size_t>(item.op.template_idx)];
+    bool ok = false;
+    if (t.is_write()) {
+      // BaaV maintenance mutates blocks and degree statistics: exclusive
+      // gate, no read (or prepare) in flight anywhere.
+      WriterMutexLock gate(write_gate_);
+      ++writes_admitted_;
+      ok = t.write(*zidian_, item.op).ok();
+    } else {
+      std::string sql = t.sql(item.op.key);
+      ReaderMutexLock gate(write_gate_);
+      auto found = statements.find(sql);
+      if (found == statements.end()) {
+        // Prepare under the shared gate: planning reads the store's
+        // degree statistics, which write templates update.
+        auto prepared = conn.Prepare(sql);
+        if (prepared.ok()) {
+          found = statements.emplace(sql, std::move(*prepared)).first;
+        }
+      }
+      if (found != statements.end()) {
+        AnswerInfo info;
+        auto rows = found->second.Execute(options_.exec, &info);
+        if (rows.ok()) {
+          ok = true;
+          stats->metrics += info.metrics;
+          if (options_.on_result) options_.on_result(item.op, *rows, info);
+        }
+      }
+    }
+    if (ok) {
+      // Open-loop latency: completion minus *scheduled* arrival, so time
+      // spent queued (or waiting behind a backlog) counts — the tail a
+      // closed-loop harness would silently omit.
+      stats->latency.Record(NowNs() - epoch_ns - item.arrival_ns);
+      stats->completed++;
+    } else {
+      stats->failed++;
+    }
+  }
+}
+
+Result<ServeResult> Server::Run() {
+  if (options_.load.mix.empty()) {
+    return Status::InvalidArgument("serve: empty query mix");
+  }
+  if (options_.exec.bypass_cache) {
+    return Status::InvalidArgument(
+        "serve: bypass_cache toggles cluster-global state and is not "
+        "multi-session safe");
+  }
+  int sessions = std::max(1, options_.sessions);
+  if (options_.load.streams <= 0) options_.load.streams = sessions;
+  std::vector<ServeOp> feed = GenerateFeed(options_.load);
+  if (feed.empty()) {
+    return Status::InvalidArgument("serve: the load generator produced no "
+                                   "ops (zero weights or ops_per_stream?)");
+  }
+  const bool open_loop = options_.load.offered_load > 0;
+
+  ServeResult result;
+  result.offered = feed.size();
+  result.per_session.resize(static_cast<size_t>(sessions));
+
+  AdmissionQueue queue(options_.queue_depth);
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(sessions));
+  const int64_t epoch_ns = NowNs();
+  for (int s = 0; s < sessions; ++s) {
+    SessionStats* stats = &result.per_session[static_cast<size_t>(s)];
+    threads.emplace_back(
+        [this, &queue, epoch_ns, stats] { SessionLoop(&queue, epoch_ns, stats); });
+  }
+
+  // The generator runs on the calling thread. Open loop: release each op
+  // at its scheduled arrival and count a rejection when the bounded queue
+  // is full — offered load the server did not absorb. Saturation: feed as
+  // fast as the sessions drain, arrival stamped at admission.
+  for (const ServeOp& op : feed) {
+    if (open_loop) {
+      SleepUntilNs(epoch_ns + op.arrival_ns);
+      if (!queue.TryPush(AdmittedOp{op, op.arrival_ns})) result.rejected++;
+    } else {
+      queue.PushBlocking(AdmittedOp{op, NowNs() - epoch_ns});
+    }
+  }
+  queue.Close();
+  for (auto& t : threads) t.join();
+  result.wall_seconds = double(NowNs() - epoch_ns) / 1e9;
+
+  for (const SessionStats& s : result.per_session) {
+    result.completed += s.completed;
+    result.failed += s.failed;
+    result.latency.Merge(s.latency);
+    result.metrics += s.metrics;
+  }
+  {
+    // The session threads have joined; the lock is for the capability
+    // contract, not for contention.
+    WriterMutexLock gate(write_gate_);
+    result.writes_admitted = writes_admitted_;
+  }
+  return result;
+}
+
+}  // namespace serve
+}  // namespace zidian

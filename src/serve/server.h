@@ -1,0 +1,166 @@
+// The multi-session serving front end: N session threads, each holding
+// its own Connection (with a prepared-statement cache) against ONE shared
+// Zidian/Cluster/BlockCache, fed by an open-loop load generator through a
+// bounded admission queue. This is the "millions of users" harness: it
+// turns the single-query facade into a server and reports throughput next
+// to p50/p95/p99/p999 wall latency as offered load rises.
+//
+// Shape of one run (Server::Run):
+//
+//   GenerateFeed(load)         deterministic per-stream schedules
+//        |                     (serve/load_generator.h)
+//        v
+//   [admission queue]          bounded; open-loop arrivals that find it
+//        |                     full are REJECTED and counted — offered
+//        |                     load the server did not absorb
+//        v
+//   session 0..N-1             one thread + Connection + statement cache
+//        |                     + LatencyRecorder + QueryMetrics each
+//        v
+//   ServeResult                merged after the join: throughput,
+//                              rejected/failed counts, latency
+//                              percentiles, summed QueryMetrics
+//
+// Concurrency contract (docs/ARCHITECTURE.md "Serving layer"):
+//  * Read queries run concurrently, lock-free on the Cluster read path;
+//    every Execute meters into its own AnswerInfo so per-query
+//    QueryMetrics stay isolated however sessions interleave on the
+//    shared BlockCache.
+//  * Write templates (BaaV maintenance) take the exclusive side of the
+//    server's write gate while reads hold it shared — the Cluster's
+//    "writes must not overlap reads" single-writer contract holds by
+//    construction, and prepares (which read degree statistics that
+//    maintenance updates) run under the shared side too.
+//  * Latency is recorded per session and merged after the session
+//    threads join; nothing is shared while hot (latency_recorder.h).
+#ifndef ZIDIAN_SERVE_SERVER_H_
+#define ZIDIAN_SERVE_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/result.h"
+#include "common/thread_annotations.h"
+#include "relational/relation.h"
+#include "serve/latency_recorder.h"
+#include "serve/load_generator.h"
+#include "zidian/connection.h"
+
+namespace zidian {
+namespace serve {
+
+/// An operation the generator admitted: the scheduled op plus its
+/// effective arrival instant (ns from the run epoch) — the open-loop
+/// latency baseline, which deliberately includes any time spent waiting
+/// in the admission queue.
+struct AdmittedOp {
+  ServeOp op;
+  int64_t arrival_ns = 0;
+};
+
+/// Bounded MPMC admission queue between the load generator and the
+/// session threads. TryPush is the open-loop entry (full queue = caller
+/// counts a rejection and drops the op), PushBlocking the saturation
+/// entry (generator throttles to the service capacity).
+class AdmissionQueue {
+ public:
+  explicit AdmissionQueue(size_t depth);
+
+  /// Enqueues unless the queue is at depth or closed; returns whether
+  /// the op was admitted.
+  bool TryPush(const AdmittedOp& item) EXCLUDES(mu_);
+  /// Blocks until there is room (or the queue closes, dropping the op).
+  void PushBlocking(const AdmittedOp& item) EXCLUDES(mu_);
+  /// Blocks for the next op; returns false once the queue is closed AND
+  /// drained (the session-thread exit signal).
+  bool Pop(AdmittedOp* out) EXCLUDES(mu_);
+  /// No further pushes; pending ops still drain.
+  void Close() EXCLUDES(mu_);
+
+ private:
+  const size_t depth_;
+  Mutex mu_;
+  CondVar can_pop_;
+  CondVar can_push_;
+  std::deque<AdmittedOp> queue_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
+};
+
+struct ServeOptions {
+  /// Session (executor) threads, each with its own Connection.
+  int sessions = 4;
+  /// Admission-queue depth: how much backlog the server absorbs before
+  /// rejecting open-loop arrivals.
+  size_t queue_depth = 64;
+  LoadOptions load;
+  /// Execution options applied to every read query (workers,
+  /// parallel_mode, pool, ...). bypass_cache must stay false — it
+  /// toggles cluster-global state and is rejected by Run().
+  ExecOptions exec;
+  /// Optional per-result hook, called from session threads (synchronize
+  /// anything it touches): the concurrency test battery uses it to check
+  /// every query's rows and counters against a serial baseline.
+  std::function<void(const ServeOp& op, const Relation& rows,
+                     const AnswerInfo& info)>
+      on_result;
+};
+
+/// Per-session tallies, merged into ServeResult after the join.
+struct SessionStats {
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  LatencyRecorder latency;  ///< completed ops only
+  QueryMetrics metrics;     ///< summed over completed read queries
+};
+
+struct ServeResult {
+  uint64_t offered = 0;   ///< ops the generator scheduled
+  uint64_t rejected = 0;  ///< open-loop arrivals that found the queue full
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t writes_admitted = 0;  ///< ops run under the exclusive gate
+  double wall_seconds = 0;       ///< generator start -> last session joined
+  LatencyRecorder latency;       ///< merged across sessions
+  QueryMetrics metrics;          ///< merged across sessions
+  std::vector<SessionStats> per_session;
+
+  double Throughput() const {
+    return wall_seconds > 0 ? double(completed) / wall_seconds : 0;
+  }
+};
+
+class Server {
+ public:
+  /// The Zidian (and the Cluster behind it) must outlive the Server and
+  /// is shared by every session — that sharing is the point.
+  Server(Zidian* zidian, ServeOptions options);
+
+  /// Runs one complete serving experiment: spawns the session threads,
+  /// feeds the generated schedule through the admission queue (paced in
+  /// open-loop mode, blocking in saturation mode), joins, and merges the
+  /// per-session tallies. Synchronous; safe to call repeatedly (each run
+  /// is independent, though the shared BlockCache stays warm across
+  /// runs — warm-up runs exploit exactly that).
+  Result<ServeResult> Run() EXCLUDES(write_gate_);
+
+ private:
+  void SessionLoop(AdmissionQueue* queue, int64_t epoch_ns,
+                   SessionStats* stats) EXCLUDES(write_gate_);
+
+  Zidian* zidian_;
+  ServeOptions options_;
+  /// The reader/writer gate that keeps BaaV maintenance single-writer
+  /// under concurrent sessions: read queries (and their prepares) hold
+  /// it shared, write templates exclusive.
+  SharedMutex write_gate_;
+  uint64_t writes_admitted_ GUARDED_BY(write_gate_) = 0;
+};
+
+}  // namespace serve
+}  // namespace zidian
+
+#endif  // ZIDIAN_SERVE_SERVER_H_

@@ -28,9 +28,13 @@
 // Thread safety: the read path (Get / MultiGet / ScanPrefix / CountPrefix)
 // is safe from any number of concurrent threads as long as no writes are
 // in flight and each thread meters into its own QueryMetrics — this is
-// the contract the threaded KBA executor runs on (per-worker metric
-// deltas, merged at join). Put / Delete / Flush / Compact / Load are
-// single-writer operations and must not overlap reads. The two locked
+// the contract both the threaded KBA executor (per-worker metric deltas,
+// merged at join) and the multi-session serving layer (per-query
+// AnswerInfo::metrics, one per in-flight Execute) run on. Put / Delete /
+// Flush / Compact / Load are single-writer operations and must not
+// overlap reads; when sessions mix writes into a served workload, the
+// serving layer brackets them with its reader/writer gate
+// (serve/server.h) so this contract holds by construction. The two locked
 // seams a concurrent read path crosses — the BlockCache's per-shard
 // mutexes and the NetworkModel's atomic clocks — carry their own
 // compile-time contracts (GUARDED_BY / REQUIRES on the cache, atomics on
@@ -40,6 +44,7 @@
 #ifndef ZIDIAN_STORAGE_CLUSTER_H_
 #define ZIDIAN_STORAGE_CLUSTER_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <optional>
@@ -198,9 +203,18 @@ class Cluster {
   /// When bypassed, Get/MultiGet neither consult nor fill the cache
   /// (ExecOptions::bypass_cache uses this per execution); Put/Delete
   /// still invalidate. Not a per-query property — callers must restore
-  /// the previous value (see PreparedQuery::Execute).
-  void SetCacheBypass(bool bypass) { cache_bypass_ = bypass; }
-  bool cache_bypassed() const { return cache_bypass_; }
+  /// the previous value (see PreparedQuery::Execute). The flag is
+  /// cluster-global state: atomic so that a session toggling it while
+  /// others read is never a data race, but *logically* it still affects
+  /// every in-flight query — bypass_cache is a single-session experiment
+  /// knob, and the serving layer never sets it (concurrent Executes with
+  /// default options perform no write here at all).
+  void SetCacheBypass(bool bypass) {
+    cache_bypass_.store(bypass, std::memory_order_relaxed);
+  }
+  bool cache_bypassed() const {
+    return cache_bypass_.load(std::memory_order_relaxed);
+  }
 
   /// The injected per-read-round-trip latency (µs), for diagnostics.
   /// With a full NetworkOptions configured this reports node 0's RTT.
@@ -214,11 +228,11 @@ class Cluster {
   const NetworkModel* network() const { return network_.get(); }
 
  private:
-  bool CacheActive() const { return cache_ != nullptr && !cache_bypass_; }
+  bool CacheActive() const { return cache_ != nullptr && !cache_bypassed(); }
 
   std::vector<std::unique_ptr<KvBackend>> nodes_;
   std::unique_ptr<BlockCache> cache_;
-  bool cache_bypass_ = false;
+  std::atomic<bool> cache_bypass_{false};
   std::unique_ptr<NetworkModel> network_;
 };
 

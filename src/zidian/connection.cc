@@ -13,8 +13,11 @@ namespace zidian {
 ThreadPool* SharedPoolState::GetOrCreate(int num_threads) {
   MutexLock lock(mu_);
   if (pool_ == nullptr || pool_->num_threads() < num_threads) {
-    // Growth by replacement: threads are cheap to respawn once, and the
-    // common case (a fixed workers count per session) never re-enters.
+    // Growth retires the old pool instead of destroying it: destruction
+    // joins the pool's threads, and a concurrent Execute on another
+    // session may still be mid-ParallelFor on that pointer. The common
+    // case (a fixed workers count per session) never re-enters.
+    if (pool_ != nullptr) retired_.push_back(std::move(pool_));
     pool_ = std::make_unique<ThreadPool>(num_threads);
   }
   return pool_.get();
@@ -74,14 +77,22 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
       opts.route_policy == RoutePolicy::kForceBaseline || !preserving_;
 
   // Scope the cache bypass to this execution; the previous cluster state
-  // is restored on every exit path.
+  // is restored on every exit path. The flag is only touched when this
+  // run actually changes it: concurrent sessions executing with default
+  // options must not write shared cluster state at all (bypass_cache
+  // itself stays a single-session experiment knob — the flag it toggles
+  // is cluster-global and would leak into concurrent queries).
   Cluster& cluster = zidian_->cluster();
   struct BypassScope {
     Cluster* cluster;
     bool previous;
-    ~BypassScope() { cluster->SetCacheBypass(previous); }
-  } bypass_scope{&cluster, cluster.cache_bypassed()};
-  cluster.SetCacheBypass(opts.bypass_cache);
+    bool changed;
+    ~BypassScope() {
+      if (changed) cluster->SetCacheBypass(previous);
+    }
+  } bypass_scope{&cluster, cluster.cache_bypassed(),
+                 opts.bypass_cache != cluster.cache_bypassed()};
+  if (bypass_scope.changed) cluster.SetCacheBypass(opts.bypass_cache);
   out->cache_enabled = cluster.cache_enabled();
   out->cache_capacity_bytes = cluster.cache_capacity_bytes();
   out->cache_bypassed = opts.bypass_cache;

@@ -43,6 +43,17 @@
 // kSimulated) and whether the shared pool served the run
 // (used_shared_pool).
 //
+// Concurrency: distinct Connections (and their PreparedQueries) may
+// Execute concurrently against one shared Zidian/Cluster — the
+// multi-session serving contract (serve/server.h, docs/ARCHITECTURE.md
+// "Serving layer"). Each Execute meters into its own AnswerInfo, and an
+// Execute with default options writes no shared cluster state. A single
+// PreparedQuery object, however, is a session-local handle: it caches
+// last_info_ unsynchronized, so share the Zidian, not the PreparedQuery.
+// ExecOptions::bypass_cache remains a single-session experiment knob —
+// it toggles a cluster-global flag that would leak into concurrently
+// running queries.
+//
 // The old one-shot calls (Zidian::Answer / AnswerSpec / AnswerBaseline)
 // remain as thin shims over this API.
 #ifndef ZIDIAN_ZIDIAN_CONNECTION_H_
@@ -51,6 +62,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -87,25 +99,30 @@ struct ExecOptions {
 
 /// The lazily created ThreadPool one Connection shares across every
 /// Execute of every PreparedQuery it prepared (copies of the Connection
-/// share it too). Thread-safe creation/growth; growth replaces the pool,
-/// so do not run concurrent Executes on one connection while also raising
-/// `workers` (the session API is single-threaded per connection, like any
-/// database session handle).
+/// share it too). Thread-safe creation and growth: growth installs a
+/// larger pool but RETIRES the previous one instead of destroying it, so
+/// a pointer handed to an Execute that is still in flight on another
+/// thread stays valid for the life of the SharedPoolState. Concurrent
+/// Executes on one connection (or its copies) are therefore safe even
+/// while another session raises `workers`; the retired pools are bounded
+/// by the number of distinct growth steps (monotonic sizes), not by the
+/// number of executions.
 class SharedPoolState {
  public:
   /// Returns a pool with at least `num_threads` threads, creating or
-  /// growing (by replacement) as needed. The pointer stays valid until
-  /// the next GetOrCreate with a larger request.
+  /// growing as needed. The pointer stays valid until this
+  /// SharedPoolState is destroyed (growth retires, never destroys).
   ThreadPool* GetOrCreate(int num_threads) EXCLUDES(mu_);
 
  private:
   Mutex mu_;
-  /// The handle itself is guarded; the pool it points at is returned out
-  /// of the lock by design — replacement only happens on a GetOrCreate
-  /// with a larger request, which the single-threaded-session contract
-  /// (one Execute at a time per connection) keeps ordered after every
-  /// use of the previous pointer.
   std::unique_ptr<ThreadPool> pool_ GUARDED_BY(mu_);
+  /// Pools superseded by growth, kept alive for in-flight Executes that
+  /// still hold their pointer. Destroying a ThreadPool joins its threads,
+  /// so dropping one here while a concurrent ParallelFor runs on it would
+  /// be a use-after-free — the single-query facade never hit this, but
+  /// multi-session serving does (tests/test_serve_concurrent.cc).
+  std::vector<std::unique_ptr<ThreadPool>> retired_ GUARDED_BY(mu_);
 };
 
 /// A parsed, bound, routed and planned query, ready to run many times.

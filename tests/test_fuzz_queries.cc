@@ -6,10 +6,14 @@
 // chases, filters at every chain position).
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include "common/rng.h"
 #include "workloads/workload.h"
+#include "zidian/connection.h"
 #include "zidian/zidian.h"
 
 namespace zidian {
@@ -157,6 +161,60 @@ TEST_P(FuzzQueries, ZidianAgreesWithBaselineOnRandomQueries) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzQueries,
                          ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+// Concurrent mode: the same random-query generator, but four sessions
+// execute the whole batch simultaneously against ONE shared cluster and
+// every session's rows must match the serial baseline byte for byte. Two
+// sessions run kSimulated and two kThreads, so threaded fan-out races
+// single-threaded reads on the shared BlockCache/NetworkModel — the
+// ASan/UBSan configurations turn any latent lifetime bug into a crash.
+TEST(FuzzQueriesConcurrent, FourSessionsMatchSerialBaseline) {
+  auto w = MakeMot(0.3, 55);
+  ASSERT_TRUE(w.ok());
+  Cluster cluster(ClusterOptions{.num_storage_nodes = 4});
+  Zidian z(&w->catalog, &cluster, w->baav);
+  ASSERT_TRUE(z.LoadTaav(w->data).ok());
+  ASSERT_TRUE(z.BuildBaav(w->data).ok());
+  int64_t n_vehicles = static_cast<int64_t>(w->data.at("vehicle").size());
+
+  // One fixed seed: the batch (and therefore the whole test) is
+  // reproducible; the only varying input is the thread interleaving.
+  Rng rng(4242);
+  std::vector<std::string> batch;
+  for (int i = 0; i < 24; ++i) batch.push_back(RandomQuery(&rng, n_vehicles));
+
+  // Serial baselines through the same Connection API the sessions use
+  // (identical route and row order, not merely equal multisets).
+  std::vector<std::string> expected;
+  {
+    Connection conn = z.Connect();
+    for (const std::string& sql : batch) {
+      auto rows = conn.Execute(sql, ExecOptions{.workers = 2});
+      ASSERT_TRUE(rows.ok()) << sql << "\n" << rows.status().ToString();
+      expected.push_back(rows->ToString(1u << 20));
+    }
+  }
+
+  constexpr int kSessions = 4;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> sessions;
+  for (int s = 0; s < kSessions; ++s) {
+    sessions.emplace_back([&, s] {
+      Connection conn = z.Connect();
+      ExecOptions opts{.workers = 2};
+      if (s >= 2) opts.parallel_mode = ParallelMode::kThreads;
+      for (size_t i = 0; i < batch.size(); ++i) {
+        auto rows = conn.Execute(batch[i], opts);
+        if (!rows.ok() || rows->ToString(1u << 20) != expected[i]) {
+          mismatches.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : sessions) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
 
 }  // namespace
 }  // namespace zidian

@@ -1,0 +1,179 @@
+// Unit tests for the serving layer's fixed-bucket latency histogram:
+// bucket geometry, percentile interpolation against closed-form
+// distributions, and the exactness/associativity of Merge — the property
+// the per-session-then-merge recording discipline rests on.
+#include "serve/latency_recorder.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace zidian {
+namespace serve {
+namespace {
+
+TEST(LatencyRecorderBuckets, GeometryIsContiguousAndMonotonic) {
+  int n = LatencyRecorder::num_buckets();
+  ASSERT_GT(n, 100);  // ~8 buckets per octave from 1us to 100s
+  EXPECT_EQ(LatencyRecorder::BucketLowerNs(0), 0);
+  for (int i = 0; i < n; ++i) {
+    // Buckets tile [0, inf): each upper bound is the next lower bound.
+    EXPECT_LT(LatencyRecorder::BucketLowerNs(i),
+              LatencyRecorder::BucketUpperNs(i));
+    if (i + 1 < n) {
+      EXPECT_EQ(LatencyRecorder::BucketUpperNs(i),
+                LatencyRecorder::BucketLowerNs(i + 1));
+    }
+  }
+  EXPECT_EQ(LatencyRecorder::BucketUpperNs(n - 1),
+            std::numeric_limits<int64_t>::max());
+  // The geometric growth stays under ~10% per bucket past the 1us floor:
+  // that bound IS the documented percentile accuracy contract.
+  for (int i = 1; i + 1 < n; ++i) {
+    double lo = double(LatencyRecorder::BucketLowerNs(i));
+    double hi = double(LatencyRecorder::BucketUpperNs(i));
+    EXPECT_LE(hi / lo, 1.10) << "bucket " << i;
+  }
+}
+
+TEST(LatencyRecorderBuckets, BucketForAgreesWithBounds) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{999}, int64_t{1000},
+                    int64_t{1001}, int64_t{123456}, int64_t{987654321},
+                    int64_t{500000000000}}) {
+    int b = LatencyRecorder::BucketFor(v);
+    EXPECT_GE(v, LatencyRecorder::BucketLowerNs(b)) << v;
+    EXPECT_LT(v, LatencyRecorder::BucketUpperNs(b)) << v;
+  }
+}
+
+TEST(LatencyRecorder, EmptyAndSingleValue) {
+  LatencyRecorder r;
+  EXPECT_EQ(r.count(), 0u);
+  EXPECT_EQ(r.Quantile(0.5), 0);
+  EXPECT_EQ(r.Summary(), "no samples");
+
+  // A degenerate distribution: every quantile must be EXACT (the
+  // interpolation clamps to [min, max], and min == max).
+  r.Record(123456);
+  for (double q : {0.0, 0.1, 0.5, 0.99, 0.999, 1.0}) {
+    EXPECT_EQ(r.Quantile(q), 123456) << q;
+  }
+  EXPECT_EQ(r.min_ns(), 123456);
+  EXPECT_EQ(r.max_ns(), 123456);
+  EXPECT_EQ(r.total_ns(), 123456);
+}
+
+TEST(LatencyRecorder, NegativeSamplesClampToZero) {
+  LatencyRecorder r;
+  r.Record(-5);
+  EXPECT_EQ(r.count(), 1u);
+  EXPECT_EQ(r.min_ns(), 0);
+  EXPECT_EQ(r.Quantile(0.5), 0);
+}
+
+// Closed form: values 1us, 2us, ..., N us uniformly. The q-quantile of
+// this distribution is q*N us; the recorder must land within one bucket
+// width (<= 10% relative) of it.
+TEST(LatencyRecorder, UniformRampQuantilesWithinBucketAccuracy) {
+  constexpr int64_t kN = 20000;
+  LatencyRecorder r;
+  for (int64_t i = 1; i <= kN; ++i) r.Record(i * 1000);
+  EXPECT_EQ(r.count(), uint64_t(kN));
+  EXPECT_EQ(r.min_ns(), 1000);
+  EXPECT_EQ(r.max_ns(), kN * 1000);
+  EXPECT_EQ(r.total_ns(), (kN * (kN + 1) / 2) * 1000);
+  for (double q : {0.10, 0.50, 0.90, 0.95, 0.99, 0.999}) {
+    double expect = q * double(kN) * 1000;
+    double got = double(r.Quantile(q));
+    EXPECT_NEAR(got / expect, 1.0, 0.10) << "q=" << q;
+  }
+  // The extremes are exact, not approximate.
+  EXPECT_EQ(r.Quantile(0.0), 1000);
+  EXPECT_EQ(r.Quantile(1.0), kN * 1000);
+}
+
+// Closed form: a bimodal 90/10 split — 90% at 1ms, 10% at 100ms. The
+// p50/p95 sit in the low mode and the p99/p999 in the high mode, within
+// bucket accuracy.
+TEST(LatencyRecorder, BimodalTailQuantiles) {
+  LatencyRecorder r;
+  for (int i = 0; i < 900; ++i) r.Record(1000000);
+  for (int i = 0; i < 100; ++i) r.Record(100000000);
+  EXPECT_NEAR(double(r.Quantile(0.50)) / 1e6, 1.0, 0.10);
+  EXPECT_NEAR(double(r.Quantile(0.95)) / 1e8, 1.0, 0.10);
+  EXPECT_NEAR(double(r.Quantile(0.999)) / 1e8, 1.0, 0.10);
+}
+
+TEST(LatencyRecorder, OverflowBucketReportsRecordedMax) {
+  LatencyRecorder r;
+  r.Record(1000);
+  r.Record(500000000000);  // 500s: beyond the 100s histogram range
+  EXPECT_EQ(r.Quantile(0.999), 500000000000);
+  EXPECT_EQ(r.max_ns(), 500000000000);
+}
+
+// Merge is an exact integer sum, so merging per-session recorders in ANY
+// order must produce bit-identical counts, extremes and quantiles.
+TEST(LatencyRecorder, MergeIsAssociativeAndCommutative) {
+  Rng rng(7);
+  std::vector<LatencyRecorder> parts(5);
+  for (auto& part : parts) {
+    for (int i = 0; i < 500; ++i) {
+      // Heavy-tailed samples across five octaves.
+      int64_t ns = int64_t(rng.Uniform(1, 1000)) *
+                   int64_t(rng.Uniform(1, 1000)) * 100;
+      part.Record(ns);
+    }
+  }
+
+  auto merge_in_order = [&](std::vector<size_t> order) {
+    LatencyRecorder out;
+    for (size_t i : order) out.Merge(parts[i]);
+    return out;
+  };
+  LatencyRecorder a = merge_in_order({0, 1, 2, 3, 4});
+  LatencyRecorder b = merge_in_order({4, 2, 0, 3, 1});
+  // Associativity: fold pairwise sub-merges, then combine.
+  LatencyRecorder left, right, c;
+  left.Merge(parts[0]);
+  left.Merge(parts[1]);
+  right.Merge(parts[2]);
+  right.Merge(parts[3]);
+  right.Merge(parts[4]);
+  c.Merge(left);
+  c.Merge(right);
+
+  for (const LatencyRecorder* other : {&b, &c}) {
+    EXPECT_EQ(a.count(), other->count());
+    EXPECT_EQ(a.min_ns(), other->min_ns());
+    EXPECT_EQ(a.max_ns(), other->max_ns());
+    EXPECT_EQ(a.total_ns(), other->total_ns());
+    for (int i = 0; i < LatencyRecorder::num_buckets(); ++i) {
+      ASSERT_EQ(a.bucket_count(i), other->bucket_count(i)) << i;
+    }
+    for (double q : {0.5, 0.95, 0.99, 0.999}) {
+      EXPECT_EQ(a.Quantile(q), other->Quantile(q)) << q;
+    }
+  }
+}
+
+TEST(LatencyRecorder, MergeWithEmptyIsIdentity) {
+  LatencyRecorder r, empty;
+  r.Record(5000);
+  r.Record(7000);
+  LatencyRecorder merged;
+  merged.Merge(empty);
+  merged.Merge(r);
+  merged.Merge(empty);
+  EXPECT_EQ(merged.count(), 2u);
+  EXPECT_EQ(merged.min_ns(), 5000);
+  EXPECT_EQ(merged.max_ns(), 7000);
+  EXPECT_EQ(merged.Quantile(1.0), 7000);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace zidian

@@ -1,0 +1,557 @@
+// The concurrency test battery for the serving layer (serve/server.h):
+//
+//  * load-generator determinism, skew and weighting;
+//  * AdmissionQueue MPMC semantics (bounded, blocking, close-and-drain);
+//  * the headline parity contract — M sessions x K queries on ONE shared
+//    Zidian/Cluster/BlockCache return rows byte-identical to a serial
+//    baseline run with CountersEqual holding per query, however the
+//    sessions interleave;
+//  * distinct Connections sharing one injected ExecOptions::pool;
+//  * the SharedPoolState growth-retires regression (use-after-free when a
+//    concurrent Execute raises `workers` mid-flight);
+//  * a read/write mix: BaaV maintenance under the exclusive write gate
+//    racing readers, with post-run KBA-vs-baseline agreement;
+//  * open-loop rejection accounting on a saturated admission queue.
+//
+// Registered in the plain, *_cached AND TSan ctest configurations. In the
+// cached configuration every compared run happens at the BlockCache's
+// steady state (a warm pass first), which is what makes per-query cache
+// counters interleaving-invariant.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "serve/load_generator.h"
+#include "serve/server.h"
+#include "storage/cluster.h"
+#include "workloads/workload.h"
+#include "zidian/connection.h"
+#include "zidian/zidian.h"
+
+namespace zidian {
+namespace serve {
+namespace {
+
+// ---------------------------------------------------------- load generator ---
+
+ServeTemplate PointTemplate(double weight = 1) {
+  ServeTemplate t;
+  t.name = "point";
+  t.weight = weight;
+  t.sql = [](uint64_t key) {
+    return "SELECT v.make, v.model, t.test_date, t.test_result, "
+           "t.test_mileage FROM vehicle v, mot_test t "
+           "WHERE v.vehicle_id = t.vehicle_id AND v.vehicle_id = " +
+           std::to_string(key);
+  };
+  return t;
+}
+
+ServeTemplate AggTemplate(double weight = 1) {
+  ServeTemplate t;
+  t.name = "agg";
+  t.weight = weight;
+  t.sql = [](uint64_t key) {
+    return "SELECT t.test_result, COUNT(*), MAX(t.test_mileage) "
+           "FROM vehicle v, mot_test t "
+           "WHERE v.vehicle_id = t.vehicle_id AND v.vehicle_id = " +
+           std::to_string(key) + " GROUP BY t.test_result";
+  };
+  return t;
+}
+
+TEST(LoadGenerator, SchedulesAreDeterministicPerStream) {
+  LoadOptions load;
+  load.streams = 3;
+  load.ops_per_stream = 50;
+  load.seed = 9;
+  load.zipf_keys = 40;
+  load.mix = {PointTemplate(), AggTemplate()};
+
+  auto a = GenerateStream(load, 1);
+  auto b = GenerateStream(load, 1);
+  ASSERT_EQ(a.size(), 50u);
+  ASSERT_EQ(a.size(), b.size());
+  bool streams_differ = false;
+  auto other = GenerateStream(load, 2);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].key, b[i].key) << i;
+    EXPECT_EQ(a[i].template_idx, b[i].template_idx) << i;
+    EXPECT_EQ(a[i].arrival_ns, b[i].arrival_ns) << i;
+    EXPECT_EQ(a[i].seq, i);
+    EXPECT_GE(a[i].key, 1u);
+    EXPECT_LE(a[i].key, 40u);
+    streams_differ |= (a[i].key != other[i].key);
+  }
+  // Distinct streams are independent RNG draws, not copies.
+  EXPECT_TRUE(streams_differ);
+}
+
+TEST(LoadGenerator, OpenLoopFeedIsArrivalOrderedSaturationIsRoundRobin) {
+  LoadOptions load;
+  load.streams = 4;
+  load.ops_per_stream = 30;
+  load.offered_load = 5000;
+  load.mix = {PointTemplate()};
+
+  auto open = GenerateFeed(load);
+  ASSERT_EQ(open.size(), 120u);
+  for (size_t i = 1; i < open.size(); ++i) {
+    EXPECT_LE(open[i - 1].arrival_ns, open[i].arrival_ns) << i;
+  }
+  EXPECT_GT(open.back().arrival_ns, 0);
+
+  load.offered_load = 0;  // saturation: no clock, fair interleave
+  auto sat = GenerateFeed(load);
+  ASSERT_EQ(sat.size(), 120u);
+  for (size_t i = 0; i < sat.size(); ++i) {
+    EXPECT_EQ(sat[i].arrival_ns, 0) << i;
+    EXPECT_EQ(sat[i].stream, i % 4) << i;
+    EXPECT_EQ(sat[i].seq, i / 4) << i;
+  }
+}
+
+TEST(LoadGenerator, ZipfSkewAndZeroWeightTemplates) {
+  LoadOptions load;
+  load.streams = 1;
+  load.ops_per_stream = 3000;
+  load.zipf_keys = 50;
+  load.zipf_s = 0.99;
+  // A zero-weight template must never be sampled.
+  load.mix = {PointTemplate(3), AggTemplate(0)};
+
+  auto ops = GenerateStream(load, 0);
+  ASSERT_EQ(ops.size(), 3000u);
+  uint64_t rank1 = 0, rank_tail = 0;
+  for (const ServeOp& op : ops) {
+    EXPECT_EQ(op.template_idx, 0u);
+    rank1 += op.key == 1;
+    rank_tail += op.key == 50;
+  }
+  // Rank 1 must dominate the tail rank by a wide margin under s = 0.99.
+  EXPECT_GT(rank1, 10 * std::max<uint64_t>(1, rank_tail));
+
+  load.mix = {AggTemplate(0)};  // all weights <= 0: empty schedule
+  EXPECT_TRUE(GenerateStream(load, 0).empty());
+}
+
+// --------------------------------------------------------- admission queue ---
+
+TEST(AdmissionQueue, BoundedTryPushAndCloseDrain) {
+  AdmissionQueue q(2);
+  EXPECT_TRUE(q.TryPush(AdmittedOp{ServeOp{.seq = 1}, 0}));
+  EXPECT_TRUE(q.TryPush(AdmittedOp{ServeOp{.seq = 2}, 0}));
+  EXPECT_FALSE(q.TryPush(AdmittedOp{ServeOp{.seq = 3}, 0}));  // at depth
+  q.Close();
+  EXPECT_FALSE(q.TryPush(AdmittedOp{ServeOp{.seq = 4}, 0}));  // closed
+
+  // Pending ops still drain after Close; then Pop signals shutdown.
+  AdmittedOp out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.op.seq, 1u);
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.op.seq, 2u);
+  EXPECT_FALSE(q.Pop(&out));
+}
+
+TEST(AdmissionQueue, PushBlockingWaitsForRoomAndCloseUnblocks) {
+  AdmissionQueue q(1);
+  ASSERT_TRUE(q.TryPush(AdmittedOp{ServeOp{.seq = 1}, 0}));
+
+  // Push into a full queue: the producer cannot complete until the main
+  // thread frees the slot, and the second Pop cannot complete until the
+  // producer's push lands — every interleaving converges on the same
+  // pop order.
+  std::thread producer(
+      [&] { q.PushBlocking(AdmittedOp{ServeOp{.seq = 2}, 0}); });
+  AdmittedOp out;
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.op.seq, 1u);
+  ASSERT_TRUE(q.Pop(&out));
+  EXPECT_EQ(out.op.seq, 2u);
+  producer.join();
+
+  // Close must release a pusher stuck on a full queue WITHOUT enqueueing
+  // its op (whether it was already waiting or arrives after the close —
+  // the main thread never frees the slot, so seq 4 can never land).
+  ASSERT_TRUE(q.TryPush(AdmittedOp{ServeOp{.seq = 3}, 0}));
+  std::atomic<bool> returned{false};
+  std::thread blocked([&] {
+    q.PushBlocking(AdmittedOp{ServeOp{.seq = 4}, 0});
+    returned.store(true);
+  });
+  q.Close();
+  blocked.join();
+  EXPECT_TRUE(returned.load());
+  ASSERT_TRUE(q.Pop(&out));  // the pre-close op still drains
+  EXPECT_EQ(out.op.seq, 3u);
+  EXPECT_FALSE(q.Pop(&out));
+}
+
+TEST(AdmissionQueue, ManyProducersManyConsumersConserveOps) {
+  constexpr int kProducers = 4, kConsumers = 4, kPerProducer = 500;
+  AdmissionQueue q(8);
+  std::atomic<uint64_t> popped{0}, sum{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kConsumers; ++c) {
+    threads.emplace_back([&] {
+      AdmittedOp out;
+      while (q.Pop(&out)) {
+        popped.fetch_add(1);
+        sum.fetch_add(out.op.seq);
+      }
+    });
+  }
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        uint64_t seq = uint64_t(p) * kPerProducer + uint64_t(i);
+        q.PushBlocking(
+            AdmittedOp{ServeOp{.stream = uint32_t(p), .seq = seq}, 0});
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  q.Close();
+  for (auto& t : threads) t.join();
+  constexpr uint64_t kTotal = uint64_t(kProducers) * kPerProducer;
+  EXPECT_EQ(popped.load(), kTotal);
+  EXPECT_EQ(sum.load(), kTotal * (kTotal - 1) / 2);  // each seq exactly once
+}
+
+// ------------------------------------------------------------- the battery ---
+
+class ServeConcurrentFixture : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto w = MakeMot(0.2, 91);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+    cluster_ = std::make_unique<Cluster>(ClusterOptions{
+        .num_storage_nodes = 4});
+    zidian_ = std::make_unique<Zidian>(&workload_.catalog, cluster_.get(),
+                                       workload_.baav);
+    ASSERT_TRUE(zidian_->LoadTaav(workload_.data).ok());
+    ASSERT_TRUE(zidian_->BuildBaav(workload_.data).ok());
+    n_vehicles_ = static_cast<uint64_t>(workload_.data.at("vehicle").size());
+  }
+
+  LoadOptions ReadMix() const {
+    LoadOptions load;
+    load.ops_per_stream = 40;
+    load.seed = 7;
+    load.zipf_keys = n_vehicles_;  // every sampled rank is a live vehicle
+    load.zipf_s = 0.9;
+    load.mix = {PointTemplate(3), AggTemplate(1)};
+    return load;
+  }
+
+  Workload workload_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Zidian> zidian_;
+  uint64_t n_vehicles_ = 0;
+};
+
+TEST_F(ServeConcurrentFixture, RunRejectsUnsafeOptions) {
+  {
+    Server server(zidian_.get(), ServeOptions{});  // empty mix
+    auto r = server.Run();
+    EXPECT_FALSE(r.ok());
+  }
+  {
+    ServeOptions options;
+    options.load = ReadMix();
+    options.exec.bypass_cache = true;  // cluster-global toggle: refused
+    Server server(zidian_.get(), options);
+    auto r = server.Run();
+    EXPECT_FALSE(r.ok());
+  }
+}
+
+// The headline contract: 4 sessions x 160 queries against the one shared
+// Cluster/BlockCache return, for EVERY query, rows byte-identical to the
+// serial baseline and per-query CountersEqual — whatever the interleaving.
+TEST_F(ServeConcurrentFixture, ConcurrentRowsAndCountersMatchSerialBaseline) {
+  LoadOptions load = ReadMix();
+  load.streams = 4;
+  std::vector<ServeOp> feed = GenerateFeed(load);
+  ASSERT_EQ(feed.size(), 160u);
+
+  // Serial baseline. Pass 1 warms the BlockCache (when the *_cached
+  // configuration attached one) so pass 2 records the steady state every
+  // later run — serial or concurrent — must reproduce: all hits, zero
+  // evictions. That steadiness is what MAKES the cache counters
+  // interleaving-invariant.
+  struct Expected {
+    std::string rows;
+    QueryMetrics metrics;
+  };
+  std::map<std::string, Expected> expected;
+  {
+    Connection conn = zidian_->Connect();
+    for (int pass = 0; pass < 2; ++pass) {
+      for (const ServeOp& op : feed) {
+        std::string sql = load.mix[op.template_idx].sql(op.key);
+        if (pass == 1 && expected.count(sql)) continue;
+        AnswerInfo info;
+        auto rows = conn.Execute(sql, ExecOptions{}, &info);
+        ASSERT_TRUE(rows.ok()) << sql << "\n" << rows.status().ToString();
+        if (pass == 1) {
+          EXPECT_EQ(info.metrics.cache_evictions, 0u) << sql;
+          expected.emplace(sql,
+                           Expected{rows->ToString(1u << 20), info.metrics});
+        }
+      }
+    }
+  }
+
+  Mutex check_mu;
+  uint64_t checked = 0;  // protected by check_mu
+  ServeOptions options;
+  options.sessions = 4;
+  options.queue_depth = 16;
+  options.load = load;
+  options.on_result = [&](const ServeOp& op, const Relation& rows,
+                          const AnswerInfo& info) {
+    std::string sql = load.mix[op.template_idx].sql(op.key);
+    std::string text = rows.ToString(1u << 20);
+    MutexLock lock(check_mu);
+    auto it = expected.find(sql);
+    ASSERT_NE(it, expected.end()) << sql;
+    EXPECT_EQ(text, it->second.rows) << sql;
+    EXPECT_TRUE(CountersEqual(info.metrics, it->second.metrics))
+        << sql << "\n  serial:     " << it->second.metrics.ToString()
+        << "\n  concurrent: " << info.metrics.ToString();
+    ++checked;
+  };
+
+  Server server(zidian_.get(), options);
+  auto result = server.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->offered, 160u);
+  EXPECT_EQ(result->completed, 160u);
+  EXPECT_EQ(result->failed, 0u);
+  EXPECT_EQ(result->rejected, 0u);  // saturation mode never rejects
+  EXPECT_EQ(result->writes_admitted, 0u);
+  EXPECT_EQ(result->latency.count(), 160u);
+  EXPECT_GT(result->latency.Quantile(0.99), 0);
+  EXPECT_GT(result->Throughput(), 0.0);
+  ASSERT_EQ(result->per_session.size(), 4u);
+  uint64_t per_session_total = 0;
+  for (const SessionStats& s : result->per_session) {
+    per_session_total += s.completed;
+  }
+  EXPECT_EQ(per_session_total, 160u);
+  {
+    MutexLock lock(check_mu);
+    EXPECT_EQ(checked, 160u);
+  }
+}
+
+// Distinct Connections sharing one caller-owned ExecOptions::pool must
+// execute concurrently with full row/counter parity: ParallelFor batches
+// from different sessions interleave on the same worker threads.
+TEST_F(ServeConcurrentFixture, DistinctConnectionsShareOneInjectedPool) {
+  const std::string sql = workload_.queries[7].sql;  // mot-q8: extend-heavy
+  ThreadPool pool(3);
+
+  AnswerInfo reference_info;
+  std::string reference_rows;
+  {
+    Connection conn = zidian_->Connect();
+    auto prepared = conn.Prepare(sql);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    if (cluster_->cache_enabled()) {
+      ASSERT_TRUE(prepared->Execute(ExecOptions{.workers = 4}).ok());
+    }
+    auto rows = prepared->Execute(ExecOptions{.workers = 4}, &reference_info);
+    ASSERT_TRUE(rows.ok()) << rows.status().ToString();
+    reference_rows = rows->ToString(1u << 20);
+  }
+
+  constexpr int kSessions = 4, kRuns = 25;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int s = 0; s < kSessions; ++s) {
+    threads.emplace_back([&] {
+      Connection conn = zidian_->Connect();
+      auto prepared = conn.Prepare(sql);
+      if (!prepared.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int run = 0; run < kRuns; ++run) {
+        AnswerInfo info;
+        auto rows = prepared->Execute(
+            ExecOptions{.workers = 4,
+                        .parallel_mode = ParallelMode::kThreads,
+                        .pool = &pool},
+            &info);
+        if (!rows.ok() || rows->ToString(1u << 20) != reference_rows ||
+            !CountersEqual(info.metrics, reference_info.metrics)) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// Regression for SharedPoolState growth-by-replacement: one session
+// raising `workers` used to DESTROY (join) the pool another session's
+// in-flight Execute still held — a use-after-free. Growth now retires the
+// superseded pool; both sessions must stay correct throughout.
+TEST_F(ServeConcurrentFixture, SharedPoolGrowthRacingExecutesIsSafe) {
+  const std::string sql = workload_.queries[7].sql;
+  Connection conn = zidian_->Connect();
+  auto steady = conn.Prepare(sql);
+  auto grower = conn.Prepare(sql);  // same Connection: shares pool state
+  ASSERT_TRUE(steady.ok());
+  ASSERT_TRUE(grower.ok());
+
+  std::string reference_rows;
+  {
+    if (cluster_->cache_enabled()) {
+      ASSERT_TRUE(steady->Execute(ExecOptions{.workers = 2}).ok());
+    }
+    auto rows = steady->Execute(ExecOptions{.workers = 2});
+    ASSERT_TRUE(rows.ok());
+    reference_rows = rows->ToString(1u << 20);
+  }
+
+  std::atomic<int> failures{0};
+  std::thread steady_thread([&] {
+    for (int run = 0; run < 40; ++run) {
+      auto rows = steady->Execute(ExecOptions{
+          .workers = 2, .parallel_mode = ParallelMode::kThreads});
+      if (!rows.ok() || rows->ToString(1u << 20) != reference_rows) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  std::thread grower_thread([&] {
+    for (int workers = 2; workers <= 8; ++workers) {  // each step grows
+      auto rows = grower->Execute(ExecOptions{
+          .workers = workers, .parallel_mode = ParallelMode::kThreads});
+      if (!rows.ok() || rows->ToString(1u << 20) != reference_rows) {
+        failures.fetch_add(1);
+        return;
+      }
+    }
+  });
+  steady_thread.join();
+  grower_thread.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+// BaaV maintenance under the exclusive write gate, racing read sessions:
+// after the run both layouts must agree (KBA vs baseline differential)
+// and every admitted insert must be visible on both routes.
+TEST_F(ServeConcurrentFixture, WriteMixKeepsLayoutsConsistent) {
+  ServeTemplate insert_test;
+  insert_test.name = "insert_mot_test";
+  insert_test.weight = 1;
+  insert_test.write = [](Zidian& zidian, const ServeOp& op) {
+    // Unique test_id per (stream, seq), far above the loaded id range.
+    int64_t tid = 10000000 + int64_t(op.stream) * 100000 + int64_t(op.seq);
+    return zidian.Insert(
+        "mot_test",
+        {Value(tid), Value(int64_t(op.key)), Value(int64_t{15000}),
+         Value(std::string("PASS")), Value(int64_t{42000}), Value(int64_t{7}),
+         Value(int64_t{4}), Value(std::string("NORMAL")), Value(39.95),
+         Value(int64_t{45}), Value(int64_t{11}), Value(int64_t{0}),
+         Value(int64_t{1}), Value(int64_t{0})});
+  };
+
+  LoadOptions load = ReadMix();
+  load.streams = 4;
+  load.ops_per_stream = 30;
+  load.seed = 13;
+  load.mix = {PointTemplate(3), AggTemplate(1), insert_test};
+  std::vector<ServeOp> feed = GenerateFeed(load);
+  uint64_t expected_writes = 0;
+  std::map<uint64_t, uint64_t> inserts_per_vehicle;
+  for (const ServeOp& op : feed) {
+    if (load.mix[op.template_idx].is_write()) {
+      ++expected_writes;
+      ++inserts_per_vehicle[op.key];
+    }
+  }
+  ASSERT_GT(expected_writes, 0u);
+
+  ServeOptions options;
+  options.sessions = 4;
+  options.load = load;
+  Server server(zidian_.get(), options);
+  auto result = server.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->writes_admitted, expected_writes);
+  EXPECT_EQ(result->completed, result->offered);
+  EXPECT_EQ(result->failed, 0u);
+
+  // Differential consistency after the dust settles: the KBA route and
+  // the TaaV baseline must agree per vehicle, and the test count must be
+  // the 5 loaded rows plus exactly the inserts admitted for that vehicle.
+  for (uint64_t vid : {uint64_t{1}, uint64_t{2}, uint64_t{5}}) {
+    std::string sql = AggTemplate().sql(vid);
+    AnswerInfo info;
+    auto kba = zidian_->Answer(sql, 1, &info);
+    ASSERT_TRUE(kba.ok()) << sql << "\n" << kba.status().ToString();
+    auto base = zidian_->AnswerBaseline(sql, 1, nullptr);
+    ASSERT_TRUE(base.ok()) << sql;
+    Relation a = *kba, b = *base;
+    a.SortRows();
+    b.SortRows();
+    EXPECT_EQ(a.ToString(1u << 20), b.ToString(1u << 20)) << sql;
+
+    uint64_t tests = 0;
+    for (const auto& row : a.rows()) {
+      tests += uint64_t(row[1].Numeric());  // the COUNT(*) column
+    }
+    EXPECT_EQ(tests, 5u + inserts_per_vehicle[vid]) << "vehicle " << vid;
+  }
+}
+
+// Open loop at an absurd offered load against a depth-1 queue and a lone
+// session: most arrivals must find the queue full, and the accounting
+// identity offered == completed + rejected (+ failed) must hold exactly.
+TEST_F(ServeConcurrentFixture, OpenLoopRejectsWhatItCannotAbsorb) {
+  LoadOptions load = ReadMix();
+  load.streams = 2;
+  load.ops_per_stream = 100;
+  load.offered_load = 1e7;  // far beyond one session's capacity
+  load.mix = {AggTemplate()};
+
+  ServeOptions options;
+  options.sessions = 1;
+  options.queue_depth = 1;
+  options.load = load;
+  Server server(zidian_.get(), options);
+  auto result = server.Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->offered, 200u);
+  EXPECT_GT(result->rejected, 0u);
+  EXPECT_GT(result->completed, 0u);  // the queue was never wedged shut
+  EXPECT_EQ(result->offered,
+            result->completed + result->rejected + result->failed);
+  EXPECT_EQ(result->failed, 0u);
+  EXPECT_EQ(result->latency.count(), result->completed);
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace zidian
