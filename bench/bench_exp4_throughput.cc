@@ -17,9 +17,16 @@
 // stalls, so it holds on a single-core runner too.
 #include "bench/bench_util.h"
 
+#include <array>
 #include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <utility>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "ra/taav.h"
 #include "serve/server.h"
 
@@ -177,12 +184,23 @@ serve::ServeResult RunServe(Instance& inst, int sessions, double offered_load,
   return std::move(result).value();
 }
 
+void PrintServeHeader() {
+  std::printf("%-9s %-9s %9s %7s %7s %7s %7s %8s %8s %8s %8s\n", "sessions",
+              "offered", "ops/s", "done", "rej", "fail", "avail%", "p50ms",
+              "p95ms", "p99ms", "p999ms");
+}
+
 void PrintServeRow(const char* offered, int sessions,
                    const serve::ServeResult& r) {
-  std::printf("%-9d %-9s %9.0f %7llu %7llu %8.2f %8.2f %8.2f %8.2f\n",
+  double answered = double(r.completed + r.failed);
+  double avail =
+      answered > 0 ? 100.0 * double(r.completed) / answered : 100.0;
+  std::printf("%-9d %-9s %9.0f %7llu %7llu %7llu %7.2f %8.2f %8.2f %8.2f "
+              "%8.2f\n",
               sessions, offered, r.Throughput(),
               static_cast<unsigned long long>(r.completed),
               static_cast<unsigned long long>(r.rejected),
+              static_cast<unsigned long long>(r.failed), avail,
               double(r.latency.Quantile(0.50)) / 1e6,
               double(r.latency.Quantile(0.95)) / 1e6,
               double(r.latency.Quantile(0.99)) / 1e6,
@@ -193,9 +211,7 @@ int ServeSmoke(Instance& inst) {
   std::printf("Exp-4 serving smoke: saturation capacity, 1 vs 4 sessions "
               "(cached read mix, 500us RTT)\n");
   PrintRule();
-  std::printf("%-9s %-9s %9s %7s %7s %8s %8s %8s %8s\n", "sessions",
-              "offered", "ops/s", "done", "rej", "p50ms", "p95ms", "p99ms",
-              "p999ms");
+  PrintServeHeader();
   PrintRule();
   (void)RunServe(inst, 2, 0, 30);  // warm the cache's hot head
   serve::ServeResult one = RunServe(inst, 1, 0, 240);
@@ -216,9 +232,7 @@ int ServeSweep(Instance& inst) {
   std::printf("Exp-4 serving sweep: sessions x offered load "
               "(cached read mix, 500us RTT, queue depth 32)\n");
   PrintRule();
-  std::printf("%-9s %-9s %9s %7s %7s %8s %8s %8s %8s\n", "sessions",
-              "offered", "ops/s", "done", "rej", "p50ms", "p95ms", "p99ms",
-              "p999ms");
+  PrintServeHeader();
   PrintRule();
   (void)RunServe(inst, 2, 0, 30);  // warm the cache's hot head
   for (int sessions : {1, 2, 4, 8, 16}) {
@@ -240,20 +254,247 @@ int ServeSweep(Instance& inst) {
   return 0;
 }
 
+// ------------------------------------------------------------- chaos arm ---
+//
+// The availability-vs-tail-latency smoke: the same read mix served while
+// one storage node is degraded 30x, with and without hedged reads, plus a
+// partition leg where a key's whole replica chain is down. Gates:
+//  * zero wrong rows: every completed query's rows are byte-identical to
+//    the fault-free run (checked through ServeOptions::on_result);
+//  * hedging recovers at least half of the p99 regression the degraded
+//    node causes (degraded-minus-clean >= 2x hedged-minus-clean);
+//  * the fault counters are bit-identical across two fresh hedged runs
+//    (the deterministic fault schedule, end to end through the server);
+//  * exhausted retries fail cleanly: the partition leg loses queries but
+//    completes the rest, and every failure is counted in failed_queries.
+
+/// The chaos cluster: node-side work is visible (per-key / per-byte cost),
+/// because degradation multiplies the BUSY cost, not the wire rtt — a
+/// degraded node on a free link would be invisible. No BlockCache (unless
+/// the cached CI configuration forces one): every read exercises the
+/// recovery machine.
+ClusterOptions ChaosOptions() {
+  ClusterOptions options{.num_storage_nodes = 4};
+  options.network.link =
+      NetworkLinkOptions{.rtt_us = 200, .per_key_us = 5, .per_byte_us = 0.3};
+  options.recovery.replication_factor = 2;
+  options.recovery.max_attempts = 3;
+  return options;
+}
+
+Instance ChaosInstance(bool degrade_node0, bool hedged) {
+  ClusterOptions options = ChaosOptions();
+  if (degrade_node0) {
+    options.network.faults.seed = 20260808;
+    NodeFaultOptions slow;
+    slow.degraded_from = 0;
+    slow.degraded_until = 1;
+    slow.degrade_factor = 30;
+    options.network.faults.node_faults = {slow};
+  }
+  if (hedged) options.recovery.hedge_after_us = 250;
+  return Load(MakeMot(0.3, 42), std::move(options));
+}
+
+/// Completed-query row log, filled from the session threads via
+/// ServeOptions::on_result and keyed by (template, key rank) — two ops on
+/// the same key must answer identically, and every faulted run must answer
+/// exactly like the clean one.
+struct RowLog {
+  Mutex mu;
+  std::map<std::pair<uint32_t, uint64_t>, std::string> rows GUARDED_BY(mu);
+  bool self_mismatch GUARDED_BY(mu) = false;
+};
+
+serve::ServeResult RunChaos(Instance& inst, RowLog* log) {
+  serve::ServeOptions options;
+  options.sessions = 4;
+  options.queue_depth = 32;
+  options.load.ops_per_stream = 60;
+  options.load.seed = 42;
+  options.load.zipf_keys =
+      static_cast<uint64_t>(inst.workload.data.at("vehicle").size());
+  options.load.zipf_s = 0.9;
+  options.load.mix = ReadMix();
+  options.on_result = [log](const serve::ServeOp& op, const Relation& rows,
+                            const AnswerInfo&) {
+    Relation sorted = rows;
+    sorted.SortRows();
+    std::string repr = sorted.ToString(rows.size() + 1);
+    MutexLock lock(log->mu);
+    auto [it, inserted] = log->rows.emplace(
+        std::make_pair(op.template_idx, op.key), std::move(repr));
+    if (!inserted && it->second != repr) log->self_mismatch = true;
+  };
+  serve::Server server(inst.zidian.get(), options);
+  auto result = server.Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "chaos run failed: %s\n",
+                 result.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(result).value();
+}
+
+/// Does `got` answer exactly like `want`? kExact additionally demands the
+/// same completed set (no query may go missing in a run that should
+/// complete everything); kSubset allows `got` to have completed fewer
+/// (the partition leg) but every row it DID serve must still match.
+enum class LogMatch { kExact, kSubset };
+
+bool RowsMatch(RowLog& got, RowLog& want, LogMatch mode) {
+  MutexLock got_lock(got.mu);
+  MutexLock want_lock(want.mu);
+  if (got.self_mismatch || want.self_mismatch) return false;
+  if (mode == LogMatch::kExact && got.rows.size() != want.rows.size()) {
+    return false;
+  }
+  for (const auto& [key, repr] : got.rows) {
+    auto it = want.rows.find(key);
+    if (it == want.rows.end() || it->second != repr) return false;
+  }
+  return true;
+}
+
+std::array<uint64_t, 6> FaultCounters(const QueryMetrics& m) {
+  return {m.net_faults_injected, m.net_retries, m.net_timeouts,
+          m.net_hedges,          m.net_hedge_wins, m.failed_queries};
+}
+
+int ServeChaos() {
+  std::printf("Exp-4 chaos smoke: read mix under a 30x-degraded node, "
+              "without / with hedged reads, plus a downed replica chain\n");
+  PrintRule();
+  PrintServeHeader();
+  PrintRule();
+
+  Instance clean = ChaosInstance(false, false);
+  RowLog clean_log;
+  serve::ServeResult r_clean = RunChaos(clean, &clean_log);
+  PrintServeRow("clean", 4, r_clean);
+
+  Instance degraded = ChaosInstance(true, false);
+  RowLog degraded_log;
+  serve::ServeResult r_degraded = RunChaos(degraded, &degraded_log);
+  PrintServeRow("degraded", 4, r_degraded);
+
+  // Two fresh hedged instances: the second exists only to prove the fault
+  // schedule meters bit-identically end to end through the server.
+  Instance hedged = ChaosInstance(true, true);
+  RowLog hedged_log;
+  serve::ServeResult r_hedged = RunChaos(hedged, &hedged_log);
+  PrintServeRow("hedged", 4, r_hedged);
+  Instance hedged_b = ChaosInstance(true, true);
+  RowLog hedged_b_log;
+  serve::ServeResult r_hedged_b = RunChaos(hedged_b, &hedged_b_log);
+  PrintServeRow("hedged-b", 4, r_hedged_b);
+
+  // The partition leg: nodes 0 and 1 down for every key, so a key whose
+  // replica chain is [0, 1] is unreachable while every other key's chain
+  // has a live node. Built storage cannot be re-created against downed
+  // nodes (block writes probe-read their segments), so the clean
+  // instance's bytes are restored into the faulted cluster — the storage
+  // is intact, the network just cannot prove it for a quarter of the keys.
+  std::string snapshot =
+      (std::filesystem::temp_directory_path() / "zidian_exp4_chaos").string();
+  std::filesystem::create_directories(snapshot);
+  if (auto s = clean.cluster->SaveToDir(snapshot); !s.ok()) {
+    std::fprintf(stderr, "snapshot failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  ClusterOptions down_options = ChaosOptions();
+  down_options.network.faults.seed = 20260808;
+  NodeFaultOptions dead;
+  dead.down_from = 0;
+  dead.down_until = 1;
+  down_options.network.faults.node_faults = {dead, dead};
+  Instance down;
+  down.workload = std::move(clean.workload);
+  down.cluster = std::make_unique<Cluster>(std::move(down_options));
+  if (auto s = down.cluster->LoadFromDir(snapshot); !s.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  down.zidian = std::make_unique<Zidian>(&down.workload.catalog,
+                                         down.cluster.get(),
+                                         down.workload.baav);
+  RowLog down_log;
+  serve::ServeResult r_down = RunChaos(down, &down_log);
+  PrintServeRow("down[0,1]", 4, r_down);
+  PrintRule();
+
+  double p99_clean = double(r_clean.latency.Quantile(0.99)) / 1e6;
+  double p99_degraded = double(r_degraded.latency.Quantile(0.99)) / 1e6;
+  double p99_hedged = double(r_hedged.latency.Quantile(0.99)) / 1e6;
+  double regression = p99_degraded - p99_clean;
+  double residual = p99_hedged - p99_clean;
+
+  bool all_served = r_clean.failed == 0 && r_degraded.failed == 0 &&
+                    r_hedged.failed == 0 && r_hedged_b.failed == 0;
+  bool rows_ok = RowsMatch(degraded_log, clean_log, LogMatch::kExact) &&
+                 RowsMatch(hedged_log, clean_log, LogMatch::kExact) &&
+                 RowsMatch(down_log, clean_log, LogMatch::kSubset);
+  bool hedges_fired = r_hedged.metrics.net_hedges > 0 &&
+                      r_hedged.metrics.net_hedge_wins > 0;
+  bool p99_recovered = regression >= 2.0 * residual;
+  // A warm forced cache (the *_cached CI configuration) legitimately
+  // absorbs reads before they reach the fault machine, so exact counter
+  // equality across fresh instances is only claimed cache-less.
+  bool deterministic =
+      clean.cluster->cache_enabled() ||
+      FaultCounters(r_hedged.metrics) == FaultCounters(r_hedged_b.metrics);
+  bool down_clean_failures =
+      r_down.failed > 0 && r_down.completed > 0 &&
+      r_down.metrics.failed_queries == r_down.failed &&
+      r_down.metrics.net_retries > 0;
+
+  std::printf("rows: every completed query byte-identical to the fault-free "
+              "run -> %s\n", rows_ok ? "yes" : "NO");
+  std::printf("p99: clean %.2f ms, degraded %.2f ms, hedged %.2f ms -> "
+              "hedging recovered %.0f%% of the regression (gate: >= 50%%, "
+              "%llu hedges, %llu wins)\n",
+              p99_clean, p99_degraded, p99_hedged,
+              regression > 0 ? 100.0 * (regression - residual) / regression
+                             : 0.0,
+              static_cast<unsigned long long>(r_hedged.metrics.net_hedges),
+              static_cast<unsigned long long>(
+                  r_hedged.metrics.net_hedge_wins));
+  std::printf("determinism: fault counters across two fresh hedged runs -> "
+              "%s\n", deterministic ? "identical" : "DIVERGED");
+  std::printf("partition: %llu unreachable queries failed cleanly, %llu "
+              "completed\n",
+              static_cast<unsigned long long>(r_down.failed),
+              static_cast<unsigned long long>(r_down.completed));
+
+  bool pass = all_served && rows_ok && hedges_fired && p99_recovered &&
+              deterministic && down_clean_failures;
+  std::printf("chaos smoke -> %s\n", pass ? "PASS" : "FAIL");
+  if (!pass) {
+    std::printf("  all_served=%d rows_ok=%d hedges_fired=%d "
+                "p99_recovered=%d deterministic=%d down_clean=%d\n",
+                all_served, rows_ok, hedges_fired, p99_recovered,
+                deterministic, down_clean_failures);
+  }
+  return pass ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool serve_mode = false, smoke = false;
+  bool serve_mode = false, smoke = false, chaos = false;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--serve") == 0) {
       serve_mode = true;
     } else if (std::strcmp(argv[i], "--smoke") == 0) {
       smoke = true;
+    } else if (std::strcmp(argv[i], "--chaos") == 0) {
+      chaos = true;
     } else {
-      std::fprintf(stderr, "usage: %s [--serve [--smoke]]\n", argv[0]);
+      std::fprintf(stderr, "usage: %s [--serve [--smoke|--chaos]]\n", argv[0]);
       return 2;
     }
   }
+  if (serve_mode && chaos) return ServeChaos();
   if (serve_mode) {
     Instance inst = ServeInstance();
     return smoke ? ServeSmoke(inst) : ServeSweep(inst);

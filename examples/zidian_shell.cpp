@@ -4,7 +4,12 @@
 // and the simulated time per backend, with the baseline run alongside.
 //
 // Usage:  ./build/examples/zidian_shell [tpch|mot|airca] [scale] [lsm|mem]
-// (the third argument picks the per-node KvBackend engine)
+//                                       [chaos]
+// (the third argument picks the per-node KvBackend engine; `chaos` anywhere
+// after the scale serves every query over an unreliable network — one node
+// degraded, 20% attempt loss everywhere — with replicated, hedged,
+// retrying reads, so the faults/recovery report lines have something to
+// say)
 // Meta commands: \plan (toggle plan printing), \schema (BaaV schema),
 //                \tables (catalog), \q (quit).
 #include <cstdio>
@@ -31,8 +36,35 @@ int main(int argc, char** argv) {
     return 1;
   }
   ClusterOptions cluster_opts{.num_storage_nodes = 8};
-  if (argc > 3 && std::string(argv[3]) == "mem") {
-    cluster_opts.backend = BackendKind::kMem;
+  bool chaos = false;
+  for (int i = 3; i < argc; ++i) {
+    if (std::string(argv[i]) == "mem") {
+      cluster_opts.backend = BackendKind::kMem;
+    } else if (std::string(argv[i]) == "chaos") {
+      chaos = true;
+    }
+  }
+  if (chaos) {
+    // An unreliable network worth recovering from: attempts are lost with
+    // p=0.05 (p=0.25 on node 0, which also serves 20x slow), and the
+    // recovery machine answers with a second replica, five retry rounds
+    // with backoff, and hedged reads — the counters land in the per-answer
+    // recovery report. Losses are retryable, so the initial load survives;
+    // a down window would be sticky and starve it.
+    cluster_opts.network.link =
+        NetworkLinkOptions{.rtt_us = 200, .per_key_us = 5, .per_byte_us = 0.05};
+    cluster_opts.network.faults.seed = 42;
+    cluster_opts.network.faults.fault.fail_probability = 0.05;
+    NodeFaultOptions slow;
+    slow.fail_probability = 0.25;
+    slow.degraded_from = 0;
+    slow.degraded_until = 1;
+    slow.degrade_factor = 20;
+    cluster_opts.network.faults.node_faults = {slow};
+    cluster_opts.recovery.replication_factor = 2;
+    cluster_opts.recovery.max_attempts = 5;
+    cluster_opts.recovery.backoff_base_us = 50;
+    cluster_opts.recovery.hedge_after_us = 300;
   }
   Cluster cluster(cluster_opts);
   Zidian zidian(&w->catalog, &cluster, w->baav);
@@ -119,6 +151,21 @@ int main(int argc, char** argv) {
                   info.network_text.c_str(),
                   (unsigned long long)info.metrics.net_transfer_bytes,
                   info.metrics.net_queue_seconds);
+      std::printf("faults: %s | recovery: %s\n", info.fault_text.c_str(),
+                  info.replication_text.c_str());
+      if (info.metrics.net_retries != 0 || info.metrics.net_hedges != 0 ||
+          info.metrics.net_timeouts != 0 ||
+          info.metrics.failed_queries != 0) {
+        std::printf(
+            "recovery events: faults=%llu retries=%llu timeouts=%llu "
+            "hedges=%llu hedge_wins=%llu failed_queries=%llu\n",
+            (unsigned long long)info.metrics.net_faults_injected,
+            (unsigned long long)info.metrics.net_retries,
+            (unsigned long long)info.metrics.net_timeouts,
+            (unsigned long long)info.metrics.net_hedges,
+            (unsigned long long)info.metrics.net_hedge_wins,
+            (unsigned long long)info.metrics.failed_queries);
+      }
     }
     if (show_plan) std::printf("plan:\n%s", info.plan_text.c_str());
   }

@@ -63,6 +63,11 @@ Status BaavStore::WriteBlock(const KvSchema& kv, const Tuple& key,
     if (res.ok()) {
       std::string_view sv = res.value();
       GetVarint64(&sv, &old_segments);
+    } else if (!res.status().IsNotFound()) {
+      // An unreachable probe is NOT an absent block: proceeding with
+      // old_segments = 0 would leave stale overflow segments behind.
+      // Maintenance fails cleanly instead of corrupting the instance.
+      return res.status();
     }
   }
 
@@ -152,7 +157,12 @@ Result<std::vector<Tuple>> BaavStore::GetBlock(const KvSchema& kv,
                                                QueryMetrics* m) const {
   std::vector<Tuple> rows;
   auto first = cluster_->Get(SegmentKey(kv, key, 0), m);
-  if (!first.ok()) return rows;  // absent key: empty block
+  if (!first.ok()) {
+    // Absent key: empty block. Anything else (an unreachable node after
+    // exhausted retries) must propagate — an error is not an empty block.
+    if (first.status().IsNotFound()) return rows;
+    return first.status();
+  }
   std::string_view sv = first.value();
   uint64_t segments = 0;
   if (!GetVarint64(&sv, &segments) || segments == 0) {
@@ -237,7 +247,12 @@ Result<BlockStats> BaavStore::GetBlockStats(const KvSchema& kv,
   uint64_t segments_fetched = 0;
   auto first =
       cluster_->Get(SegmentKey(kv, key, 0), &scratch, CacheFill::kNoFill);
-  if (!first.ok()) return total;  // absent: zero rows, nothing charged
+  if (!first.ok()) {
+    // Absent: zero rows, nothing charged. Unreachable: propagate — stats
+    // of a block we could not read are not "zero rows".
+    if (first.status().IsNotFound()) return total;
+    return first.status();
+  }
   std::string_view sv = first.value();
   uint64_t segments = 0;
   if (!GetVarint64(&sv, &segments) || segments == 0) {
@@ -272,6 +287,7 @@ Result<std::vector<std::vector<Tuple>>> BaavStore::MultiGetBlocks(
   seg0.reserve(keys.size());
   for (const auto& key : keys) seg0.push_back(SegmentKey(kv, key, 0));
   auto first = cluster_->MultiGet(seg0, m);
+  ZIDIAN_RETURN_NOT_OK(first.status);  // unreachable keys fail the fetch
 
   // Blocks split across segments need a second round for the overflow keys.
   std::vector<std::string> extra_keys;
@@ -291,6 +307,7 @@ Result<std::vector<std::vector<Tuple>>> BaavStore::MultiGetBlocks(
   }
   if (!extra_keys.empty()) {
     auto rest = cluster_->MultiGet(extra_keys, m);
+    ZIDIAN_RETURN_NOT_OK(rest.status);
     for (size_t j = 0; j < extra_keys.size(); ++j) {
       if (!rest[j].has_value()) {
         return Status::Corruption("missing segment in " + kv.name);
@@ -329,6 +346,7 @@ Result<std::vector<BlockStats>> BaavStore::MultiGetBlockStats(
   seg0.reserve(keys.size());
   for (const auto& key : keys) seg0.push_back(SegmentKey(kv, key, 0));
   auto first = cluster_->MultiGet(seg0, &scratch, CacheFill::kNoFill);
+  ZIDIAN_RETURN_NOT_OK(first.status);  // unreachable keys fail the fetch
 
   std::vector<std::string> extra_keys;
   std::vector<size_t> extra_owner;
@@ -350,6 +368,7 @@ Result<std::vector<BlockStats>> BaavStore::MultiGetBlockStats(
   }
   if (!extra_keys.empty()) {
     auto rest = cluster_->MultiGet(extra_keys, &scratch, CacheFill::kNoFill);
+    ZIDIAN_RETURN_NOT_OK(rest.status);
     for (size_t j = 0; j < extra_keys.size(); ++j) {
       if (!rest[j].has_value()) {
         return Status::Corruption("missing segment in " + kv.name);

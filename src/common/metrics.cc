@@ -31,6 +31,14 @@ std::string QueryMetrics::ToString() const {
     }
     os << "]";
   }
+  if (net_faults_injected != 0 || net_retries != 0 || net_timeouts != 0 ||
+      net_hedges != 0 || failed_queries != 0) {
+    os << " net_faults_injected=" << net_faults_injected
+       << " net_retries=" << net_retries << " net_timeouts=" << net_timeouts
+       << " net_hedges=" << net_hedges
+       << " net_hedge_wins=" << net_hedge_wins
+       << " failed_queries=" << failed_queries;
+  }
   if (wall_seconds != 0) {
     os << " wall_s=" << wall_seconds << " wall_fetch_s=" << wall_fetch_seconds
        << " wall_compute_s=" << wall_compute_seconds;
@@ -69,6 +77,11 @@ bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b) {
          a.net_service_ns == b.net_service_ns &&
          NodeVectorsEqual(a.net_node_round_trips, b.net_node_round_trips) &&
          NodeVectorsEqual(a.net_node_busy_ns, b.net_node_busy_ns) &&
+         a.net_faults_injected == b.net_faults_injected &&
+         a.net_retries == b.net_retries && a.net_timeouts == b.net_timeouts &&
+         a.net_hedges == b.net_hedges &&
+         a.net_hedge_wins == b.net_hedge_wins &&
+         a.failed_queries == b.failed_queries &&
          a.shuffle_bytes == b.shuffle_bytes &&
          a.compute_values == b.compute_values &&
          a.makespan_get == b.makespan_get &&

@@ -55,6 +55,24 @@ struct QueryMetrics {
   std::vector<uint64_t> net_node_busy_ns;  ///< per-node serialized busy
                                            ///< time (the queueing input)
 
+  // Fault-injection / recovery accounting (all zero when no fault schedule
+  // is configured — see FaultScheduleOptions in storage/network_model.h).
+  // Counted PER KEY, not per wire request: a key's fault verdicts depend
+  // only on (seed, key, node, attempt), so these sums are invariant under
+  // how a batch is partitioned across workers — identical across
+  // kSimulated/kThreads AND across worker counts for a fixed seed.
+  uint64_t net_faults_injected = 0;  ///< attempts failed by the schedule
+                                     ///< (node down for the key's window,
+                                     ///< or the attempt hash lost it)
+  uint64_t net_retries = 0;      ///< re-sent attempts beyond a key's first
+  uint64_t net_timeouts = 0;     ///< attempts abandoned by the per-request
+                                 ///< timeout (modeled latency exceeded it)
+  uint64_t net_hedges = 0;       ///< keys whose slow primary estimate fired
+                                 ///< a hedged fetch against a replica
+  uint64_t net_hedge_wins = 0;   ///< hedged keys the replica answered first
+  uint64_t failed_queries = 0;   ///< whole queries that failed cleanly with
+                                 ///< a structured error (retries exhausted)
+
   // SQL-layer work.
   uint64_t shuffle_bytes = 0;    ///< compute-node <-> compute-node traffic
   uint64_t compute_values = 0;   ///< values touched by operators
@@ -106,6 +124,12 @@ struct QueryMetrics {
     net_service_ns += o.net_service_ns;
     MergeByNode(&net_node_round_trips, o.net_node_round_trips);
     MergeByNode(&net_node_busy_ns, o.net_node_busy_ns);
+    net_faults_injected += o.net_faults_injected;
+    net_retries += o.net_retries;
+    net_timeouts += o.net_timeouts;
+    net_hedges += o.net_hedges;
+    net_hedge_wins += o.net_hedge_wins;
+    failed_queries += o.failed_queries;
     shuffle_bytes += o.shuffle_bytes;
     compute_values += o.compute_values;
     makespan_get += o.makespan_get;

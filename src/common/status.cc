@@ -22,6 +22,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
   }
   return "Unknown";
 }

@@ -21,6 +21,7 @@ enum class StatusCode {
   kOutOfRange,
   kResourceExhausted,
   kInternal,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a StatusCode.
@@ -58,6 +59,13 @@ class Status {
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
   }
+  /// A storage node (or every replica of a key) could not be reached:
+  /// retries exhausted, request timed out, or the node is down for the
+  /// fault window. Distinct from kNotFound — the key may well exist, the
+  /// cluster just cannot prove it right now (storage/network_model.h).
+  static Status Unavailable(std::string msg = "") {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
@@ -65,6 +73,7 @@ class Status {
     return code_ == StatusCode::kInvalidArgument;
   }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
 
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }

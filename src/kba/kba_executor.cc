@@ -449,10 +449,14 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
 
   // Deterministic merge in worker order: counters sum, rows concatenate,
   // and the slowest worker's storage-reaching gets enter makespan_get.
+  // Every worker's delta merges BEFORE any failure surfaces — a query
+  // that dies with exhausted retries still reports the retry/hedge
+  // traffic it paid (the availability accounting depends on this).
   std::vector<QueryMetrics> deltas;
   deltas.reserve(slots.size());
+  Status failure = Status::OK();
   for (auto& slot : slots) {
-    ZIDIAN_RETURN_NOT_OK(slot.status);
+    if (failure.ok() && !slot.status.ok()) failure = slot.status;
     if (m != nullptr) *m += slot.m;
     deltas.push_back(slot.m);
     for (auto& row : slot.partial.rows()) {
@@ -463,6 +467,7 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
     m->makespan_get += MaxWorkerStorageGets(deltas);
     m->makespan_net_seconds += MaxWorkerNetSeconds(deltas);
   }
+  ZIDIAN_RETURN_NOT_OK(failure);
   return out;
 }
 

@@ -97,7 +97,12 @@ void Server::SessionLoop(AdmissionQueue* queue, int64_t epoch_ns,
       // gate, no read (or prepare) in flight anywhere.
       WriterMutexLock gate(write_gate_);
       ++writes_admitted_;
-      ok = t.write(*zidian_, item.op).ok();
+      Status write_status = t.write(*zidian_, item.op);
+      ok = write_status.ok();
+      // A failed maintenance write is a failed query, not a silent no-op:
+      // the backend Status now propagates here (through Cluster::Put /
+      // Delete and the BaaV paths) and lands in the availability columns.
+      if (!ok) stats->metrics.failed_queries += 1;
     } else {
       std::string sql = t.sql(item.op.key);
       ReaderMutexLock gate(write_gate_);
@@ -113,11 +118,18 @@ void Server::SessionLoop(AdmissionQueue* queue, int64_t epoch_ns,
       if (found != statements.end()) {
         AnswerInfo info;
         auto rows = found->second.Execute(options_.exec, &info);
+        // Merged for failures too: a query that exhausted its retries
+        // carries the retry/hedge/timeout traffic it paid plus the
+        // failed_queries count — exactly what the availability columns
+        // report. (No partial rows escape: on_result fires only on ok.)
+        stats->metrics += info.metrics;
         if (rows.ok()) {
           ok = true;
-          stats->metrics += info.metrics;
           if (options_.on_result) options_.on_result(item.op, *rows, info);
         }
+      } else {
+        // The statement never prepared (planning failed): count it.
+        stats->metrics.failed_queries += 1;
       }
     }
     if (ok) {

@@ -75,13 +75,26 @@ Cluster::Cluster(ClusterOptions options) {
     network_ = std::make_unique<NetworkModel>(std::move(net),
                                               options.num_storage_nodes);
   }
+  recovery_ = options.recovery;
+  replication_ = std::min(std::max(1, recovery_.replication_factor),
+                          static_cast<int>(nodes_.size()));
+  recovery_.replication_factor = replication_;
+  replica_chains_.resize(nodes_.size());
+  for (size_t p = 0; p < nodes_.size(); ++p) {
+    replica_chains_[p].reserve(static_cast<size_t>(replication_));
+    for (int r = 0; r < replication_; ++r) {
+      replica_chains_[p].push_back(
+          static_cast<int>((p + static_cast<size_t>(r)) % nodes_.size()));
+    }
+  }
 }
 
 Status Cluster::Put(std::string_view key, std::string_view value,
                     QueryMetrics* m) {
   if (m != nullptr) {
-    m->put_calls += 1;
-    m->bytes_to_storage += key.size() + value.size();
+    m->put_calls += 1;  // one logical write, whatever the replication
+    m->bytes_to_storage +=
+        static_cast<uint64_t>(replication_) * (key.size() + value.size());
   }
   // Invalidation is unconditional — coherence is not optional. Writes are
   // single-writer and never overlap reads (the KvBackend contract), so
@@ -91,13 +104,23 @@ Status Cluster::Put(std::string_view key, std::string_view value,
   // value in place (the write proved the key exists; a read-back must
   // hit). A failed or bypassed write merely erases (backend state is
   // uncertain / the install would be a fill).
-  int node = NodeFor(key);
-  Status st = nodes_[node]->Put(key, value);
-  // Writes are metered into the network (per-node trip, transfer bytes)
-  // but never stalled — the same contract the flat-RTT knob had; bulk
-  // loads pass m = nullptr and the model stays untouched entirely.
-  if (network_ != nullptr && m != nullptr) {
-    network_->OnWrite(node, 1, key.size() + value.size(), m);
+  // Write-all replication: every node in the key's chain stores the pair
+  // (one logical put, one backend write + metered network write per
+  // replica), so any replica can serve reads and hedges coherently. The
+  // first backend failure is reported — state across replicas is then
+  // uncertain, which is exactly why a failed write erases instead of
+  // installing below. At replication=1 this is the historical single
+  // write, byte for byte.
+  Status st;
+  for (int node : ReplicaChain(NodeFor(key))) {
+    Status s = nodes_[node]->Put(key, value);
+    if (!s.ok() && st.ok()) st = s;
+    // Writes are metered into the network (per-node trip, transfer bytes)
+    // but never stalled — the same contract the flat-RTT knob had; bulk
+    // loads pass m = nullptr and the model stays untouched entirely.
+    if (network_ != nullptr && m != nullptr) {
+      network_->OnWrite(node, 1, key.size() + value.size(), m);
+    }
   }
   if (cache_ != nullptr) {
     if (st.ok() && CacheActive()) {
@@ -113,14 +136,20 @@ Status Cluster::Put(std::string_view key, std::string_view value,
 Status Cluster::Delete(std::string_view key, QueryMetrics* m) {
   if (m != nullptr) {
     m->delete_calls += 1;
-    m->bytes_to_storage += key.size();
+    m->bytes_to_storage += static_cast<uint64_t>(replication_) * key.size();
   }
   if (cache_ != nullptr) cache_->Erase(key);
-  int node = NodeFor(key);
-  if (network_ != nullptr && m != nullptr) {
-    network_->OnWrite(node, 1, key.size(), m);
+  // Delete-all mirrors write-all: every replica drops the key, and the
+  // first backend failure is reported rather than swallowed.
+  Status st;
+  for (int node : ReplicaChain(NodeFor(key))) {
+    if (network_ != nullptr && m != nullptr) {
+      network_->OnWrite(node, 1, key.size(), m);
+    }
+    Status s = nodes_[node]->Delete(key);
+    if (!s.ok() && st.ok()) st = s;
   }
-  return nodes_[node]->Delete(key);
+  return st;
 }
 
 Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
@@ -153,8 +182,25 @@ Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
   // at the node — unconditionally, like the old flat-RTT knob: unmetered
   // reads pay the wire too.
   if (network_ != nullptr) {
-    network_->OnGet(node, 1,
-                    key.size() + (res.ok() ? res.value().size() : 0), m);
+    uint64_t bytes = key.size() + (res.ok() ? res.value().size() : 0);
+    if (recovery_active()) {
+      // The retry/hedge recovery machine decides whether ANY replica
+      // answered within the attempt budget. The backend fetch above is
+      // simulation-local (replicas hold identical data); if every
+      // attempt failed the value must not escape — and the key must not
+      // be cached in either polarity: unreachable is not absent.
+      std::vector<NetworkModel::BatchItem> items{{key, bytes}};
+      std::vector<uint8_t> reachable;
+      network_->FetchWithRecovery(ReplicaChain(node), items, recovery_, m,
+                                  &reachable);
+      if (reachable[0] == 0) {
+        return Status::Unavailable("key unreachable after " +
+                                   std::to_string(recovery_.max_attempts) +
+                                   " attempts");
+      }
+    } else {
+      network_->OnGet(node, 1, bytes, m);
+    }
   }
   if (res.ok()) {
     if (m != nullptr) {
@@ -172,11 +218,11 @@ Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
   return res;
 }
 
-std::vector<std::optional<std::string>> Cluster::MultiGet(
-    const std::vector<std::string>& keys, QueryMetrics* m,
-    CacheFill fill) const {
-  std::vector<std::optional<std::string>> out;
-  if (keys.empty()) return out;
+MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
+                                 QueryMetrics* m, CacheFill fill) const {
+  MultiGetResult result;
+  std::vector<std::optional<std::string>>& out = result.values;
+  if (keys.empty()) return result;
   out.resize(keys.size());
 
   if (m != nullptr) {
@@ -211,7 +257,7 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
           break;
       }
     }
-    if (pending.empty()) return out;
+    if (pending.empty()) return result;
   } else {
     pending.resize(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
@@ -238,6 +284,8 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
     }
   }
 
+  const bool recover = network_ != nullptr && recovery_active();
+  uint64_t unreachable = 0;
   for (size_t n = 0; n < num_nodes; ++n) {
     size_t begin = offsets[n], end = offsets[n + 1];
     if (begin == end) continue;
@@ -246,6 +294,50 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
                                                end - begin),
         &out);
     if (m != nullptr) m->get_round_trips += 1;
+    if (recover) {
+      // The recovery machine decides, per key, whether any replica
+      // answered within the attempt budget (retries / backoff / timeouts
+      // / hedges, all metered and stalled inside). Unreachable keys give
+      // their backend value back and are neither metered as fetched nor
+      // cached — in either polarity — because unreachable is not absent.
+      std::vector<NetworkModel::BatchItem> items;
+      items.reserve(end - begin);
+      for (size_t j = begin; j < end; ++j) {
+        const auto& value = out[batch[j].slot];
+        items.push_back({batch[j].key,
+                         batch[j].key.size() +
+                             (value.has_value() ? value->size() : 0)});
+      }
+      std::vector<uint8_t> reachable;
+      network_->FetchWithRecovery(ReplicaChain(static_cast<int>(n)), items,
+                                  recovery_, m, &reachable);
+      for (size_t j = begin; j < end; ++j) {
+        uint32_t slot = batch[j].slot;
+        if (reachable[j - begin] == 0) {
+          out[slot].reset();
+          if (result.failed.empty()) result.failed.assign(keys.size(), 0);
+          result.failed[slot] = 1;
+          ++unreachable;
+          continue;
+        }
+        const auto& value = out[slot];
+        if (!value.has_value()) {
+          if (CacheActive() && fill == CacheFill::kFill) {
+            size_t evicted = cache_->InsertNegative(batch[j].key);
+            if (m != nullptr) m->cache_evictions += evicted;
+          }
+          continue;
+        }
+        if (m != nullptr) {
+          m->bytes_from_storage += batch[j].key.size() + value->size();
+        }
+        if (CacheActive() && fill == CacheFill::kFill) {
+          size_t evicted = cache_->Insert(batch[j].key, *value);
+          if (m != nullptr) m->cache_evictions += evicted;
+        }
+      }
+      continue;
+    }
     uint64_t shipped = 0;  // keys out + found values back, for the network
     for (size_t j = begin; j < end; ++j) {
       shipped += batch[j].key.size();
@@ -275,16 +367,29 @@ std::vector<std::optional<std::string>> Cluster::MultiGet(
       network_->OnGet(static_cast<int>(n), end - begin, shipped, m);
     }
   }
-  return out;
+  if (unreachable > 0) {
+    result.status = Status::Unavailable(
+        std::to_string(unreachable) + " of " + std::to_string(keys.size()) +
+        " keys unreachable after " + std::to_string(recovery_.max_attempts) +
+        " attempts");
+  }
+  return result;
 }
 
 void Cluster::ScanPrefix(
     std::string_view prefix, QueryMetrics* m,
     const std::function<void(std::string_view, std::string_view)>& fn) const {
-  for (const auto& node : nodes_) {
-    auto it = node->NewIterator();
+  for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+    auto it = nodes_[ni]->NewIterator();
     it->Seek(prefix);
     while (it->Valid() && HasPrefix(it->key(), prefix)) {
+      // Under replication every pair exists on `replication_` nodes; a
+      // scan must see it exactly once — emit only the primary copy.
+      if (replication_ > 1 &&
+          NodeFor(it->key()) != static_cast<int>(ni)) {
+        it->Next();
+        continue;
+      }
       if (m != nullptr) {
         m->next_calls += 1;
         m->bytes_from_storage += it->key().size() + it->value().size();
@@ -297,11 +402,14 @@ void Cluster::ScanPrefix(
 
 uint64_t Cluster::CountPrefix(std::string_view prefix) const {
   uint64_t n = 0;
-  for (const auto& node : nodes_) {
-    auto it = node->NewIterator();
+  for (size_t ni = 0; ni < nodes_.size(); ++ni) {
+    auto it = nodes_[ni]->NewIterator();
     it->Seek(prefix);
     while (it->Valid() && HasPrefix(it->key(), prefix)) {
-      ++n;
+      if (replication_ <= 1 ||
+          NodeFor(it->key()) == static_cast<int>(ni)) {
+        ++n;
+      }
       it->Next();
     }
   }

@@ -106,6 +106,37 @@ struct ClusterOptions {
   /// not stalled, exactly the historical behavior. Ignored when `network`
   /// carries any cost of its own.
   int round_trip_latency_us = 0;
+  /// Availability policy: K-way replica placement, bounded retries with
+  /// backoff, per-request timeouts and hedged reads
+  /// (storage/network_model.h). All-default (single copy, no retry
+  /// pricing) keeps the read path byte-identical to the pre-recovery
+  /// code; any deviation — or an enabled fault schedule in
+  /// `network.faults` — routes backend reads through the recovery
+  /// machine. Requires a network model to act on (faults and recovery
+  /// are network behaviors); without one it is inert.
+  RecoveryOptions recovery;
+};
+
+/// Result of Cluster::MultiGet: the per-key values (aligned with the
+/// request, absent keys nullopt) plus a Status distinguishing "key
+/// absent" (slot nullopt, status OK) from "key unreachable" (retries
+/// exhausted on every replica: slot nullopt, Failed(i) true, status
+/// kUnavailable). Indexes like the plain vector it replaced, so existing
+/// call sites keep reading values[i] — but callers on the query path must
+/// check ok() before treating a nullopt as a proven absence.
+struct MultiGetResult {
+  Status status;
+  std::vector<std::optional<std::string>> values;
+  /// Per-slot unreachable flags; empty (nothing failed) when status.ok().
+  std::vector<uint8_t> failed;
+
+  bool ok() const { return status.ok(); }
+  size_t size() const { return values.size(); }
+  bool Failed(size_t i) const { return !failed.empty() && failed[i] != 0; }
+  std::optional<std::string>& operator[](size_t i) { return values[i]; }
+  const std::optional<std::string>& operator[](size_t i) const {
+    return values[i];
+  }
 };
 
 class Cluster {
@@ -119,9 +150,11 @@ class Cluster {
     return static_cast<int>(Hash64(key) % nodes_.size());
   }
 
-  /// Writes a pair. Meters (when `m` is given): one put_call and the pair
-  /// bytes into bytes_to_storage. Always invalidates the key in the
-  /// BlockCache, even under cache bypass — coherence is not optional.
+  /// Writes a pair — to EVERY replica in the key's chain when
+  /// replication is configured (one logical put_call; pair bytes and a
+  /// metered network write per replica), so any replica can serve the
+  /// read and hedged fetches stay coherent. Always invalidates the key in
+  /// the BlockCache, even under cache bypass — coherence is not optional.
   /// With the cache active, a key holding a *negative* entry gets the new
   /// value installed in its place (BlockCache::OnPut): a write followed
   /// by a read hits instead of paying a round trip for a key the cache
@@ -153,16 +186,25 @@ class Cluster {
   /// are grouped per owning node — one round trip per touched node, with
   /// pair bytes into bytes_from_storage and a cache_miss each when the
   /// cache is active. A fully cached batch performs zero round trips.
-  /// Misses fill the cache unless `fill` is kNoFill.
-  std::vector<std::optional<std::string>> MultiGet(
-      const std::vector<std::string>& keys, QueryMetrics* m,
-      CacheFill fill = CacheFill::kFill) const;
+  /// Misses fill the cache unless `fill` is kNoFill. Under an active
+  /// fault schedule (or a non-default RecoveryOptions) each node batch
+  /// runs the retry/hedge recovery machine; keys unreachable after the
+  /// attempt budget come back nullopt with Failed(i) set and a
+  /// kUnavailable overall status — and are never metered as fetched nor
+  /// cached (positively or negatively: an unreachable key is not a
+  /// proven absence).
+  MultiGetResult MultiGet(const std::vector<std::string>& keys,
+                          QueryMetrics* m,
+                          CacheFill fill = CacheFill::kFill) const;
 
   /// Iterates all pairs whose key starts with `prefix`, in key order per
   /// node. Models the TaaV "blind scan": meters one next_call per visited
   /// pair and the full pair bytes into bytes_from_storage. Scans never
   /// consult or fill the BlockCache (they are the path caching exists to
-  /// avoid).
+  /// avoid). Under replication only the primary copy of each pair is
+  /// emitted, so scans see every pair exactly once; fault injection does
+  /// not apply to scans (they stream — the recovery machine prices the
+  /// point-access path the paper's round-trip economics are about).
   void ScanPrefix(std::string_view prefix, QueryMetrics* m,
                   const std::function<void(std::string_view key,
                                            std::string_view value)>& fn) const;
@@ -227,6 +269,24 @@ class Cluster {
   /// through it; executors use it to price simulated per-tuple gets.
   const NetworkModel* network() const { return network_.get(); }
 
+  /// The availability policy this cluster runs (Explain()/diagnostics).
+  const RecoveryOptions& recovery() const { return recovery_; }
+  /// Effective copies per key: min(recovery.replication_factor, nodes).
+  int replication() const { return replication_; }
+  /// Whether reads run the retry/hedge recovery machine instead of the
+  /// plain network path — true when a fault schedule is enabled or
+  /// RecoveryOptions deviate from the default (and a network exists).
+  bool recovery_active() const {
+    return network_ != nullptr &&
+           (network_->faults_enabled() || !recovery_.Default());
+  }
+  /// The replica chain of `primary`: [primary, primary+1, ...] mod N,
+  /// `replication()` entries. Writes go to every node in it; reads try
+  /// it in order (and hedge against entry 1).
+  const std::vector<int>& ReplicaChain(int primary) const {
+    return replica_chains_[static_cast<size_t>(primary)];
+  }
+
  private:
   bool CacheActive() const { return cache_ != nullptr && !cache_bypassed(); }
 
@@ -234,6 +294,10 @@ class Cluster {
   std::unique_ptr<BlockCache> cache_;
   std::atomic<bool> cache_bypass_{false};
   std::unique_ptr<NetworkModel> network_;
+  RecoveryOptions recovery_;
+  int replication_ = 1;
+  /// replica_chains_[p] = the nodes holding a key whose primary is p.
+  std::vector<std::vector<int>> replica_chains_;
 };
 
 }  // namespace zidian

@@ -46,6 +46,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/metrics.h"
@@ -69,6 +70,101 @@ struct NetworkLinkOptions {
   }
 };
 
+/// Fault behavior of ONE storage node. Faults are evaluated per key, on a
+/// deterministic "phase" axis: every key hashes (with the schedule seed)
+/// to a phase in [0,1), and a window [from, until) on that axis curses the
+/// keys whose phase falls inside it on this node. Windows are therefore
+/// sticky — retrying the same key on the same node never escapes a window
+/// (only a replica on a healthy node can) — while `fail_probability` is
+/// rolled per attempt, so those losses ARE retryable. Everything is a pure
+/// function of (seed, key, node, attempt): verdicts, and every counter
+/// derived from them, are bit-identical across ParallelMode::kSimulated /
+/// kThreads and across worker counts.
+struct NodeFaultOptions {
+  /// Probability in [0,1] that one attempt (request + response) is lost.
+  /// Rolled per (seed, key, node, attempt): a retry re-rolls.
+  double fail_probability = 0;
+  /// Unavailability window on the key-phase axis: keys with phase in
+  /// [down_from, down_until) fail every attempt on this node.
+  double down_from = 0;
+  double down_until = 0;
+  /// Degraded-service window: keys with phase in [degraded_from,
+  /// degraded_until) pay `degrade_factor` times the node-side busy cost
+  /// (slot + per-key + per-byte; rtt is wire propagation and unaffected).
+  /// [0, 1) degrades the node for every key — the chaos-bench setting.
+  double degraded_from = 0;
+  double degraded_until = 0;
+  double degrade_factor = 1;
+
+  bool Quiet() const {
+    return fail_probability <= 0 && down_until <= down_from &&
+           (degraded_until <= degraded_from || degrade_factor == 1);
+  }
+};
+
+/// A deterministic, seedable per-node fault schedule
+/// (NetworkOptions::faults). Disabled by default; when any node carries a
+/// non-quiet fault the Cluster routes reads through the retry/hedge
+/// recovery machine (FetchWithRecovery) instead of the plain OnGet path.
+struct FaultScheduleOptions {
+  /// Seed for every fault hash. Two runs with the same seed (and the same
+  /// request stream) inject byte-identical faults.
+  uint64_t seed = 0;
+  /// The default fault behavior, applied to every node without an
+  /// override. Quiet by default.
+  NodeFaultOptions fault;
+  /// Per-node overrides, indexed by storage-node id; nodes beyond the
+  /// vector use `fault`. An override REPLACES the whole entry (same
+  /// convention as NetworkOptions::node_links).
+  std::vector<NodeFaultOptions> node_faults;
+
+  bool Enabled() const {
+    if (!fault.Quiet()) return true;
+    for (const auto& f : node_faults) {
+      if (!f.Quiet()) return true;
+    }
+    return false;
+  }
+};
+
+/// How the Cluster recovers from injected faults (ClusterOptions::
+/// recovery): replica placement, bounded retries with exponential backoff,
+/// per-request timeouts and hedged reads. All-default means the historical
+/// single-copy, no-retry read path — byte-identical behavior and counters.
+struct RecoveryOptions {
+  /// Copies of every key: replica r lives on node (primary + r) % N.
+  /// Writes go to every replica; reads try the primary first and fall
+  /// over to replicas on retry rounds (and on hedges).
+  int replication_factor = 1;
+  /// Attempt budget per key (first try + retries), round-robined across
+  /// the replica chain. Exhausting it fails the read with kUnavailable.
+  int max_attempts = 3;
+  /// Backoff before retry round r (1-based): backoff_base_us * 2^(r-1),
+  /// priced through the network model as a real modeled wait. 0 = none.
+  double backoff_base_us = 0;
+  /// Per-attempt timeout: an attempt whose modeled per-key latency
+  /// exceeds this is abandoned (net_timeouts) and the key retries.
+  /// Also bounds failure detection: a lost attempt is detected after
+  /// timeout_us instead of after the round trip. 0 = no timeout.
+  double timeout_us = 0;
+  /// Hedged reads: when a key's modeled primary latency estimate exceeds
+  /// this delay, race the first replica after hedge_after_us and take
+  /// whichever answers first (net_hedges / net_hedge_wins). Requires
+  /// replication_factor >= 2. 0 = no hedging.
+  double hedge_after_us = 0;
+
+  /// True when every knob is at its default — the Cluster then keeps the
+  /// exact pre-recovery read path (max_attempts only matters once faults
+  /// or a non-default policy are in play).
+  bool Default() const {
+    return replication_factor <= 1 && backoff_base_us <= 0 &&
+           timeout_us <= 0 && hedge_after_us <= 0;
+  }
+
+  /// One-line summary for Explain()/AnswerInfo::replication_text.
+  std::string ToString() const;
+};
+
 struct NetworkOptions {
   /// The default link, applied to every node without an override.
   NetworkLinkOptions link;
@@ -81,14 +177,20 @@ struct NetworkOptions {
   ///   options.node_links = {slow};
   std::vector<NetworkLinkOptions> node_links;
 
-  /// Whether any link carries a cost. A disabled network is never
-  /// instantiated — the read path stays exactly as fast as before.
+  /// The fault schedule (off by default). A schedule with zero link costs
+  /// still instantiates the model: verdicts need the per-node fault
+  /// tables even when every request is otherwise free.
+  FaultScheduleOptions faults;
+
+  /// Whether any link carries a cost or any fault is scheduled. A
+  /// disabled network is never instantiated — the read path stays exactly
+  /// as fast as before.
   bool Enabled() const {
     if (!link.Free()) return true;
     for (const auto& l : node_links) {
       if (!l.Free()) return true;
     }
-    return false;
+    return faults.Enabled();
   }
 };
 
@@ -135,6 +237,69 @@ class NetworkModel {
   /// One-line configuration summary for Explain()/AnswerInfo.
   std::string ToString() const;
 
+  // --- fault schedule --------------------------------------------------
+
+  /// Whether any node carries a non-quiet fault. When false, the Cluster
+  /// keeps the plain OnGet read path (unless RecoveryOptions deviate).
+  bool faults_enabled() const { return faults_enabled_; }
+  const NodeFaultOptions& fault(int node) const {
+    return faults_[static_cast<size_t>(node)];
+  }
+  uint64_t fault_seed() const { return fault_seed_; }
+
+  /// The key's position on the fault-window axis: a seeded hash of the
+  /// key bytes mapped to [0,1). Pure — identical in both parallel modes
+  /// and under any batch partitioning.
+  double KeyPhase(std::string_view key) const;
+  /// Sticky verdict: is `node` down for `key` (phase inside the node's
+  /// down window)? Retries on this node never succeed; replicas can.
+  bool NodeDownForKey(int node, std::string_view key) const;
+  /// Transient verdict: is attempt number `attempt` (1-based, hedges
+  /// salted) of `key` on `node` lost? Re-rolled per attempt.
+  bool AttemptLost(int node, std::string_view key, uint32_t attempt) const;
+  /// Busy-cost multiplier for `key` on `node` (1 outside any degraded
+  /// window; never below 1).
+  double KeyDegradeFactor(int node, std::string_view key) const;
+  /// Modeled response time of fetching `key` (shipping `bytes`) alone
+  /// from an idle `node`: rtt + degrade * (slot + per_key + bytes *
+  /// per_byte), integer ns. This is the estimate the timeout and hedge
+  /// policies decide on — pure, so those decisions are deterministic.
+  int64_t KeyLatencyEstimateNs(int node, std::string_view key,
+                               uint64_t bytes) const;
+
+  /// One-line fault-schedule summary ("off" when quiet) for Explain().
+  std::string FaultText() const;
+
+  // --- recovery machine ------------------------------------------------
+
+  /// One key of a batch entering the recovery machine: the key bytes and
+  /// the payload it ships (key + found value).
+  struct BatchItem {
+    std::string_view key;
+    uint64_t bytes = 0;
+  };
+
+  /// The per-key retry/hedge recovery machine for one batch addressed to
+  /// `replicas` (the primary first — every item must hash to that
+  /// primary). Plays attempt rounds against the fault schedule: round 0
+  /// sends the whole batch to the primary (hedging stragglers against
+  /// replicas[1] when configured), every later round re-sends only the
+  /// still-failed keys to the next replica in the chain after the
+  /// exponential backoff. Each round's wire request is metered into `m`
+  /// (one per-node round trip, degrade-weighted busy, shipped bytes) and
+  /// claims the target node's clock; the caller is stalled until the
+  /// modeled instant the last key resolves (first success per key, timed
+  /// out / lost attempts detected at the timeout or the round trip).
+  /// (*ok)[i] is 1 when item i was served by some replica within the
+  /// attempt budget, 0 when the key is unreachable. Fault counters
+  /// (net_faults_injected / net_retries / net_timeouts / net_hedges /
+  /// net_hedge_wins) are counted per key, so their totals are invariant
+  /// under batch partitioning — the cross-worker determinism contract.
+  void FetchWithRecovery(const std::vector<int>& replicas,
+                         const std::vector<BatchItem>& items,
+                         const RecoveryOptions& recovery, QueryMetrics* m,
+                         std::vector<uint8_t>* ok) const;
+
  private:
   /// Nanoseconds since the model's epoch on the monotonic clock.
   int64_t NowNs() const;
@@ -144,7 +309,10 @@ class NetworkModel {
   void Meter(int node, const Cost& cost, uint64_t bytes,
              QueryMetrics* m) const;
 
-  std::vector<NetworkLinkOptions> links_;  // resolved per node
+  std::vector<NetworkLinkOptions> links_;    // resolved per node
+  std::vector<NodeFaultOptions> faults_;     // resolved per node
+  uint64_t fault_seed_ = 0;
+  bool faults_enabled_ = false;
   std::chrono::steady_clock::time_point epoch_;
   /// Per-node next-free-time (ns since epoch_). Unique_ptr because
   /// atomics are not movable; one cache line each would be overkill for

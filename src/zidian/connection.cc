@@ -38,6 +38,8 @@ Status PreparedQuery::Plan() {
   if (const NetworkModel* net = zidian_->cluster().network()) {
     last_info_.network_enabled = true;
     last_info_.network_text = net->ToString();
+    last_info_.fault_text = net->FaultText();
+    last_info_.replication_text = zidian_->cluster().recovery().ToString();
   }
   if (!preserving_) {
     last_info_.route = AnswerInfo::Route::kTaavFallback;
@@ -99,6 +101,8 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
   if (const NetworkModel* net = cluster.network()) {
     out->network_enabled = true;
     out->network_text = net->ToString();
+    out->fault_text = net->FaultText();
+    out->replication_text = cluster.recovery().ToString();
   }
 
   // Resolve the thread source once for whichever route runs. kThreads at
@@ -152,6 +156,15 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
           .count();
 
+  if (!result.ok()) {
+    // Graceful degradation: a query whose retries are exhausted (or that
+    // failed anywhere else mid-execution) fails cleanly with a structured
+    // error. The AnswerInfo still carries everything metered up to the
+    // failure, plus the failure itself — the serving layer merges these
+    // so failed_queries and the net_* fault counters stay visible.
+    out->metrics.failed_queries += 1;
+    out->detail = result.status().ToString();
+  }
   if (result.ok() && opts.backend_profile != nullptr) {
     out->sim_seconds = SimSeconds(out->metrics, *opts.backend_profile);
   }

@@ -70,6 +70,14 @@ struct AnswerInfo {
   /// link costs). The traffic itself lands in metrics.net_*.
   bool network_enabled = false;
   std::string network_text;
+  /// Fault-injection schedule summary ("off" when no faults are
+  /// scheduled; empty when no network is attached at all) and the
+  /// cluster's replication/recovery policy — the availability
+  /// configuration a run saw, next to network_text. When a query fails
+  /// with exhausted retries, the structured error lands in `detail` and
+  /// metrics.failed_queries counts it.
+  std::string fault_text;
+  std::string replication_text;
   /// How `workers` *effectively* executed this run: simulated cost
   /// accounting or real threads. A kThreads request with workers <= 1
   /// runs (and reports) kSimulated — one worker on the calling thread IS

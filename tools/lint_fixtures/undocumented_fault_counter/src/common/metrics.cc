@@ -1,0 +1,3 @@
+bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b) {
+  return a.get_calls == b.get_calls && a.net_retries == b.net_retries;
+}

@@ -221,6 +221,7 @@ def check_mutex(root):
 FIXTURES = {
     "clean": frozenset(),
     "unregistered_counter": frozenset({"counters"}),
+    "undocumented_fault_counter": frozenset({"counters"}),
     "stray_wall_clock": frozenset({"wall-clock"}),
     "unannotated_mutex": frozenset({"mutex"}),
     "raw_std_mutex": frozenset({"mutex"}),
