@@ -32,10 +32,10 @@ int main() {
     BaavStoreOptions opts;
     opts.block_split_threshold_bytes = threshold;
     BaavStore store(&cluster, w->baav, &w->catalog, opts);
-    (void)store.BuildInstance(*kv, w->data.at("mot_test"));
+    ZIDIAN_CHECK_OK(store.BuildInstance(*kv, w->data.at("mot_test")));
     QueryMetrics m;
     for (int64_t v = 1; v <= 50; ++v) {
-      (void)store.GetBlock(*kv, {Value(v)}, &m);
+      ZIDIAN_CHECK_OK(store.GetBlock(*kv, {Value(v)}, &m).status());
     }
     std::printf("%-12zu %12s %12zu\n", threshold,
                 Num(double(m.get_calls) / 50).c_str(),
@@ -57,7 +57,7 @@ int main() {
     KvSchema wide = MakeKvSchema("mot_test", {"station_id"},
                                  {"test_result", "test_class", "retest_flag"});
     wide.name = "mot_test@station/ablate";
-    (void)store.BuildInstance(wide, w->data.at("mot_test"));
+    ZIDIAN_CHECK_OK(store.BuildInstance(wide, w->data.at("mot_test")));
     std::printf("%-14s %14zu\n", compress ? "on" : "off",
                 size_t(store.InstanceBytes(wide)));
   }
@@ -73,8 +73,8 @@ int main() {
     ZidianOptions zopts;
     zopts.planner.enable_stats_pushdown = stats;
     Zidian z(&w->catalog, &cluster, w->baav, zopts);
-    (void)z.LoadTaav(w->data);
-    (void)z.BuildBaav(w->data);
+    ZIDIAN_CHECK_OK(z.LoadTaav(w->data));
+    ZIDIAN_CHECK_OK(z.BuildBaav(w->data));
     AnswerInfo info;
     auto r = z.Answer(
         "SELECT v.vehicle_id, SUM(t.cost), COUNT(*) FROM vehicle v, "
@@ -98,8 +98,8 @@ int main() {
     ZidianOptions zopts;
     zopts.planner.bounded_degree_threshold = threshold;
     Zidian z(&w->catalog, &cluster, w->baav, zopts);
-    (void)z.LoadTaav(w->data);
-    (void)z.BuildBaav(w->data);
+    ZIDIAN_CHECK_OK(z.LoadTaav(w->data));
+    ZIDIAN_CHECK_OK(z.BuildBaav(w->data));
     int bounded = 0;
     for (const auto& q : w->queries) {
       AnswerInfo info;

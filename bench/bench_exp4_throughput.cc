@@ -104,11 +104,11 @@ Tpms Measure(int storage_nodes, double scale) {
       written += t.size();
       Relation one(tests.AttributeNames());
       one.Add(t);
-      (void)TaavLoadRelation(inst.cluster.get(), tests, one);
+      ZIDIAN_CHECK_OK(TaavLoadRelation(inst.cluster.get(), tests, one));
       taav_m.put_calls += 1;
       taav_m.bytes_from_storage += TupleByteSize(t);
       // BaaV write = read-modify-write of the vehicle's block.
-      (void)inst.zidian->store().ApplyInsert("mot_test", t);
+      ZIDIAN_CHECK_OK(inst.zidian->store().ApplyInsert("mot_test", t));
       baav_m.get_calls += 1;  // block read
       baav_m.put_calls += 1;  // block write
       baav_m.bytes_from_storage += TupleByteSize(t) * 6;  // block rewrite

@@ -345,7 +345,7 @@ NetCell RunNetCell(Cluster& cluster, const std::vector<std::string>& keys,
     auto run_worker = [&](size_t w) {
       QueryMetrics* wm = &deltas[w];
       if (batched) {
-        cluster.MultiGet(per_worker[w], wm);
+        if (!cluster.MultiGet(per_worker[w], wm).ok()) std::abort();
       } else {
         for (const auto& k : per_worker[w]) {
           auto res = cluster.Get(k, wm);

@@ -31,7 +31,7 @@ BENCHMARK(BM_LsmPut);
 void BM_LsmGet(benchmark::State& state) {
   LsmStore store;
   for (int i = 0; i < 20000; ++i) {
-    (void)store.Put("key" + std::to_string(i), "value" + std::to_string(i));
+    ZIDIAN_CHECK_OK(store.Put("key" + std::to_string(i), "value" + std::to_string(i)));
   }
   store.Flush();
   store.Compact();
@@ -47,7 +47,7 @@ BENCHMARK(BM_LsmGet);
 void BM_LsmGetAbsentWithBloom(benchmark::State& state) {
   LsmStore store;
   for (int i = 0; i < 20000; ++i) {
-    (void)store.Put("key" + std::to_string(i), "v");
+    ZIDIAN_CHECK_OK(store.Put("key" + std::to_string(i), "v"));
   }
   store.Flush();
   Rng rng(3);
@@ -62,7 +62,7 @@ BENCHMARK(BM_LsmGetAbsentWithBloom);
 void BM_MemBackendGet(benchmark::State& state) {
   MemBackend store;
   for (int i = 0; i < 20000; ++i) {
-    (void)store.Put("key" + std::to_string(i), "value" + std::to_string(i));
+    ZIDIAN_CHECK_OK(store.Put("key" + std::to_string(i), "value" + std::to_string(i)));
   }
   Rng rng(2);
   for (auto _ : state) {
@@ -83,8 +83,8 @@ class ClusterPointFixture {
     opts.backend = kind;
     cluster_ = std::make_unique<Cluster>(opts);
     for (int i = 0; i < 50000; ++i) {
-      (void)cluster_->Put("key" + std::to_string(i),
-                          "value-payload-0123456789", nullptr);
+      ZIDIAN_CHECK_OK(cluster_->Put("key" + std::to_string(i),
+                                  "value-payload-0123456789", nullptr));
     }
     cluster_->FlushAll();
     Rng rng(9);
@@ -191,18 +191,18 @@ BENCHMARK(BM_Bloom);
 class ExtendVsJoin {
  public:
   ExtendVsJoin() : cluster_(ClusterOptions{.num_storage_nodes = 4}) {
-    (void)catalog_.AddTable(TableSchema("t",
-                                        {{"k", ValueType::kInt},
-                                         {"v", ValueType::kDouble}},
-                                        {"k"}));
-    (void)schema_.Add(MakeKvSchema("t", {"k"}, {"v"}));
+    ZIDIAN_CHECK_OK(catalog_.AddTable(TableSchema("t",
+                                                  {{"k", ValueType::kInt},
+                                                   {"v", ValueType::kDouble}},
+                                                  {"k"})));
+    ZIDIAN_CHECK_OK(schema_.Add(MakeKvSchema("t", {"k"}, {"v"})));
     store_ = std::make_unique<BaavStore>(&cluster_, schema_, &catalog_);
     Relation data({"k", "v"});
     Rng rng(8);
     for (int64_t i = 0; i < 20000; ++i) {
       data.Add({Value(i % 5000), Value(rng.NextDouble())});
     }
-    (void)store_->BuildInstance(*schema_.Find("t@k"), data);
+    ZIDIAN_CHECK_OK(store_->BuildInstance(*schema_.Find("t@k"), data));
   }
 
   KvInst Probe() const {

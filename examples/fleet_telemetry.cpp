@@ -49,8 +49,8 @@ int main() {
   if (!w.ok()) return 1;
   Cluster cluster(ClusterOptions{.num_storage_nodes = 6});
   Zidian zidian(&w->catalog, &cluster, w->baav);
-  (void)zidian.LoadTaav(w->data);
-  (void)zidian.BuildBaav(w->data);
+  ZIDIAN_CHECK_OK(zidian.LoadTaav(w->data));
+  ZIDIAN_CHECK_OK(zidian.BuildBaav(w->data));
 
   // The dashboard's recurring lookups are prepared once and re-executed:
   // the same plan reads fresh data after the incremental maintenance.

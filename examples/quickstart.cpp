@@ -36,7 +36,7 @@ int main() {
   KvSchema by_artist =
       MakeKvSchema("albums", {"artist"}, {"album_id", "year", "title"});
   by_artist.primary_key = {"album_id"};
-  (void)baav.Add(by_artist);
+  ZIDIAN_CHECK_OK(baav.Add(by_artist));
 
   // 3. Load a small database into a simulated 4-node KV cluster with a
   //    1 MiB BlockCache: repeated reads of a keyed block skip the nodes.
@@ -104,8 +104,9 @@ int main() {
   auto count = conn.Prepare(
       "SELECT COUNT(*) FROM albums a WHERE a.artist = 'Coltrane'");
   if (!count.ok()) return 1;
-  (void)zidian.Insert("albums", {Value(int64_t{5}), Value("Coltrane"),
-                                 Value(int64_t{1960}), Value("Giant Steps")});
+  ZIDIAN_CHECK_OK(
+      zidian.Insert("albums", {Value(int64_t{5}), Value("Coltrane"),
+                               Value(int64_t{1960}), Value("Giant Steps")}));
   auto again = count->Execute();
   if (again.ok()) {
     std::printf("\nafter insert, Coltrane albums: %s\n",

@@ -487,21 +487,30 @@ Status BaavStore::ScanInstance(
   return Status::OK();
 }
 
-uint64_t BaavStore::Degree(const KvSchema& kv) const {
+Result<uint64_t> BaavStore::Degree(const KvSchema& kv) const {
   auto it = degree_.find(kv.name);
   if (it != degree_.end()) return it->second;
   uint64_t deg = 0;
   QueryMetrics scratch;
-  ScanInstance(kv, &scratch, [&](const Tuple&, const std::vector<Tuple>& rows) {
-    deg = std::max<uint64_t>(deg, rows.size());
-  });
+  Status st = ScanInstance(
+      kv, &scratch, [&](const Tuple&, const std::vector<Tuple>& rows) {
+        deg = std::max<uint64_t>(deg, rows.size());
+      });
+  // A failed scan proves nothing about the degree: propagate and leave the
+  // cache alone so a later healthy scan can still answer. (The dropped
+  // Status here used to cache whatever partial max the scan reached —
+  // typically 0 — forever.)
+  if (!st.ok()) return st;
   degree_[kv.name] = deg;
   return deg;
 }
 
-uint64_t BaavStore::MaxDegree() const {
+Result<uint64_t> BaavStore::MaxDegree() const {
   uint64_t deg = 0;
-  for (const auto& kv : schema_.all()) deg = std::max(deg, Degree(kv));
+  for (const auto& kv : schema_.all()) {
+    ZIDIAN_ASSIGN_OR_RETURN(uint64_t d, Degree(kv));
+    deg = std::max(deg, d);
+  }
   return deg;
 }
 

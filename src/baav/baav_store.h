@@ -102,10 +102,14 @@ class BaavStore {
                                const std::vector<Tuple>& rows)>& fn) const;
 
   /// deg(~D) of one instance: max logical block size (tuples). Computed on
-  /// first use and kept current by incremental maintenance.
-  uint64_t Degree(const KvSchema& kv) const;
-  /// deg over all instances.
-  uint64_t MaxDegree() const;
+  /// first use (a full instance scan) and kept current by incremental
+  /// maintenance. A failed scan propagates its error and caches nothing —
+  /// it must not poison the degree cache with a partial count (the planner
+  /// reads this for §6.1 boundedness; a silently-zero degree would claim
+  /// bounded evaluation for an instance nobody measured).
+  Result<uint64_t> Degree(const KvSchema& kv) const;
+  /// deg over all instances; first scan failure propagates.
+  Result<uint64_t> MaxDegree() const;
 
   /// Incremental maintenance: reflects one inserted/deleted tuple of
   /// `relation` (values in relation-schema column order) in every KV

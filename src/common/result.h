@@ -11,8 +11,10 @@
 namespace zidian {
 
 /// Holds either a value of type T or an error Status. Never both.
+/// [[nodiscard]] on the class: a Result dropped on the floor drops its
+/// error with it (same contract as Status — see status.h).
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value (success).
   Result(T value) : value_(std::move(value)) {}  // NOLINT
@@ -21,8 +23,8 @@ class Result {
     assert(!status_.ok());
   }
 
-  bool ok() const { return status_.ok(); }
-  const Status& status() const { return status_; }
+  [[nodiscard]] bool ok() const { return status_.ok(); }
+  [[nodiscard]] const Status& status() const { return status_; }
 
   /// Requires ok().
   T& value() & {

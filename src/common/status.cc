@@ -1,6 +1,17 @@
 #include "common/status.h"
 
+#include <cstdio>
+#include <cstdlib>
+
 namespace zidian {
+
+void AbortNotOk(const Status& st, const char* expr_text, const char* file,
+                int line) {
+  if (st.ok()) return;
+  std::fprintf(stderr, "%s:%d: ZIDIAN_CHECK_OK(%s) failed: %s\n", file, line,
+               expr_text, st.ToString().c_str());
+  std::abort();
+}
 
 std::string_view StatusCodeName(StatusCode code) {
   switch (code) {

@@ -28,7 +28,10 @@ enum class StatusCode {
 std::string_view StatusCodeName(StatusCode code);
 
 /// A success-or-error value. Cheap to copy in the OK case (no allocation).
-class Status {
+/// [[nodiscard]] on the class makes dropping any Status-returning call a
+/// compile error under -Werror (and a tools/analyze/ finding everywhere):
+/// an ignored write or recovery error is a silent data-loss bug.
+class [[nodiscard]] Status {
  public:
   Status() : code_(StatusCode::kOk) {}
   Status(StatusCode code, std::string message)
@@ -67,15 +70,21 @@ class Status {
     return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
-  bool ok() const { return code_ == StatusCode::kOk; }
-  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
-  bool IsInvalidArgument() const {
+  [[nodiscard]] bool ok() const { return code_ == StatusCode::kOk; }
+  [[nodiscard]] bool IsNotFound() const {
+    return code_ == StatusCode::kNotFound;
+  }
+  [[nodiscard]] bool IsInvalidArgument() const {
     return code_ == StatusCode::kInvalidArgument;
   }
-  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
-  bool IsUnavailable() const { return code_ == StatusCode::kUnavailable; }
+  [[nodiscard]] bool IsCorruption() const {
+    return code_ == StatusCode::kCorruption;
+  }
+  [[nodiscard]] bool IsUnavailable() const {
+    return code_ == StatusCode::kUnavailable;
+  }
 
-  StatusCode code() const { return code_; }
+  [[nodiscard]] StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
   /// "<code>: <message>" rendering for logs and test failures.
@@ -94,5 +103,19 @@ class Status {
     ::zidian::Status _st = (expr);                  \
     if (!_st.ok()) return _st;                      \
   } while (0)
+
+namespace zidian {
+/// Implementation detail of ZIDIAN_CHECK_OK (status.cc): prints the failed
+/// expression and Status, then aborts.
+void AbortNotOk(const Status& st, const char* expr_text, const char* file,
+                int line);
+}  // namespace zidian
+
+/// Aborts (loudly) when `expr` is not OK. For mains, benches and examples
+/// where an error has no caller to answer to: a setup or maintenance write
+/// that fails must kill the run, not silently skew its numbers. For a
+/// Result<T> or MultiGetResult, pass `expr.status()` / `expr.status`.
+#define ZIDIAN_CHECK_OK(expr) \
+  ::zidian::AbortNotOk((expr), #expr, __FILE__, __LINE__)
 
 #endif  // ZIDIAN_COMMON_STATUS_H_

@@ -124,15 +124,17 @@ struct ClusterOptions {
 /// kUnavailable). Indexes like the plain vector it replaced, so existing
 /// call sites keep reading values[i] — but callers on the query path must
 /// check ok() before treating a nullopt as a proven absence.
-struct MultiGetResult {
+struct [[nodiscard]] MultiGetResult {
   Status status;
   std::vector<std::optional<std::string>> values;
   /// Per-slot unreachable flags; empty (nothing failed) when status.ok().
   std::vector<uint8_t> failed;
 
-  bool ok() const { return status.ok(); }
-  size_t size() const { return values.size(); }
-  bool Failed(size_t i) const { return !failed.empty() && failed[i] != 0; }
+  [[nodiscard]] bool ok() const { return status.ok(); }
+  [[nodiscard]] size_t size() const { return values.size(); }
+  [[nodiscard]] bool Failed(size_t i) const {
+    return !failed.empty() && failed[i] != 0;
+  }
   std::optional<std::string>& operator[](size_t i) { return values[i]; }
   const std::optional<std::string>& operator[](size_t i) const {
     return values[i];

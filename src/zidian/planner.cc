@@ -734,8 +734,12 @@ Result<PlannedQuery> GenerateKbaPlan(const QuerySpec& spec,
     if (plan) plan->CollectExtendTargets(&targets);
     for (const auto& name : targets) {
       const KvSchema* kv = baav.Find(name);
-      if (kv == nullptr ||
-          store.Degree(*kv) > options.bounded_degree_threshold) {
+      // An unmeasurable degree (scan failed) is treated as unbounded:
+      // claiming §6.1 boundedness needs a proven deg, not an absent one.
+      Result<uint64_t> deg =
+          kv != nullptr ? store.Degree(*kv) : Result<uint64_t>(uint64_t{0});
+      if (kv == nullptr || !deg.ok() ||
+          *deg > options.bounded_degree_threshold) {
         planned.bounded = false;
         break;
       }

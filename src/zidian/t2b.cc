@@ -105,7 +105,10 @@ struct Candidate {
 BaavSchema ToSchema(const std::vector<Candidate>& cands) {
   BaavSchema s;
   for (const auto& c : cands) {
-    (void)s.Add(c.kv);  // names deduplicated upstream
+    // Names are deduplicated upstream, so Add cannot fail — and if that
+    // invariant ever breaks, a silently thinner schema is the worst
+    // possible outcome. Assert it.
+    ZIDIAN_CHECK_OK(s.Add(c.kv));
   }
   return s;
 }

@@ -170,8 +170,48 @@ TEST_F(BaavStoreFixture, MissingKeyIsEmptyBlockButCountsTheGet) {
 }
 
 TEST_F(BaavStoreFixture, DegreeIsMaxBlockSize) {
-  EXPECT_EQ(store_->Degree(kv()), 10u);
-  EXPECT_EQ(store_->MaxDegree(), 10u);
+  auto deg = store_->Degree(kv());
+  ASSERT_TRUE(deg.ok());
+  EXPECT_EQ(*deg, 10u);
+  auto max_deg = store_->MaxDegree();
+  ASSERT_TRUE(max_deg.ok());
+  EXPECT_EQ(*max_deg, 10u);
+}
+
+// Regression for the discarded-Status harvest (PR 9): Degree() used to
+// drop the Status of its instance scan and cache whatever partial max the
+// failed scan reached — one corrupt segment turned into a permanently
+// cached degree of 0, silently flipping the planner's §6.1 boundedness
+// verdict. The error must propagate, and the failed scan must not poison
+// the degree cache: after the segment is repaired, Degree must answer
+// correctly instead of replaying the cached garbage.
+TEST_F(BaavStoreFixture, DegreeScanFailureDoesNotPoisonCache) {
+  // Grab one stored BaaV segment and smash its value. Twelve 0xff bytes
+  // cannot decode: the segment-count varint alone overflows.
+  std::string victim_key, victim_value;
+  cluster_.ScanPrefix("B", nullptr,
+                      [&](std::string_view k, std::string_view v) {
+                        if (victim_key.empty()) {
+                          victim_key = std::string(k);
+                          victim_value = std::string(v);
+                        }
+                      });
+  ASSERT_FALSE(victim_key.empty());
+  ASSERT_TRUE(cluster_.Put(victim_key, std::string(12, '\xff')).ok());
+
+  // A store that has not measured the instance yet (BuildInstance seeds
+  // the builder's own cache) must hit the corrupt segment.
+  BaavStore probe(&cluster_, schema_, &catalog_);
+  auto broken = probe.Degree(kv());
+  ASSERT_FALSE(broken.ok());
+  EXPECT_TRUE(broken.status().IsCorruption()) << broken.status().ToString();
+
+  // Repair the segment: the same store must now answer with the true
+  // degree — proof the failed scan above cached nothing.
+  ASSERT_TRUE(cluster_.Put(victim_key, victim_value).ok());
+  auto healed = probe.Degree(kv());
+  ASSERT_TRUE(healed.ok()) << healed.status().ToString();
+  EXPECT_EQ(*healed, 10u);
 }
 
 TEST_F(BaavStoreFixture, ScanVisitsEveryBlockOnce) {
@@ -245,7 +285,11 @@ TEST_F(BaavStoreFixture, IncrementalInsertMatchesRebuild) {
     for (const auto& r : *b) sb.insert(TupleToString(r));
     EXPECT_EQ(sa, sb) << "dept " << dept;
   }
-  EXPECT_EQ(store_->Degree(kv()), fresh.Degree(kv()));
+  auto inc_deg = store_->Degree(kv());
+  auto fresh_deg = fresh.Degree(kv());
+  ASSERT_TRUE(inc_deg.ok());
+  ASSERT_TRUE(fresh_deg.ok());
+  EXPECT_EQ(*inc_deg, *fresh_deg);
 }
 
 TEST_F(BaavStoreFixture, IncrementalDeleteRemovesOneOccurrence) {

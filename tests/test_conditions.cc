@@ -63,8 +63,9 @@ TEST_P(ConditionConsistency, VerdictMatchesGeneratedPlan) {
       for (const auto& name : targets) {
         const KvSchema* kv = w->baav.Find(name);
         ASSERT_NE(kv, nullptr);
-        EXPECT_LE(z.store().Degree(*kv),
-                  PlannerOptions{}.bounded_degree_threshold)
+        auto deg = z.store().Degree(*kv);
+        ASSERT_TRUE(deg.ok()) << q.name << " target " << name;
+        EXPECT_LE(*deg, PlannerOptions{}.bounded_degree_threshold)
             << q.name << " target " << name;
       }
     }

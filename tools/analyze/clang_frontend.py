@@ -1,0 +1,330 @@
+"""libclang frontend for tools/analyze/analyze.py.
+
+Implements the same four checks as the builtin syntactic frontend, but
+on clang's real AST (python3-clang + libclang, pinned in CI):
+
+  discarded-status   an expression-statement that IS a call (optionally
+                     under a cast to void) whose result type is
+                     Status / Result<T> / MultiGetResult — type-accurate,
+                     so overloads and through-typedef returns are caught
+                     without the builtin frontend's name-unambiguity
+                     concession.
+  nondet-iteration   a range-for whose range's CANONICAL type involves
+                     unordered_map/unordered_set (aliases like GroupMap
+                     resolve for free) with an ordered sink in the body.
+  wall-clock         clock/RNG source positions from the shared regexes,
+                     attributed to their enclosing named function via
+                     AST extents (lambdas attribute to the enclosing
+                     named function, matching the builtin frontend).
+  locked-helper      *Locked declarations must carry REQUIRES(...);
+                     call sites must hold the lock (MutexLock et al.
+                     earlier in the body), be *Locked themselves, or be
+                     REQUIRES/ACQUIRE-annotated.
+
+Only `run(...)` is public; analyze.py injects the whitelists, regexes
+and the Finding class so the two frontends can never drift on policy.
+"""
+
+import json
+import re
+import sys
+from pathlib import Path
+
+LOCK_ACQ_RE = re.compile(
+    r"\bMutexLock\b|\bReaderMutexLock\b|\block_guard\b|\bunique_lock\b|"
+    r"\bscoped_lock\b|\.lock\s*\(|->Lock\s*\(|\.Lock\s*\(")
+
+STATUS_TYPE_RE = re.compile(
+    r"^(?:const\s+)?(?:zidian::)?(?:Status|Result<.*>|MultiGetResult)\s*&?$")
+
+UNORDERED_TYPE_RE = re.compile(r"\bunordered_(?:map|set)\s*<")
+
+DEFAULT_ARGS = ["-std=c++17", "-xc++"]
+
+
+def _index():
+    try:
+        import clang.cindex as ci
+    except ImportError as e:
+        raise RuntimeError(
+            "python clang bindings not importable: %s "
+            "(install python3-clang or use --frontend builtin)" % e)
+    try:
+        return ci, ci.Index.create()
+    except ci.LibclangError as e:
+        raise RuntimeError(
+            "libclang shared library not loadable: %s "
+            "(install libclang-<ver>-dev or use --frontend builtin)" % e)
+
+
+def _compile_args(compile_db, path, root):
+    """Arguments for `path` from the compilation database, include dirs
+    preserved, -c/-o and the input file stripped."""
+    if compile_db is not None and Path(compile_db).is_file():
+        try:
+            entries = json.loads(Path(compile_db).read_text())
+        except (ValueError, OSError):
+            entries = []
+        want = str(path.resolve())
+        for e in entries:
+            f = Path(e.get("file", ""))
+            if not f.is_absolute():
+                f = Path(e.get("directory", ".")) / f
+            if str(f.resolve()) != want:
+                continue
+            raw = e.get("arguments") or e.get("command", "").split()
+            args, skip = [], True  # first token is the compiler
+            for a in raw:
+                if skip:
+                    skip = False
+                    continue
+                if a in ("-c", "-o"):
+                    skip = a == "-o"
+                    continue
+                if a == str(f) or a == e.get("file"):
+                    continue
+                args.append(a)
+            return args
+    return DEFAULT_ARGS + ["-I" + str(root / "src")]
+
+
+def _named_function_extents(ci, tu, fname):
+    """[(simple_name, head_tokens, start_off, body_start_off, end_off)]
+    for every function-like cursor defined in `fname`, outermost first.
+    Lambdas are skipped so positions inside them attribute to the
+    enclosing named function, like the builtin frontend."""
+    kinds = {ci.CursorKind.FUNCTION_DECL, ci.CursorKind.CXX_METHOD,
+             ci.CursorKind.CONSTRUCTOR, ci.CursorKind.DESTRUCTOR,
+             ci.CursorKind.FUNCTION_TEMPLATE}
+    out = []
+
+    def visit(c):
+        for ch in c.get_children():
+            loc = ch.location
+            if loc.file is not None and str(loc.file) != fname:
+                continue
+            if ch.kind in kinds and ch.is_definition():
+                body = None
+                for sub in ch.get_children():
+                    if sub.kind == ci.CursorKind.COMPOUND_STMT:
+                        body = sub
+                head_end = (body.extent.start.offset if body is not None
+                            else ch.extent.end.offset)
+                out.append((ch.spelling, ch.extent.start.offset, head_end,
+                            ch.extent.end.offset))
+            visit(ch)
+
+    visit(tu.cursor)
+    return out
+
+
+def _enclosing(extents, off):
+    """Innermost named function extent containing `off` (or None)."""
+    best = None
+    for name, start, body_start, end in extents:
+        if start <= off < end:
+            if best is None or start > best[1]:
+                best = (name, start, body_start, end)
+    return best
+
+
+def _strip(tspell):
+    return tspell.replace("const ", "").strip()
+
+
+def run(root, files, checks, compile_db, Finding, *, wall_clock_whitelist,
+        iteration_whitelist, rng_home, clock_re, rng_re, sink_re):
+    ci, index = _index()
+    root = Path(root)
+    findings = []
+    seen = set()
+
+    def emit(check, rel, line, message):
+        key = (check, rel, line, message)
+        if key in seen:
+            return
+        seen.add(key)
+        findings.append(Finding(check, rel, line, message))
+
+    for rel in files:
+        path = root / rel
+        try:
+            text = path.read_text(errors="replace")
+        except OSError:
+            continue
+        args = _compile_args(compile_db, path, root)
+        try:
+            tu = index.parse(str(path), args=args)
+        except ci.TranslationUnitLoadError:
+            print(f"analyze: libclang failed to parse {rel}; skipping",
+                  file=sys.stderr)
+            continue
+        fname = str(path)
+        extents = _named_function_extents(ci, tu, fname)
+
+        def line_at(off):
+            return text.count("\n", 0, off) + 1
+
+        # ---- wall-clock / RNG: shared regexes + AST attribution -------
+        if "wall-clock" in checks:
+            allowed = wall_clock_whitelist.get(rel, set())
+            for m in clock_re.finditer(text):
+                enc = _enclosing(extents, m.start())
+                name = enc[0] if enc else "<file scope>"
+                if enc is not None and name in allowed:
+                    continue
+                token = m.group(0).strip().rstrip("(").strip()
+                emit("wall-clock", rel, line_at(m.start()),
+                     f"wall-clock read ({token}) in '{name}' — only the "
+                     "whitelisted wall_* metering functions may touch the "
+                     "clock (clock-derived values break the deterministic "
+                     "kSimulated/kThreads counter contract)")
+            if rel != rng_home:
+                for m in rng_re.finditer(text):
+                    enc = _enclosing(extents, m.start())
+                    name = enc[0] if enc else "<file scope>"
+                    token = m.group(0).strip().rstrip("(").strip()
+                    emit("wall-clock", rel, line_at(m.start()),
+                         f"raw RNG ({token}) in '{name}' — all randomness "
+                         "flows through the seeded zidian::Rng "
+                         "(common/rng.h); an unseeded or platform-entropy "
+                         "source is nondeterminism by construction")
+
+        # ---- AST walks ------------------------------------------------
+        def call_name(c):
+            ref = c.referenced
+            return ref.spelling if ref is not None else c.spelling
+
+        def unused_call(stmt):
+            """The CALL_EXPR when `stmt` is an expression-statement that
+            discards a value: the call itself, or a cast-to-void of one."""
+            c = stmt
+            while c.kind in (ci.CursorKind.CSTYLE_CAST_EXPR,
+                             ci.CursorKind.UNEXPOSED_EXPR):
+                kids = list(c.get_children())
+                if len(kids) != 1:
+                    return None
+                c = kids[0]
+            return c if c.kind == ci.CursorKind.CALL_EXPR else None
+
+        def walk(c):
+            for ch in c.get_children():
+                loc = ch.location
+                if loc.file is not None and str(loc.file) != fname:
+                    continue
+
+                if ("discarded-status" in checks
+                        and ch.kind == ci.CursorKind.COMPOUND_STMT):
+                    for stmt in ch.get_children():
+                        call = unused_call(stmt)
+                        if call is None:
+                            continue
+                        tspell = _strip(call.type.spelling)
+                        if STATUS_TYPE_RE.match(tspell) is None:
+                            continue
+                        how = ("explicitly (void)-discarded"
+                               if stmt.kind == ci.CursorKind.CSTYLE_CAST_EXPR
+                               else "ignored")
+                        emit("discarded-status", rel,
+                             stmt.location.line,
+                             f"return value of '{call_name(call)}' "
+                             f"(Status/Result) is {how} — handle it, "
+                             "propagate it, or assert it with "
+                             "ZIDIAN_CHECK_OK")
+
+                if ("nondet-iteration" in checks
+                        and ch.kind == ci.CursorKind.CXX_FOR_RANGE_STMT):
+                    kids = list(ch.get_children())
+                    range_expr = kids[-2] if len(kids) >= 2 else None
+                    body = kids[-1] if kids else None
+                    canon = (range_expr.type.get_canonical().spelling
+                             if range_expr is not None else "")
+                    if (range_expr is not None and body is not None
+                            and UNORDERED_TYPE_RE.search(canon)):
+                        b = body.extent
+                        body_text = text[b.start.offset:b.end.offset]
+                        enc = _enclosing(extents, ch.extent.start.offset)
+                        name = enc[0] if enc else "<file scope>"
+                        if (sink_re.search(body_text)
+                                and name not in iteration_whitelist.get(
+                                    rel, set())):
+                            emit("nondet-iteration", rel, ch.location.line,
+                                 "iteration over unordered container "
+                                 f"'{range_expr.spelling or canon}' feeds "
+                                 "an ordered sink (push_back/Add/+=/<<) in "
+                                 f"'{name}' — emit via a canonical order "
+                                 "(first-appearance sort) or whitelist the "
+                                 "helper in tools/analyze/analyze.py with "
+                                 "a written reason")
+
+                if ("locked-helper" in checks
+                        and ch.kind == ci.CursorKind.CALL_EXPR):
+                    callee = call_name(ch)
+                    if callee and callee.endswith("Locked"):
+                        ref = ch.referenced
+                        ann = False
+                        if ref is not None:
+                            decl_text = " ".join(
+                                t.spelling for t in ref.get_tokens())
+                            ann = ("REQUIRES" in decl_text
+                                   or "requires_capability" in decl_text)
+                        if ref is not None and not ann:
+                            emit("locked-helper", rel, ref.location.line
+                                 if str(ref.location.file) == fname
+                                 else ch.location.line,
+                                 f"'{callee}' has no REQUIRES(...) "
+                                 "annotation on any declaration — a "
+                                 "*Locked helper whose lock is not on "
+                                 "record is unverifiable "
+                                 "(thread_annotations.h)")
+                        enc = _enclosing(extents, ch.extent.start.offset)
+                        if enc is not None:
+                            name, start, body_start, _ = enc
+                            head = text[start:body_start]
+                            pre_call = text[body_start:
+                                            ch.extent.start.offset]
+                            ok = (name.endswith("Locked")
+                                  or "REQUIRES" in head or "ACQUIRE" in head
+                                  or LOCK_ACQ_RE.search(pre_call))
+                            if not ok:
+                                emit("locked-helper", rel, ch.location.line,
+                                     f"call of '{callee}' from '{name}' "
+                                     "which neither holds a MutexLock, is "
+                                     "itself *Locked, nor declares "
+                                     "REQUIRES/ACQUIRE — the capability "
+                                     "contract cannot hold")
+                walk(ch)
+
+        if {"discarded-status", "nondet-iteration",
+                "locked-helper"} & set(checks):
+            walk(tu.cursor)
+
+        # Pass 1 of locked-helper for files where the un-annotated helper
+        # is never called: any *Locked definition/declaration in this
+        # file without REQUIRES on its own tokens or any redeclaration's.
+        if "locked-helper" in checks:
+            def locked_decls(c):
+                for ch in c.get_children():
+                    loc = ch.location
+                    if loc.file is not None and str(loc.file) != fname:
+                        continue
+                    if (ch.kind in (ci.CursorKind.CXX_METHOD,
+                                    ci.CursorKind.FUNCTION_DECL)
+                            and ch.spelling.endswith("Locked")):
+                        yield ch
+                    yield from locked_decls(ch)
+
+            for decl in locked_decls(tu.cursor):
+                ann = False
+                for d in (decl, decl.canonical):
+                    toks = " ".join(t.spelling for t in d.get_tokens())
+                    if "REQUIRES" in toks or "requires_capability" in toks:
+                        ann = True
+                if not ann:
+                    emit("locked-helper", rel, decl.location.line,
+                         f"'{decl.spelling}' has no REQUIRES(...) "
+                         "annotation on any declaration — a *Locked "
+                         "helper whose lock is not on record is "
+                         "unverifiable (thread_annotations.h)")
+
+    return findings

@@ -1,0 +1,63 @@
+// Healthy tree: every pattern the four checks police, written the way
+// the contracts demand. Must produce ZERO findings.
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+// Stand-in for common/thread_annotations.h (fixtures are analyzed, not
+// built against the repo's include paths).
+#define REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
+
+// Stand-in for common/status.h.
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+class MutexLock {
+ public:
+  explicit MutexLock(std::mutex* mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() { mu_->unlock(); }
+
+ private:
+  std::mutex* mu_;
+};
+
+class Store {
+ public:
+  Status Flush();
+  Status Erase(const std::string& key);
+
+ private:
+  // Annotated *Locked helper: the capability is on record.
+  void EraseLocked(const std::string& key) REQUIRES(mu_);
+
+  std::mutex mu_;
+  std::map<std::string, std::string> rows_;
+};
+
+Status Store::Flush() { return Status(); }
+
+void Store::EraseLocked(const std::string& key) { rows_.erase(key); }
+
+Status Store::Erase(const std::string& key) {
+  MutexLock lock(&mu_);  // lock held before the *Locked call
+  EraseLocked(key);
+  return Status();
+}
+
+// Iterating an ORDERED map into result rows is deterministic — the
+// nondet-iteration check must stay quiet here.
+std::vector<std::string> Keys(const std::map<std::string, std::string>& rows) {
+  std::vector<std::string> out;
+  for (const auto& kv : rows) out.push_back(kv.first);
+  return out;
+}
+
+// Both Status returns are consumed (assigned / propagated).
+Status Drain(Store* store) {
+  Status st = store->Flush();
+  if (!st.ok()) return st;
+  return store->Erase("tombstone");
+}

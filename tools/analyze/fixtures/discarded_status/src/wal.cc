@@ -1,0 +1,19 @@
+// A bare call drops the Status on the floor: a failed WAL append would
+// silently vanish. discarded-status must fire.
+#include <string>
+
+// Stand-in for common/status.h.
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Append(const std::string& row);
+
+Status Append(const std::string& row) {
+  return row.empty() ? Status() : Status();
+}
+
+void CheckpointTail() {
+  Append("segment-roll");  // BAD: Status ignored
+}

@@ -1,0 +1,33 @@
+// The helper is annotated, but a caller that neither holds the mutex,
+// is itself *Locked, nor declares REQUIRES/ACQUIRE reaches it — the
+// capability contract cannot hold at that call site. locked-helper
+// must fire.
+#include <map>
+#include <mutex>
+#include <string>
+
+// Stand-in for common/thread_annotations.h.
+#define REQUIRES(...) __attribute__((requires_capability(__VA_ARGS__)))
+
+class Cache {
+ public:
+  void Trim(long want_bytes);
+
+ private:
+  void EvictToFitLocked(long want_bytes) REQUIRES(mu_);
+
+  std::mutex mu_;
+  std::map<std::string, std::string> rows_;
+  long bytes_ = 0;
+};
+
+void Cache::EvictToFitLocked(long want_bytes) {
+  while (bytes_ > want_bytes && !rows_.empty()) {
+    bytes_ -= static_cast<long>(rows_.begin()->second.size());
+    rows_.erase(rows_.begin());
+  }
+}
+
+void Cache::Trim(long want_bytes) {
+  EvictToFitLocked(want_bytes);  // BAD: mu_ not held here
+}

@@ -1,0 +1,33 @@
+// A *Locked helper with no REQUIRES(...) on any declaration: the lock
+// it assumes is not on record, so neither clang's -Wthread-safety nor
+// a reader can verify its call sites. locked-helper must fire.
+#include <map>
+#include <mutex>
+#include <string>
+
+class MutexLock {
+ public:
+  explicit MutexLock(std::mutex* mu) : mu_(mu) { mu_->lock(); }
+  ~MutexLock() { mu_->unlock(); }
+
+ private:
+  std::mutex* mu_;
+};
+
+class Cache {
+ public:
+  void Erase(const std::string& key);
+
+ private:
+  void EraseLocked(const std::string& key);  // BAD: no REQUIRES anywhere
+
+  std::mutex mu_;
+  std::map<std::string, std::string> rows_;
+};
+
+void Cache::EraseLocked(const std::string& key) { rows_.erase(key); }
+
+void Cache::Erase(const std::string& key) {
+  MutexLock lock(&mu_);
+  EraseLocked(key);
+}

@@ -1,0 +1,11 @@
+// Platform entropy + a std engine outside common/rng.h: every run
+// draws a different sequence, unreproducible by construction. All
+// randomness must flow through the seeded zidian::Rng. The RNG ban is
+// part of the wall-clock (nondeterminism-source) check.
+#include <random>
+
+int PickProbe(int n) {
+  std::random_device entropy;           // BAD: platform entropy
+  std::mt19937 gen(entropy());          // BAD: std engine outside rng.h
+  return static_cast<int>(gen() % static_cast<unsigned>(n));
+}

@@ -1,0 +1,11 @@
+// A clock read outside the whitelisted metering functions: the derived
+// value will differ run to run, so anything it feeds is off the
+// deterministic contract. wall-clock must fire.
+#include <chrono>
+
+double ScanSeconds() {
+  auto start = std::chrono::steady_clock::now();  // BAD: not whitelisted
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}

@@ -1,0 +1,17 @@
+// Hash-table iteration order leaks straight into result rows: the row
+// sequence now depends on the hash seed and insertion history, which
+// breaks the kSimulated/kThreads bit-identical contract.
+// nondet-iteration must fire.
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+std::vector<std::string> TopKeys(const std::vector<std::string>& raw) {
+  std::unordered_map<std::string, int> counts;
+  for (size_t i = 0; i < raw.size(); ++i) counts[raw[i]] += 1;
+  std::vector<std::string> out;
+  for (const auto& kv : counts) {
+    out.push_back(kv.first);  // BAD: hash order becomes row order
+  }
+  return out;
+}

@@ -1,0 +1,20 @@
+// `(void)` is the escape hatch [[nodiscard]] + -Werror accepts; the
+// analyzer does not — an explicitly shrugged-off error is still a
+// dropped error. discarded-status must fire.
+#include <string>
+
+// Stand-in for common/status.h.
+class Status {
+ public:
+  bool ok() const { return true; }
+};
+
+Status Append(const std::string& row);
+
+Status Append(const std::string& row) {
+  return row.empty() ? Status() : Status();
+}
+
+void CheckpointTail() {
+  (void)Append("segment-roll");  // BAD: Status discarded via (void)
+}

@@ -1,0 +1,12 @@
+"""Self-test stub: an analyzer that never finds anything.
+
+lint_invariants.py points its wall-clock delegation here (instead of
+tools/analyze/) to prove the verdict really flows from the analyzer:
+with this stub the stray_wall_clock fixture must come back clean, while
+the real analyzer must flag it. If the real analyzer ever goes hollow
+like this one, the lint self-test fails.
+"""
+
+
+def run_checks(root, checks, frontend="auto", compile_db=None, quiet=False):
+    return []

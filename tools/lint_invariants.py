@@ -12,11 +12,14 @@ Checks, each a CI failure when violated:
              compared by CountersEqual (they measure the machine, not the
              query — the kSimulated/kThreads determinism contract).
 
-  wall-clock Wall-clock reads (std::chrono::steady_clock / system_clock /
-             high_resolution_clock) may only appear in the whitelisted
-             wall_* metering sites. Anywhere else in src/ they are a
-             determinism hazard: counters derived from the clock would
-             break the bit-identical kSimulated/kThreads contract.
+  wall-clock Delegated to the AST analyzer (tools/analyze/analyze.py,
+             --check wall-clock): wall-clock reads and raw std RNG
+             outside the whitelisted metering FUNCTIONS are determinism
+             hazards. The old per-file regex lived here; the analyzer
+             supersedes it with function-level whitelisting and RNG
+             coverage. The delegation fails CLOSED: a missing or
+             crashing analyzer is itself a violation, never a silent
+             pass. This script stays the single lint entry point.
 
   mutex      The compile-time locking contract must stay annotatable:
              (a) raw std::mutex (or friends) outside common/mutex.h is
@@ -44,27 +47,10 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-# Files in src/ allowed to read the wall clock, and why:
-#   kba_executor.cc / taav.cc   stamp wall_fetch/wall_compute phase timings
-#   connection.cc               stamps wall_seconds around Execute()
-#   network_model.{h,cc}        the physical stall machinery (epoch_/NowNs):
-#                               stalls are real sleeps by design; everything
-#                               *metered* there is integer arithmetic
-#   serve/server.cc             the serving layer: open-loop arrival pacing
-#                               and wall-latency stamps are what a server
-#                               measures; nothing clock-derived feeds a
-#                               QueryMetrics counter (latency lands in the
-#                               LatencyRecorder, documented nondeterministic)
-WALL_CLOCK_WHITELIST = {
-    "src/kba/kba_executor.cc",
-    "src/ra/taav.cc",
-    "src/zidian/connection.cc",
-    "src/storage/network_model.cc",
-    "src/storage/network_model.h",
-    "src/serve/server.cc",
-}
-
-CLOCK_RE = re.compile(r"\b(steady_clock|system_clock|high_resolution_clock)\b")
+# The wall-clock/RNG whitelist moved to tools/analyze/analyze.py
+# (WALL_CLOCK_FUNCTIONS): it names FUNCTIONS, not files, so a stray
+# clock read added to a formerly-whitelisted file still fails.
+ANALYZE_DIR = REPO_ROOT / "tools" / "analyze"
 RAW_MUTEX_RE = re.compile(r"\bstd::(recursive_|shared_|timed_|recursive_timed_)?mutex\b")
 MUTEX_MEMBER_RE = re.compile(r"^\s*(?:mutable\s+)?(?:Shared)?Mutex\s+(\w+)\s*;", re.M)
 FIELD_RE = re.compile(
@@ -161,22 +147,53 @@ def check_counters(root):
 
 # -------------------------------------------------------------- wall-clock ---
 
-def check_wall_clock(root):
-    violations = []
-    for path in src_files(root):
-        rel = path.relative_to(root).as_posix()
-        if rel in WALL_CLOCK_WHITELIST:
-            continue
-        text = strip_comments(path.read_text())
-        for lineno, line in enumerate(text.splitlines(), start=1):
-            m = CLOCK_RE.search(line)
-            if m is not None:
-                violations.append(Violation(
-                    "wall-clock", f"{rel}:{lineno}",
-                    f"wall-clock read ({m.group(1)}) outside the "
-                    "whitelisted wall_* metering sites — clock-derived "
-                    "values break the deterministic-counters contract"))
-    return violations
+_ANALYZER_CACHE = {}
+
+
+def load_analyzer(analyze_dir):
+    """Imports tools/analyze/analyze.py by path (cached per directory)."""
+    key = str(analyze_dir)
+    if key not in _ANALYZER_CACHE:
+        import importlib.util
+        path = Path(analyze_dir) / "analyze.py"
+        if not path.is_file():
+            _ANALYZER_CACHE[key] = None
+        else:
+            spec = importlib.util.spec_from_file_location(
+                "zidian_analyze", path)
+            mod = importlib.util.module_from_spec(spec)
+            spec.loader.exec_module(mod)
+            _ANALYZER_CACHE[key] = mod
+    return _ANALYZER_CACHE[key]
+
+
+def check_wall_clock(root, analyze_dir=ANALYZE_DIR):
+    """Delegates the determinism-source check to the AST analyzer.
+
+    Fails CLOSED: if the analyzer cannot be loaded or crashes, that is a
+    violation — the check must never silently pass because its engine
+    went missing."""
+    try:
+        analyze = load_analyzer(analyze_dir)
+    except Exception as e:  # noqa: BLE001 — any load failure fails closed
+        return [Violation(
+            "wall-clock", Path(analyze_dir) / "analyze.py",
+            f"analyzer failed to load ({e}) — the wall-clock check "
+            "cannot run; failing closed")]
+    if analyze is None:
+        return [Violation(
+            "wall-clock", Path(analyze_dir) / "analyze.py",
+            "analyzer missing — the wall-clock check cannot run; "
+            "failing closed")]
+    try:
+        findings = analyze.run_checks(Path(root), ("wall-clock",),
+                                      frontend="auto", quiet=True)
+    except Exception as e:  # noqa: BLE001
+        return [Violation(
+            "wall-clock", Path(analyze_dir) / "analyze.py",
+            f"analyzer crashed ({e}) — failing closed")]
+    return [Violation("wall-clock", f"{f.file}:{f.line}", f.message)
+            for f in findings]
 
 
 # ------------------------------------------------------------------- mutex ---
@@ -252,6 +269,39 @@ def self_test():
             for v in run_checks(tree):
                 print(f"    {v}")
             failures += 1
+
+    # Delegation must fail CLOSED: pointing the wall-clock check at a
+    # directory with no analyze.py must be a violation, never a pass.
+    missing = fixtures_dir / "no_such_analyzer"
+    if check_wall_clock(fixtures_dir / "clean", analyze_dir=missing):
+        print("self-test ok: missing analyzer fails closed")
+    else:
+        print("self-test FAIL: missing analyzer silently passed "
+              "the wall-clock check")
+        failures += 1
+
+    # Delegation transparency: the stray_wall_clock verdict must come
+    # FROM the analyzer. Swapping in the hollow stub (which never finds
+    # anything) must flip the verdict — together with the
+    # stray_wall_clock case above, this proves an analyzer that stops
+    # finding things fails this self-test rather than passing silently.
+    hollow = fixtures_dir / "hollow_analyzer"
+    if check_wall_clock(fixtures_dir / "stray_wall_clock",
+                        analyze_dir=hollow):
+        print("self-test FAIL: hollow analyzer produced violations "
+              "(delegation is not consulting the analyzer)")
+        failures += 1
+    else:
+        print("self-test ok: verdict flows from the analyzer "
+              "(hollow stub finds nothing)")
+
+    # The analyzer's own fixture battery is part of this contract: a
+    # silently-dead AST check must fail the lint self-test too.
+    analyze = load_analyzer(ANALYZE_DIR)
+    if analyze is None or not analyze.self_test("auto"):
+        print("self-test FAIL: tools/analyze fixture battery")
+        failures += 1
+
     return failures == 0
 
 

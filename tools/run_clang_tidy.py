@@ -1,0 +1,116 @@
+#!/usr/bin/env python3
+"""clang-tidy gate: runs the repo's curated .clang-tidy over every src/
+translation unit in the compile database and fails on ANY finding.
+
+The check list lives in .clang-tidy (with the rationale for what is in
+and what is deliberately out); this wrapper only supplies the driving
+policy: compile-database file set restricted to src/, parallel
+invocation, zero-finding gate, and a graceful setup error (exit 2) when
+clang-tidy or the compile database is missing — so local runs on the
+gcc-only container degrade loudly instead of passing silently.
+
+Usage:
+  tools/run_clang_tidy.py [--build-dir build] [--clang-tidy clang-tidy-18]
+"""
+
+import argparse
+import concurrent.futures
+import json
+import shutil
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def tidy_files(build_dir):
+    db = build_dir / "compile_commands.json"
+    if not db.is_file():
+        print(f"run_clang_tidy: setup error: {db} not found — configure "
+              "first (cmake --preset default; every preset exports the "
+              "compile database)", file=sys.stderr)
+        return None
+    try:
+        entries = json.loads(db.read_text())
+    except (ValueError, OSError) as e:
+        print(f"run_clang_tidy: setup error: unreadable compile database: "
+              f"{e}", file=sys.stderr)
+        return None
+    files = set()
+    for e in entries:
+        f = Path(e.get("file", ""))
+        if not f.is_absolute():
+            f = Path(e.get("directory", ".")) / f
+        try:
+            rel = f.resolve().relative_to(REPO_ROOT.resolve())
+        except ValueError:
+            continue
+        if rel.as_posix().startswith("src/"):
+            files.add(f.resolve())
+    return sorted(files)
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--build-dir", type=Path,
+                        default=REPO_ROOT / "build",
+                        help="build tree holding compile_commands.json")
+    parser.add_argument("--clang-tidy", default=None,
+                        help="clang-tidy binary (default: the pinned "
+                             "clang-tidy-18, falling back to clang-tidy)")
+    parser.add_argument("-j", "--jobs", type=int, default=4)
+    args = parser.parse_args()
+
+    binary = args.clang_tidy
+    if binary is None:
+        for cand in ("clang-tidy-18", "clang-tidy"):
+            if shutil.which(cand):
+                binary = cand
+                break
+    if binary is None or shutil.which(binary) is None:
+        print("run_clang_tidy: setup error: clang-tidy not found — "
+              "install clang-tidy-18 (the CI pin) or pass --clang-tidy",
+              file=sys.stderr)
+        return 2
+
+    files = tidy_files(args.build_dir)
+    if files is None:
+        return 2
+    if not files:
+        print("run_clang_tidy: setup error: no src/ entries in the "
+              "compile database", file=sys.stderr)
+        return 2
+
+    # --warnings-as-errors comes from .clang-tidy; -quiet suppresses the
+    # "N warnings generated" chatter so CI logs show only findings.
+    def run_one(f):
+        proc = subprocess.run(
+            [binary, "-p", str(args.build_dir), "-quiet", str(f)],
+            capture_output=True, text=True)
+        return f, proc.returncode, proc.stdout, proc.stderr
+
+    failed = 0
+    with concurrent.futures.ThreadPoolExecutor(args.jobs) as pool:
+        for f, rc, out, err in pool.map(run_one, files):
+            rel = f.relative_to(REPO_ROOT.resolve())
+            if rc != 0:
+                failed += 1
+                print(f"== {rel}")
+                if out.strip():
+                    print(out.strip())
+                # clang-tidy reports compile errors on stderr.
+                if err.strip() and not out.strip():
+                    print(err.strip(), file=sys.stderr)
+
+    if failed:
+        print(f"run_clang_tidy: findings in {failed} of {len(files)} "
+              "translation units")
+        return 1
+    print(f"run_clang_tidy: OK ({len(files)} translation units, "
+          "0 findings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
