@@ -30,12 +30,21 @@
 // one per key, so batching must win by ~K/nodes — in modeled seconds
 // (makespan_net + queue delay) and on the measured clock.
 //
-// Usage: bench_fig4_parallel [--smoke]
+// A fourth sweep gates the overlapped fan-out (FanoutMode::kOverlapped,
+// Cluster::MultiGetAsync): with one of 8 storage nodes 10x slower, the
+// serial fan-out pays the sum of its per-node stalls (~17 RTTs) while
+// the overlapped one pays ~the bottleneck node alone (~10 RTTs) — a
+// ~0.59x ratio, gated at <= 0.6x on the wall clock AND the modeled
+// network leg, with identical counters.
+//
+// Usage: bench_fig4_parallel [--smoke | --skew]
 //   --smoke: CI-sized sweeps only; exits non-zero unless (a) counters
 //   match across modes, (b) threads at 4 workers beat threads at 1
 //   worker by >= 2x wall-clock on both the extend-heavy KBA plan and
 //   the TaaV baseline leg, and (c) batched MultiGets beat per-key gets
 //   by >= 2x at 8 storage nodes, modeled AND wall.
+//   --skew: the skewed-node async leg only; exits non-zero unless the
+//   overlapped fan-out costs <= 0.6x the serial one, wall AND modeled.
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -445,6 +454,122 @@ bool NetworkSweep(int total_keys, int repeats, bool assert_smoke) {
   return ok;
 }
 
+// ---------------------------------------------------- skewed-node leg ---
+
+/// The modeled network leg of SimSeconds (storage/backend.cc), alone: the
+/// serial stall schedule pays makespan + queue delay; an overlapped
+/// fan-out shrinks the makespan by net_overlap_ns but can never finish
+/// before the busiest node drains.
+double NetLegSeconds(const QueryMetrics& m) {
+  double net_s = m.makespan_net_seconds + m.net_queue_seconds;
+  if (m.net_overlap_ns > 0) {
+    uint64_t busiest = 0;
+    for (uint64_t b : m.net_node_busy_ns) busiest = std::max(busiest, b);
+    double shrunk = std::max(
+        0.0, m.makespan_net_seconds -
+                 static_cast<double>(m.net_overlap_ns) / 1e9);
+    net_s = std::max(shrunk, static_cast<double>(busiest) / 1e9);
+  }
+  return net_s;
+}
+
+/// The skewed-node leg: 8 storage nodes, node 0 with a 10x slower link
+/// (NetworkOptions::node_links). A serial fan-out over all 8 nodes pays
+/// the SUM of its per-node batch stalls — 7 healthy RTTs plus the slow
+/// one, ~17R — while the overlapped fan-out (FanoutMode::kOverlapped,
+/// Cluster::MultiGetAsync) keeps every batch in flight together and pays
+/// ~the bottleneck node alone, ~10R. Expected ratio 10/17 ~ 0.59; gated
+/// at <= 0.6 on the measured wall clock AND on the modeled network leg.
+bool SkewedNodeSweep(int repeats, bool assert_gate) {
+  ClusterOptions co{.num_storage_nodes = 8};
+  co.network.link = NetworkLinkOptions{.rtt_us = 5000, .per_key_us = 1};
+  NetworkLinkOptions slow = co.network.link;  // override replaces the link
+  slow.rtt_us = co.network.link.rtt_us * 10;  // node 0: 10x degraded
+  co.network.node_links = {slow};
+  Instance inst = Load(MakeMot(0.2, 42), co);
+  KbaPlanPtr plan = ExtendHeavyPlan(64);
+  KbaExecutor exec(&inst.zidian->store());
+
+  struct Arm {
+    double wall_s = 0;  // min over repeats
+    QueryMetrics m;
+  };
+  auto run_arm = [&](FanoutMode fanout) {
+    Arm arm;
+    for (int r = 0; r < repeats; ++r) {
+      QueryMetrics m;
+      auto start = std::chrono::steady_clock::now();
+      auto res = exec.Execute(
+          *plan, KbaExecOptions{.workers = 1, .fanout = fanout}, &m);
+      double wall = std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+      if (!res.ok()) {
+        std::fprintf(stderr, "execute failed: %s\n",
+                     res.status().ToString().c_str());
+        std::abort();
+      }
+      if (r == 0 || wall < arm.wall_s) arm.wall_s = wall;
+      arm.m = m;
+    }
+    return arm;
+  };
+
+  Arm serial = run_arm(FanoutMode::kSerial);
+  Arm overlapped = run_arm(FanoutMode::kOverlapped);
+
+  std::printf(
+      "\nSkewed-node fan-out (extend over 8 nodes, node 0 rtt %.0fus vs "
+      "%.0fus):\n",
+      slow.rtt_us, co.network.link.rtt_us);
+  PrintRule();
+  std::printf("%-12s %12s %12s %12s %12s\n", "fanout", "wall ms", "net ms",
+              "overlap ms", "inflight");
+  PrintRule();
+  for (const auto* arm : {&serial, &overlapped}) {
+    std::printf("%-12s %12.2f %12.2f %12.2f %12llu\n",
+                arm == &serial ? "serial" : "overlapped", arm->wall_s * 1e3,
+                NetLegSeconds(arm->m) * 1e3,
+                static_cast<double>(arm->m.net_overlap_ns) / 1e6,
+                static_cast<unsigned long long>(arm->m.net_inflight_max));
+  }
+  PrintRule();
+
+  bool ok = true;
+  if (!CountersEqual(serial.m, overlapped.m)) {
+    std::fprintf(stderr,
+                 "FAIL: counters diverge between fan-out modes\n  serial: "
+                 "%s\n  overlapped: %s\n",
+                 serial.m.ToString().c_str(),
+                 overlapped.m.ToString().c_str());
+    ok = false;
+  }
+  double wall_ratio =
+      serial.wall_s > 0 ? overlapped.wall_s / serial.wall_s : 1.0;
+  double net_ratio = NetLegSeconds(serial.m) > 0
+                         ? NetLegSeconds(overlapped.m) / NetLegSeconds(serial.m)
+                         : 1.0;
+  std::printf(
+      "overlapped / serial: wall %.2fx, modeled net leg %.2fx (bottleneck "
+      "node / serial sum ~ 0.59x)\n",
+      wall_ratio, net_ratio);
+  if (assert_gate && wall_ratio > 0.6) {
+    std::fprintf(stderr,
+                 "FAIL: overlapped fan-out should cost <= 0.6x the serial "
+                 "wall clock, measured %.2fx\n",
+                 wall_ratio);
+    ok = false;
+  }
+  if (assert_gate && net_ratio > 0.6) {
+    std::fprintf(stderr,
+                 "FAIL: overlapped fan-out should cost <= 0.6x the serial "
+                 "modeled net leg, measured %.2fx\n",
+                 net_ratio);
+    ok = false;
+  }
+  return ok;
+}
+
 /// The pool-reuse leg: repeated threaded Executes of one PreparedQuery
 /// through the Connection-shared pool vs a freshly spun-up pool per call
 /// (what a pool-less Execute does internally). High-QPS serving is the
@@ -515,6 +640,13 @@ bool PoolReuseSweep(int repeats, int workers, bool assert_smoke) {
 
 int main(int argc, char** argv) {
   bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (argc > 1 && std::strcmp(argv[1], "--skew") == 0) {
+    // CI gate for the overlapped fan-out: with 1 of 8 nodes 10x slower,
+    // async must cost ~the bottleneck node while sync costs ~the sum.
+    bool ok = SkewedNodeSweep(/*repeats=*/3, /*assert_gate=*/true);
+    std::printf(ok ? "\nskew: OK\n" : "\nskew: FAILED\n");
+    return ok ? 0 : 1;
+  }
   if (smoke) {
     // CI-sized: the sweeps only, with enough injected latency that round
     // trips dominate the clock even on a loaded single-core runner.
@@ -542,6 +674,7 @@ int main(int argc, char** argv) {
             /*assert_smoke=*/false);
   PoolReuseSweep(/*repeats=*/300, /*workers=*/8, /*assert_smoke=*/false);
   NetworkSweep(/*total_keys=*/96, /*repeats=*/3, /*assert_smoke=*/false);
+  SkewedNodeSweep(/*repeats=*/3, /*assert_gate=*/false);
   std::printf(
       "\npaper-shape: times fall as p grows for both systems; Zidian's comm "
       "is a small fraction of the baseline's; both scale with |D| with "

@@ -1,0 +1,168 @@
+// A minimal one-shot Promise/Future pair for in-flight remote operations
+// (the per-node handles Cluster::MultiGetAsync returns). std::future is
+// deliberately not used: it drags in <future>'s shared-state allocator
+// machinery and its wait path is invisible to clang's capability
+// analysis, while everything this codebase needs is "complete once, wait
+// many": a producer completes the shared state exactly once (a value or
+// an error), any thread may poll or block on it, and destruction of
+// either endpoint — consumed or not — releases the state without leaking
+// or deadlocking (the shared_ptr owns it; an abandoned Promise completes
+// the state with a broken-promise error so waiters never hang).
+//
+// Thread safety: the shared state is guarded by a zidian::Mutex with
+// GUARDED_BY contracts the thread-safety CI job checks; Set/SetError and
+// Get/Take/Ready may race freely across threads. First completion wins;
+// later completions are no-ops (the hedged-read shape, where two sends
+// race to resolve one handle).
+#ifndef ZIDIAN_COMMON_FUTURE_H_
+#define ZIDIAN_COMMON_FUTURE_H_
+
+#include <exception>
+#include <memory>
+#include <optional>
+#include <stdexcept>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+
+namespace zidian {
+
+template <typename T>
+class Future;
+
+namespace internal {
+
+/// The state one Promise/Future pair shares. Heap-allocated exactly once
+/// per pair and owned jointly via shared_ptr, so whichever endpoint dies
+/// last releases it — an unconsumed Future neither leaks nor blocks.
+template <typename T>
+struct FutureState {
+  Mutex mu;
+  CondVar cv;
+  bool ready GUARDED_BY(mu) = false;
+  std::optional<T> value GUARDED_BY(mu);
+  std::exception_ptr error GUARDED_BY(mu);
+};
+
+}  // namespace internal
+
+/// The producer endpoint: completes the shared state once with a value
+/// (Set) or an error (SetError). Movable, not copyable — exactly one
+/// producer per state. Destroying a Promise that never completed
+/// completes it with a broken-promise error, so a waiter blocked on the
+/// matching Future wakes with a diagnosable failure instead of hanging.
+template <typename T>
+class Promise {
+ public:
+  Promise() : state_(std::make_shared<internal::FutureState<T>>()) {}
+  ~Promise() { Abandon(); }
+
+  Promise(Promise&&) noexcept = default;
+  Promise& operator=(Promise&& o) noexcept {
+    if (this != &o) {
+      Abandon();
+      state_ = std::move(o.state_);
+    }
+    return *this;
+  }
+  Promise(const Promise&) = delete;
+  Promise& operator=(const Promise&) = delete;
+
+  /// The consumer endpoint bound to this producer. Callable any number of
+  /// times (every returned Future views the same state).
+  Future<T> GetFuture() const { return Future<T>(state_); }
+
+  /// Completes with a value. First completion wins: a Set after the state
+  /// is already complete (value or error) is a no-op — the semantics a
+  /// hedged pair of sends racing to resolve one handle needs.
+  void Set(T v) {
+    bool won = false;
+    {
+      MutexLock lock(state_->mu);
+      if (!state_->ready) {
+        state_->value.emplace(std::move(v));
+        state_->ready = true;
+        won = true;
+      }
+    }
+    if (won) state_->cv.NotifyAll();
+  }
+
+  /// Completes with an error the waiter will rethrow. First completion
+  /// wins, like Set.
+  void SetError(std::exception_ptr e) {
+    bool won = false;
+    {
+      MutexLock lock(state_->mu);
+      if (!state_->ready) {
+        state_->error = std::move(e);
+        state_->ready = true;
+        won = true;
+      }
+    }
+    if (won) state_->cv.NotifyAll();
+  }
+
+ private:
+  /// Walks away from the state: completes it with a broken-promise error
+  /// (no-op when already complete) and drops this endpoint's ownership.
+  void Abandon() {
+    if (state_ == nullptr) return;
+    SetError(std::make_exception_ptr(
+        std::runtime_error("broken promise: producer destroyed "
+                           "without completing")));
+    state_.reset();
+  }
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+/// The consumer endpoint. Movable and copyable (copies view one state —
+/// many waiters, one completion). A default-constructed or moved-from
+/// Future is invalid; touching it is a programming error checked by
+/// valid().
+template <typename T>
+class Future {
+ public:
+  Future() = default;
+
+  [[nodiscard]] bool valid() const { return state_ != nullptr; }
+
+  /// Non-blocking poll: has the producer completed the state?
+  [[nodiscard]] bool Ready() const {
+    MutexLock lock(state_->mu);
+    return state_->ready;
+  }
+
+  /// Blocks until complete; rethrows the producer's error, otherwise
+  /// returns the value. Callable repeatedly — completion is sticky, so a
+  /// Get after completion returns immediately.
+  const T& Get() const {
+    MutexLock lock(state_->mu);
+    while (!state_->ready) state_->cv.Wait(state_->mu);
+    if (state_->error != nullptr) std::rethrow_exception(state_->error);
+    return *state_->value;
+  }
+
+  /// Blocks until complete, then moves the value out and releases this
+  /// endpoint's view of the state (the future becomes invalid).
+  T Take() {
+    std::shared_ptr<internal::FutureState<T>> state = std::move(state_);
+    MutexLock lock(state->mu);
+    while (!state->ready) state->cv.Wait(state->mu);
+    if (state->error != nullptr) std::rethrow_exception(state->error);
+    return std::move(*state->value);
+  }
+
+ private:
+  friend class Promise<T>;
+  explicit Future(std::shared_ptr<internal::FutureState<T>> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<internal::FutureState<T>> state_;
+};
+
+}  // namespace zidian
+
+#endif  // ZIDIAN_COMMON_FUTURE_H_

@@ -31,6 +31,10 @@ std::string QueryMetrics::ToString() const {
     }
     os << "]";
   }
+  if (net_overlap_ns != 0 || net_inflight_max != 0) {
+    os << " net_overlap_s=" << static_cast<double>(net_overlap_ns) / 1e9
+       << " net_inflight_max=" << net_inflight_max;
+  }
   if (net_faults_injected != 0 || net_retries != 0 || net_timeouts != 0 ||
       net_hedges != 0 || failed_queries != 0) {
     os << " net_faults_injected=" << net_faults_injected
@@ -90,6 +94,11 @@ bool CountersEqual(const QueryMetrics& a, const QueryMetrics& b) {
          a.makespan_compute == b.makespan_compute &&
          a.makespan_net_seconds == b.makespan_net_seconds &&
          a.net_queue_seconds == b.net_queue_seconds;
+  // Deliberately NOT compared: net_overlap_ns / net_inflight_max (the
+  // schedule-shape fields — they describe how the fan-out overlapped its
+  // round trips, which varies between the serial and async APIs by
+  // design) and the wall_* timings (they measure the machine). The lint
+  // (tools/lint_invariants.py) pins both exemption lists.
 }
 
 }  // namespace zidian

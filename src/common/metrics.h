@@ -12,6 +12,26 @@
 
 namespace zidian {
 
+/// Schedule-shape summary of one overlapped fan-out (what an
+/// AsyncMultiGet handle reports at Finish, and what a worker accumulates
+/// across its fan-out rounds): how many modeled nanoseconds the fan-out
+/// removed from its critical path by keeping every touched node's batch
+/// in flight together (sum of per-node batch latencies minus the max),
+/// and how many per-node batches were in flight at once. Pure functions
+/// of the request stream — never of queueing or scheduling — so they are
+/// bit-identical across parallel modes for a fixed partition.
+struct FanoutStats {
+  uint64_t overlap_ns = 0;
+  uint64_t inflight_max = 0;
+
+  /// Accumulates a later fan-out round: hidden time adds up along one
+  /// worker's timeline; peak in-flight is a max.
+  void Merge(const FanoutStats& o) {
+    overlap_ns += o.overlap_ns;
+    if (o.inflight_max > inflight_max) inflight_max = o.inflight_max;
+  }
+};
+
 /// Counters for one query execution (or one storage workload run).
 struct QueryMetrics {
   // Storage-layer interaction.
@@ -94,6 +114,22 @@ struct QueryMetrics {
                                  ///< (kba/makespan.h FinalizeNetworkQueue;
                                  ///< deterministic, unlike wall_*)
 
+  // Schedule-shape observability for the overlapped fan-out path
+  // (Cluster::MultiGetAsync). Like the makespans these are set at the
+  // executors' merge points (kba/makespan.h ChargeFanoutOverlap), and
+  // like wall_* they are EXCLUDED from CountersEqual: they describe HOW
+  // the round trips were scheduled, which legitimately varies with the
+  // fan-out mode and the worker partition, while every counter above
+  // describes WHAT logical work was done and may not move. Deterministic
+  // (pure modeled time, never queueing) — the async parity suite asserts
+  // them equal across kSimulated/kThreads at a fixed partition.
+  uint64_t net_overlap_ns = 0;    ///< modeled ns removed from the critical
+                                  ///< path by overlapping per-node batches
+                                  ///< (0 on every serial-fan-out run)
+  uint64_t net_inflight_max = 0;  ///< peak per-node batches in flight in
+                                  ///< one overlapped fan-out (0 when no
+                                  ///< async fan-out ran)
+
   // Measured wall-clock (seconds), stamped by the executors when they run
   // for real; zero when not measured. Unlike every counter above, these
   // are nondeterministic — parity checks compare counters with
@@ -138,6 +174,10 @@ struct QueryMetrics {
     makespan_compute += o.makespan_compute;
     makespan_net_seconds += o.makespan_net_seconds;
     net_queue_seconds += o.net_queue_seconds;
+    net_overlap_ns += o.net_overlap_ns;
+    if (o.net_inflight_max > net_inflight_max) {
+      net_inflight_max = o.net_inflight_max;  // a peak, not a volume
+    }
     wall_seconds += o.wall_seconds;
     wall_fetch_seconds += o.wall_fetch_seconds;
     wall_compute_seconds += o.wall_compute_seconds;

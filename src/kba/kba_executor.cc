@@ -34,6 +34,7 @@ Result<KvInst> KbaExecutor::Execute(const KbaPlan& plan,
                                     QueryMetrics* m) const {
   ExecCtx ctx;
   ctx.workers = std::max(1, opts.workers);
+  ctx.fanout = opts.fanout;
   // Threaded mode gets a pool of workers-1 threads: the calling thread
   // participates in every ParallelFor, so regions run ctx.workers wide.
   std::unique_ptr<ThreadPool> owned_pool;
@@ -391,6 +392,9 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
     QueryMetrics m;
     Relation partial;
     Status status;
+    /// Schedule shape of this worker's fan-outs under kOverlapped; never
+    /// merged into `m` (ChargeFanoutOverlap folds it at query level).
+    FanoutStats fanout;
   };
   std::vector<WorkerSlot> slots(static_cast<size_t>(workers));
   const std::vector<std::string> out_cols = out.AllCols();
@@ -402,7 +406,8 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
     QueryMetrics* wm = m != nullptr ? &slot.m : nullptr;
 
     if (plan.stats_only) {
-      auto stats = store_->MultiGetBlockStats(*kv, keys, wm);
+      auto stats =
+          store_->MultiGetBlockStats(*kv, keys, wm, ctx.fanout, &slot.fanout);
       if (!stats.ok()) {
         slot.status = stats.status();
         return;
@@ -420,7 +425,8 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
         emit(&slot.partial, wm, *worker_rows[w][i], {add});
       }
     } else {
-      auto blocks = store_->MultiGetBlocks(*kv, keys, wm);
+      auto blocks =
+          store_->MultiGetBlocks(*kv, keys, wm, ctx.fanout, &slot.fanout);
       if (!blocks.ok()) {
         slot.status = blocks.status();
         return;
@@ -453,12 +459,15 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
   // that dies with exhausted retries still reports the retry/hedge
   // traffic it paid (the availability accounting depends on this).
   std::vector<QueryMetrics> deltas;
+  std::vector<FanoutStats> fanouts;
   deltas.reserve(slots.size());
+  fanouts.reserve(slots.size());
   Status failure = Status::OK();
   for (auto& slot : slots) {
     if (failure.ok() && !slot.status.ok()) failure = slot.status;
     if (m != nullptr) *m += slot.m;
     deltas.push_back(slot.m);
+    fanouts.push_back(slot.fanout);
     for (auto& row : slot.partial.rows()) {
       out.rel.Add(std::move(row));
     }
@@ -466,6 +475,7 @@ Result<KvInst> KbaExecutor::EvalExtend(const KbaPlan& plan, const ExecCtx& ctx,
   if (m != nullptr) {
     m->makespan_get += MaxWorkerStorageGets(deltas);
     m->makespan_net_seconds += MaxWorkerNetSeconds(deltas);
+    ChargeFanoutOverlap(deltas, fanouts, m);
   }
   ZIDIAN_RETURN_NOT_OK(failure);
   return out;

@@ -9,12 +9,22 @@
 //  * kSimulated — one thread; `workers` only divides the cost model. The
 //    per-worker maxima land in QueryMetrics::makespan_* exactly as before.
 //  * kThreads — `workers` real threads on a ThreadPool. Each extension
-//    issues its per-worker batched MultiGets concurrently (one in-flight
-//    request per worker), and selections / projections / join probes run
-//    chunk-per-worker (ra/eval.h parallel variants).
+//    issues its per-worker batched MultiGets concurrently, and selections
+//    / projections / join probes run chunk-per-worker (ra/eval.h parallel
+//    variants).
 //
-// Determinism contract: both modes return byte-identical rows in the same
-// order and identical QueryMetrics counters. Every parallel region gives
+// Orthogonally, KbaExecOptions::fanout picks each worker's stall schedule
+// over the storage nodes its batch touches (storage/cluster.h): kSerial
+// keeps one per-node request in flight at a time (each batch stalls
+// before the next departs), kOverlapped issues every touched node's batch
+// before waiting on any (Cluster::MultiGetAsync) and decodes each node's
+// blocks as its completion arrives. The two schedules meter identically —
+// only the schedule-shape metrics (net_overlap_ns / net_inflight_max),
+// the modeled makespan and the wall clock may differ.
+//
+// Determinism contract: both modes — and both fan-out schedules — return
+// byte-identical rows in the same order and identical QueryMetrics
+// counters. Every parallel region gives
 // each worker its own pre-allocated output slot and its own QueryMetrics
 // delta; slots merge in worker order after the join, so no counter or row
 // ever depends on thread scheduling. (The one caveat: cache_evictions is
@@ -41,6 +51,9 @@ struct KbaExecOptions {
   /// executions). When null, Execute spins up a per-call pool of
   /// workers-1 threads (the calling thread is worker 0's peer).
   ThreadPool* pool = nullptr;
+  /// Per-worker stall schedule over the touched storage nodes (see the
+  /// header comment). Rows and CountersEqual metrics are invariant.
+  FanoutMode fanout = FanoutMode::kSerial;
 };
 
 class KbaExecutor {
@@ -63,6 +76,7 @@ class KbaExecutor {
   struct ExecCtx {
     int workers = 1;
     ThreadPool* pool = nullptr;
+    FanoutMode fanout = FanoutMode::kSerial;
   };
 
   Result<KvInst> Eval(const KbaPlan& plan, const ExecCtx& ctx,

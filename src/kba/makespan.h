@@ -64,6 +64,39 @@ inline double MaxWorkerNetSeconds(const std::vector<QueryMetrics>& per_worker)
   return static_cast<double>(worst) / 1e9;
 }
 
+/// Folds one parallel region's per-worker fan-out overlap into the
+/// query-level schedule-shape metrics, next to the makespan merge. The
+/// region's modeled network leg is MaxWorkerNetSeconds — the slowest
+/// worker under the SERIAL stall schedule — so the time the overlapped
+/// fan-out hid is the difference between that and the slowest worker
+/// with its own overlap subtracted: max_w(service_w) minus
+/// max_w(service_w - overlap_w). (Subtracting overlaps before the max
+/// matters: the bottleneck worker after overlapping need not be the
+/// serial bottleneck.) Workers' FanoutStats are pure functions of their
+/// partitions, so this charge is bit-identical across kSimulated /
+/// kThreads; per-worker QueryMetrics deltas never carry the fields —
+/// they are query-level schedule shape, set only here and by the TaaV
+/// merge. All-serial regions (every overlap 0) charge exactly 0.
+inline void ChargeFanoutOverlap(const std::vector<QueryMetrics>& per_worker,
+                                const std::vector<FanoutStats>& fanout,
+                                QueryMetrics* m) REQUIRES(!pool_busy) {
+  if (m == nullptr || fanout.empty()) return;
+  uint64_t serial_worst = 0;      // slowest worker, serial stall schedule
+  uint64_t overlapped_worst = 0;  // slowest worker, overlapped schedule
+  uint64_t inflight = 0;
+  for (size_t w = 0; w < per_worker.size(); ++w) {
+    const uint64_t service = per_worker[w].net_service_ns;
+    const uint64_t overlap = w < fanout.size() ? fanout[w].overlap_ns : 0;
+    serial_worst = std::max(serial_worst, service);
+    overlapped_worst = std::max(overlapped_worst, service - overlap);
+    if (w < fanout.size()) {
+      inflight = std::max(inflight, fanout[w].inflight_max);
+    }
+  }
+  m->net_overlap_ns += serial_worst - overlapped_worst;
+  if (inflight > m->net_inflight_max) m->net_inflight_max = inflight;
+}
+
 /// Recomputes the modeled queueing delay from the metered per-node busy
 /// totals: a schedule can finish no earlier than max(slowest worker's own
 /// network time, busiest node's serialized work), so the queueing delay

@@ -66,6 +66,22 @@ Result<Relation> TaavScanTable(const Cluster& cluster,
                                const std::string& alias, QueryMetrics* m,
                                ThreadPool* pool, int workers);
 
+/// Fan-out-aware scan. kSerial is the overload above; kOverlapped issues
+/// each worker chunk's per-tuple gets as per-node in-flight chains
+/// anchored at one common modeled instant (NetworkModel::OnGetAt):
+/// requests to the SAME node stay serialized — their latencies sum,
+/// exactly what the serial schedule charges — while chains to different
+/// nodes run concurrently, so the chunk stalls once, to its latest
+/// chain's completion, and decodes while requests are in flight. Rows
+/// and CountersEqual metrics are bit-identical across fan-out modes,
+/// parallel modes and worker counts; the hidden cross-node time is
+/// folded into net_overlap_ns (kba/makespan.h ChargeFanoutOverlap).
+Result<Relation> TaavScanTable(const Cluster& cluster,
+                               const TableSchema& schema,
+                               const std::string& alias, QueryMetrics* m,
+                               ThreadPool* pool, int workers,
+                               FanoutMode fanout);
+
 /// Point lookup of one tuple by primary key (used by KV-workload benches).
 Result<Tuple> TaavGetTuple(const Cluster& cluster, const TableSchema& schema,
                            const Tuple& pk_values, QueryMetrics* m);
@@ -80,6 +96,10 @@ struct TaavExecOptions {
   /// Connection-shared pool). When null, Execute spins up a per-call
   /// pool of workers-1 threads.
   ThreadPool* pool = nullptr;
+  /// Per-worker stall schedule for the scans' per-tuple gets (see the
+  /// fan-out-aware TaavScanTable overload). Rows and CountersEqual
+  /// metrics are invariant.
+  FanoutMode fanout = FanoutMode::kSerial;
 };
 
 /// Baseline executor: evaluates a bound query directly over TaaV storage.

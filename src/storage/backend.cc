@@ -1,5 +1,7 @@
 #include "storage/backend.h"
 
+#include <algorithm>
+
 namespace zidian {
 
 // get_us dominates blind scans (one get per tuple under TaaV, §3);
@@ -41,8 +43,23 @@ double SimSeconds(const QueryMetrics& m, const BackendProfile& profile) {
   // bottleneck storage node adds on top. The profile's get_us still
   // charges the engine-side cost of a get; rtt/transfer/queueing are the
   // wire's, priced separately.
-  return profile.startup_s + us / 1e6 + m.makespan_net_seconds +
-         m.net_queue_seconds;
+  double net_s = m.makespan_net_seconds + m.net_queue_seconds;
+  if (m.net_overlap_ns > 0) {
+    // An overlapped fan-out (net_overlap_ns, a schedule-shape field) hid
+    // that much of the serial-schedule makespan behind concurrent
+    // per-node batches. The overlapped schedule still can't finish
+    // before the bottleneck node drains its serialized work, so the net
+    // leg is the larger of the shrunk makespan and the busiest node —
+    // the same lower bound FinalizeNetworkQueue anchors the serial
+    // schedule to.
+    uint64_t busiest = 0;
+    for (uint64_t b : m.net_node_busy_ns) busiest = std::max(busiest, b);
+    double shrunk = std::max(
+        0.0, m.makespan_net_seconds -
+                 static_cast<double>(m.net_overlap_ns) / 1e9);
+    net_s = std::max(shrunk, static_cast<double>(busiest) / 1e9);
+  }
+  return profile.startup_s + us / 1e6 + net_s;
 }
 
 }  // namespace zidian

@@ -1,5 +1,6 @@
 #include "storage/cluster.h"
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 
@@ -218,11 +219,12 @@ Result<std::string> Cluster::Get(std::string_view key, QueryMetrics* m,
   return res;
 }
 
-MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
-                                 QueryMetrics* m, CacheFill fill) const {
-  MultiGetResult result;
-  std::vector<std::optional<std::string>>& out = result.values;
-  if (keys.empty()) return result;
+bool Cluster::PrepareMultiGet(const std::vector<std::string>& keys,
+                              QueryMetrics* m, MultiGetResult* result,
+                              std::vector<KvBackend::BatchedKey>* batch,
+                              std::vector<uint32_t>* offsets) const {
+  std::vector<std::optional<std::string>>& out = result->values;
+  if (keys.empty()) return false;
   out.resize(keys.size());
 
   if (m != nullptr) {
@@ -257,7 +259,7 @@ MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
           break;
       }
     }
-    if (pending.empty()) return result;
+    if (pending.empty()) return false;
   } else {
     pending.resize(keys.size());
     for (size_t i = 0; i < keys.size(); ++i) {
@@ -270,23 +272,72 @@ MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
   // the final slots, so nothing is copied or reordered afterwards.
   size_t num_nodes = nodes_.size();
   std::vector<uint32_t> node_of(pending.size());
-  std::vector<uint32_t> offsets(num_nodes + 1, 0);
+  offsets->assign(num_nodes + 1, 0);
   for (size_t i = 0; i < pending.size(); ++i) {
     node_of[i] = static_cast<uint32_t>(NodeFor(keys[pending[i]]));
-    ++offsets[node_of[i] + 1];
+    ++(*offsets)[node_of[i] + 1];
   }
-  for (size_t n = 1; n <= num_nodes; ++n) offsets[n] += offsets[n - 1];
-  std::vector<KvBackend::BatchedKey> batch(pending.size());
+  for (size_t n = 1; n <= num_nodes; ++n) (*offsets)[n] += (*offsets)[n - 1];
+  batch->resize(pending.size());
   {
-    std::vector<uint32_t> cursor(offsets.begin(), offsets.end() - 1);
+    std::vector<uint32_t> cursor(offsets->begin(), offsets->end() - 1);
     for (size_t i = 0; i < pending.size(); ++i) {
-      batch[cursor[node_of[i]]++] = {keys[pending[i]], pending[i]};
+      (*batch)[cursor[node_of[i]]++] = {keys[pending[i]], pending[i]};
     }
   }
+  return true;
+}
+
+void Cluster::SettleNodeBatch(const std::vector<KvBackend::BatchedKey>& batch,
+                              size_t begin, size_t end,
+                              const std::vector<uint8_t>* reachable,
+                              CacheFill fill, QueryMetrics* m,
+                              MultiGetResult* result,
+                              uint64_t* unreachable) const {
+  std::vector<std::optional<std::string>>& out = result->values;
+  for (size_t j = begin; j < end; ++j) {
+    uint32_t slot = batch[j].slot;
+    if (reachable != nullptr && (*reachable)[j - begin] == 0) {
+      // Unreachable keys give their backend value back and are neither
+      // metered as fetched nor cached — in either polarity — because
+      // unreachable is not absent.
+      out[slot].reset();
+      if (result->failed.empty()) result->failed.assign(out.size(), 0);
+      result->failed[slot] = 1;
+      ++*unreachable;
+      continue;
+    }
+    const auto& value = out[slot];
+    if (!value.has_value()) {
+      // The node confirmed the key absent: remember that, so the next
+      // batch over the same keys skips this round trip.
+      if (CacheActive() && fill == CacheFill::kFill) {
+        size_t evicted = cache_->InsertNegative(batch[j].key);
+        if (m != nullptr) m->cache_evictions += evicted;
+      }
+      continue;
+    }
+    if (m != nullptr) {
+      m->bytes_from_storage += batch[j].key.size() + value->size();
+    }
+    if (CacheActive() && fill == CacheFill::kFill) {
+      size_t evicted = cache_->Insert(batch[j].key, *value);
+      if (m != nullptr) m->cache_evictions += evicted;
+    }
+  }
+}
+
+MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
+                                 QueryMetrics* m, CacheFill fill) const {
+  MultiGetResult result;
+  std::vector<KvBackend::BatchedKey> batch;
+  std::vector<uint32_t> offsets;
+  if (!PrepareMultiGet(keys, m, &result, &batch, &offsets)) return result;
+  std::vector<std::optional<std::string>>& out = result.values;
 
   const bool recover = network_ != nullptr && recovery_active();
   uint64_t unreachable = 0;
-  for (size_t n = 0; n < num_nodes; ++n) {
+  for (size_t n = 0; n + 1 < offsets.size(); ++n) {
     size_t begin = offsets[n], end = offsets[n + 1];
     if (begin == end) continue;
     nodes_[n]->MultiGet(
@@ -297,9 +348,7 @@ MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
     if (recover) {
       // The recovery machine decides, per key, whether any replica
       // answered within the attempt budget (retries / backoff / timeouts
-      // / hedges, all metered and stalled inside). Unreachable keys give
-      // their backend value back and are neither metered as fetched nor
-      // cached — in either polarity — because unreachable is not absent.
+      // / hedges, all metered and stalled inside).
       std::vector<NetworkModel::BatchItem> items;
       items.reserve(end - begin);
       for (size_t j = begin; j < end; ++j) {
@@ -311,31 +360,8 @@ MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
       std::vector<uint8_t> reachable;
       network_->FetchWithRecovery(ReplicaChain(static_cast<int>(n)), items,
                                   recovery_, m, &reachable);
-      for (size_t j = begin; j < end; ++j) {
-        uint32_t slot = batch[j].slot;
-        if (reachable[j - begin] == 0) {
-          out[slot].reset();
-          if (result.failed.empty()) result.failed.assign(keys.size(), 0);
-          result.failed[slot] = 1;
-          ++unreachable;
-          continue;
-        }
-        const auto& value = out[slot];
-        if (!value.has_value()) {
-          if (CacheActive() && fill == CacheFill::kFill) {
-            size_t evicted = cache_->InsertNegative(batch[j].key);
-            if (m != nullptr) m->cache_evictions += evicted;
-          }
-          continue;
-        }
-        if (m != nullptr) {
-          m->bytes_from_storage += batch[j].key.size() + value->size();
-        }
-        if (CacheActive() && fill == CacheFill::kFill) {
-          size_t evicted = cache_->Insert(batch[j].key, *value);
-          if (m != nullptr) m->cache_evictions += evicted;
-        }
-      }
+      SettleNodeBatch(batch, begin, end, &reachable, fill, m, &result,
+                      &unreachable);
       continue;
     }
     uint64_t shipped = 0;  // keys out + found values back, for the network
@@ -343,23 +369,9 @@ MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
       shipped += batch[j].key.size();
       const auto& value = out[batch[j].slot];
       if (value.has_value()) shipped += value->size();
-      if (!value.has_value()) {
-        // The node confirmed the key absent: remember that, so the next
-        // batch over the same keys skips this round trip.
-        if (CacheActive() && fill == CacheFill::kFill) {
-          size_t evicted = cache_->InsertNegative(batch[j].key);
-          if (m != nullptr) m->cache_evictions += evicted;
-        }
-        continue;
-      }
-      if (m != nullptr) {
-        m->bytes_from_storage += batch[j].key.size() + value->size();
-      }
-      if (CacheActive() && fill == CacheFill::kFill) {
-        size_t evicted = cache_->Insert(batch[j].key, *value);
-        if (m != nullptr) m->cache_evictions += evicted;
-      }
     }
+    SettleNodeBatch(batch, begin, end, nullptr, fill, m, &result,
+                    &unreachable);
     // The batching economics in one line: this whole per-node batch pays
     // ONE round trip (rtt once) plus a marginal per-key cost — where the
     // same keys as single Gets would pay the rtt per key.
@@ -374,6 +386,134 @@ MultiGetResult Cluster::MultiGet(const std::vector<std::string>& keys,
         " attempts");
   }
   return result;
+}
+
+size_t AsyncMultiGet::inflight() const {
+  size_t n = 0;
+  for (uint8_t w : waited_) {
+    if (w == 0) ++n;
+  }
+  return n;
+}
+
+int AsyncMultiGet::WaitNext() {
+  // The modeled schedule was fully decided at issue (every future is
+  // already fulfilled with its wake instant); this replays it: pick the
+  // earliest un-waited completion — ties broken by node order, so the
+  // drain order is deterministic — and sleep to it.
+  int best = -1;
+  int64_t best_wake = 0;
+  for (size_t i = 0; i < batches_.size(); ++i) {
+    if (waited_[i] != 0) continue;
+    const int64_t wake = batches_[i].done.Get();
+    if (best < 0 || wake < best_wake) {
+      best = static_cast<int>(i);
+      best_wake = wake;
+    }
+  }
+  if (best < 0) return -1;
+  waited_[static_cast<size_t>(best)] = 1;
+  if (network_ != nullptr) network_->SleepUntil(best_wake);
+  return best;
+}
+
+MultiGetResult AsyncMultiGet::Finish(FanoutStats* stats) {
+  while (WaitNext() >= 0) {
+  }
+  if (stats != nullptr) stats->Merge(stats_);
+  return std::move(result_);
+}
+
+AsyncMultiGet Cluster::MultiGetAsync(const std::vector<std::string>& keys,
+                                     QueryMetrics* m, CacheFill fill) const {
+  AsyncMultiGet handle;
+  handle.network_ = network_.get();
+  std::vector<KvBackend::BatchedKey> batch;
+  std::vector<uint32_t> offsets;
+  if (!PrepareMultiGet(keys, m, &handle.result_, &batch, &offsets)) {
+    return handle;
+  }
+  std::vector<std::optional<std::string>>& out = handle.result_.values;
+
+  // Issue phase: every touched node's batch departs at one common
+  // modeled instant t0, claiming its node clock there instead of after
+  // the previous node's stall. All metering, fault verdicts, cache
+  // fills and result slots resolve here, per node IN NODE ORDER, into a
+  // per-batch delta — so the batch's own modeled service time is known
+  // for the overlap accounting, and the merge into `m` is a pure sum,
+  // byte-identical to the serial path's totals. Only the stalls are
+  // deferred, to the handle's WaitNext. Queue waits come from the
+  // shared node clocks and feed only the wake instants, never a counter.
+  const bool recover = network_ != nullptr && recovery_active();
+  const int64_t t0 = network_ != nullptr ? network_->NowNs() : 0;
+  uint64_t total_service = 0;
+  uint64_t max_service = 0;
+  uint64_t unreachable = 0;
+  for (size_t n = 0; n + 1 < offsets.size(); ++n) {
+    size_t begin = offsets[n], end = offsets[n + 1];
+    if (begin == end) continue;
+    nodes_[n]->MultiGet(
+        std::span<const KvBackend::BatchedKey>(batch.data() + begin,
+                                               end - begin),
+        &out);
+    QueryMetrics delta;
+    delta.get_round_trips += 1;
+    int64_t wake = t0;
+    if (recover) {
+      std::vector<NetworkModel::BatchItem> items;
+      items.reserve(end - begin);
+      for (size_t j = begin; j < end; ++j) {
+        const auto& value = out[batch[j].slot];
+        items.push_back({batch[j].key,
+                         batch[j].key.size() +
+                             (value.has_value() ? value->size() : 0)});
+      }
+      std::vector<uint8_t> reachable;
+      wake = network_->FetchWithRecoveryAt(ReplicaChain(static_cast<int>(n)),
+                                           items, recovery_, &delta,
+                                           &reachable, t0);
+      SettleNodeBatch(batch, begin, end, &reachable, fill, &delta,
+                      &handle.result_, &unreachable);
+    } else {
+      uint64_t shipped = 0;
+      for (size_t j = begin; j < end; ++j) {
+        shipped += batch[j].key.size();
+        const auto& value = out[batch[j].slot];
+        if (value.has_value()) shipped += value->size();
+      }
+      SettleNodeBatch(batch, begin, end, nullptr, fill, &delta,
+                      &handle.result_, &unreachable);
+      if (network_ != nullptr) {
+        wake = network_
+                   ->OnGetAt(static_cast<int>(n), end - begin, shipped, &delta,
+                             t0)
+                   .wake_ns;
+      }
+    }
+    total_service += delta.net_service_ns;
+    max_service = std::max(max_service, delta.net_service_ns);
+    if (m != nullptr) *m += delta;
+    Promise<int64_t> promise;
+    AsyncNodeBatch nb;
+    nb.node = static_cast<int>(n);
+    nb.slots.reserve(end - begin);
+    for (size_t j = begin; j < end; ++j) nb.slots.push_back(batch[j].slot);
+    nb.done = promise.GetFuture();
+    promise.Set(wake);
+    handle.batches_.push_back(std::move(nb));
+  }
+  handle.waited_.assign(handle.batches_.size(), 0);
+  // The fan-out's schedule shape: the hidden time is what the serial
+  // stall schedule would have added on top of the slowest batch.
+  handle.stats_.overlap_ns = total_service - max_service;
+  handle.stats_.inflight_max = handle.batches_.size();
+  if (unreachable > 0) {
+    handle.result_.status = Status::Unavailable(
+        std::to_string(unreachable) + " of " + std::to_string(keys.size()) +
+        " keys unreachable after " + std::to_string(recovery_.max_attempts) +
+        " attempts");
+  }
+  return handle;
 }
 
 void Cluster::ScanPrefix(

@@ -25,6 +25,19 @@
 // middleware-local memory, and scans stream (the paper's per-round-trip
 // economics are about point access — the path the network model prices).
 //
+// The read seam offers two stall schedules over the same metering.
+// MultiGet is serial: each per-node batch stalls the caller before the
+// next departs, so a fan-out over k nodes pays the SUM of per-node
+// latencies. MultiGetAsync is overlapped: every touched node's batch is
+// issued at one common modeled instant and the caller drains completions
+// in modeled wake order (decoding each node's values while later batches
+// are still in flight), so independent latencies overlap and the fan-out
+// costs about the slowest node. The two schedules meter bit-identically
+// — rows, fault counters and every CountersEqual field are invariant
+// across sync/async, parallel mode and worker count; only the
+// schedule-shape fields (net_overlap_ns / net_inflight_max), the modeled
+// makespan and the wall clock may differ.
+//
 // Thread safety: the read path (Get / MultiGet / ScanPrefix / CountPrefix)
 // is safe from any number of concurrent threads as long as no writes are
 // in flight and each thread meters into its own QueryMetrics — this is
@@ -52,6 +65,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/future.h"
 #include "common/hash.h"
 #include "common/metrics.h"
 #include "common/result.h"
@@ -141,6 +155,74 @@ struct [[nodiscard]] MultiGetResult {
   }
 };
 
+/// One node's issued batch inside an AsyncMultiGet: which result slots it
+/// fills, and a future completing with the batch's modeled completion
+/// instant (ns since the network epoch; 0 when no network is attached).
+/// The future is fulfilled at issue time — the modeled schedule is fully
+/// decided the moment the fan-out departs — so Ready() is immediately
+/// true; the real stall is replayed by AsyncMultiGet::WaitNext.
+struct AsyncNodeBatch {
+  int node = 0;
+  std::vector<uint32_t> slots;
+  Future<int64_t> done;
+};
+
+/// The in-flight handle Cluster::MultiGetAsync returns. Every touched
+/// node's batch has already been ISSUED when the handle exists — metered,
+/// node clock claimed at one common instant, values and cache state
+/// resolved — but nothing has been stalled yet. Drain with WaitNext(),
+/// which sleeps to the earliest un-waited batch's modeled completion and
+/// returns its index into batches(), so the caller decodes that node's
+/// values while the other batches are still in flight; close with
+/// Finish(), which drains whatever remains and hands back the
+/// MultiGetResult plus the fan-out's schedule-shape stats. Dropping an
+/// unfinished handle is safe (no leak, no stall — the modeled schedule
+/// simply isn't replayed). Single-owner and movable; one handle must not
+/// be shared across threads (each worker drives its own fan-out).
+class [[nodiscard]] AsyncMultiGet {
+ public:
+  AsyncMultiGet(AsyncMultiGet&&) noexcept = default;
+  AsyncMultiGet& operator=(AsyncMultiGet&&) noexcept = default;
+  AsyncMultiGet(const AsyncMultiGet&) = delete;
+  AsyncMultiGet& operator=(const AsyncMultiGet&) = delete;
+
+  /// The issued per-node batches, in node order. Empty when every key was
+  /// answered by the cache (nothing reached a node).
+  const std::vector<AsyncNodeBatch>& batches() const { return batches_; }
+
+  /// Batches issued but not yet returned by WaitNext.
+  size_t inflight() const;
+
+  /// Stalls to the earliest un-waited batch's modeled completion
+  /// (smallest (wake, node)) and returns its index into batches(); -1
+  /// once every batch has been waited. In the modeled timeline a batch's
+  /// result slots become readable when WaitNext returns its index.
+  int WaitNext();
+
+  /// The result under construction; slot values for a batch are
+  /// modeled-visible once WaitNext returned that batch (Finish waits for
+  /// everything and is the simple way to consume it).
+  const MultiGetResult& result() const { return result_; }
+
+  /// Drains every remaining batch and returns the completed result.
+  /// When `stats` is non-null the fan-out's schedule-shape summary is
+  /// merged into it (overlap_ns = sum of per-batch modeled service minus
+  /// the max; inflight_max = number of per-node batches issued) — the
+  /// caller folds it into QueryMetrics at its merge point
+  /// (kba/makespan.h ChargeFanoutOverlap), never into per-worker deltas.
+  MultiGetResult Finish(FanoutStats* stats = nullptr);
+
+ private:
+  friend class Cluster;
+  AsyncMultiGet() = default;
+
+  const NetworkModel* network_ = nullptr;  // null = no stalls to replay
+  std::vector<AsyncNodeBatch> batches_;
+  std::vector<uint8_t> waited_;  // parallel to batches_
+  MultiGetResult result_;
+  FanoutStats stats_;
+};
+
 class Cluster {
  public:
   explicit Cluster(ClusterOptions options = {});
@@ -198,6 +280,23 @@ class Cluster {
   MultiGetResult MultiGet(const std::vector<std::string>& keys,
                           QueryMetrics* m,
                           CacheFill fill = CacheFill::kFill) const;
+
+  /// The overlapped fan-out twin of MultiGet: identical request
+  /// grouping, metering, cache behavior, recovery verdicts and result —
+  /// CountersEqual cannot tell the two apart — but every touched node's
+  /// batch is issued at one common modeled instant without stalling, and
+  /// the returned handle replays the stalls in modeled completion order
+  /// (AsyncMultiGet::WaitNext/Finish). A fan-out over k independent
+  /// nodes therefore costs about the slowest node instead of the sum;
+  /// the hidden time is reported through the handle's FanoutStats as
+  /// net_overlap_ns. Under an active fault schedule each node's batch
+  /// runs the recovery machine (retries / backoff / timeouts / hedges)
+  /// independently, its completions racing the other nodes' — fault
+  /// counters stay bit-identical to the serial path because verdicts
+  /// never read the clock.
+  AsyncMultiGet MultiGetAsync(const std::vector<std::string>& keys,
+                              QueryMetrics* m,
+                              CacheFill fill = CacheFill::kFill) const;
 
   /// Iterates all pairs whose key starts with `prefix`, in key order per
   /// node. Models the TaaV "blind scan": meters one next_call per visited
@@ -291,6 +390,25 @@ class Cluster {
 
  private:
   bool CacheActive() const { return cache_ != nullptr && !cache_bypassed(); }
+
+  /// Shared front half of MultiGet/MultiGetAsync: meters the logical
+  /// calls, serves cache hits (both polarities), and counting-sorts the
+  /// missed slots by owning node (`batch` grouped per node, node n's
+  /// range = [(*offsets)[n], (*offsets)[n+1])). Returns false when no
+  /// key needs a backend fetch.
+  bool PrepareMultiGet(const std::vector<std::string>& keys, QueryMetrics* m,
+                       MultiGetResult* result,
+                       std::vector<KvBackend::BatchedKey>* batch,
+                       std::vector<uint32_t>* offsets) const;
+  /// Shared back half of one node batch: per-slot bookkeeping after the
+  /// node answered and (under recovery) reachability is known — failed
+  /// flags, bytes_from_storage, cache fills in both polarities. Meters
+  /// into `m` (nullable); bumps `*unreachable` per slot lost.
+  void SettleNodeBatch(const std::vector<KvBackend::BatchedKey>& batch,
+                       size_t begin, size_t end,
+                       const std::vector<uint8_t>* reachable, CacheFill fill,
+                       QueryMetrics* m, MultiGetResult* result,
+                       uint64_t* unreachable) const;
 
   std::vector<std::unique_ptr<KvBackend>> nodes_;
   std::unique_ptr<BlockCache> cache_;

@@ -108,23 +108,33 @@ void NetworkModel::Meter(int node, const Cost& cost, uint64_t bytes,
   m->net_service_ns += static_cast<uint64_t>(cost.latency_ns);
 }
 
-int64_t NetworkModel::OnGet(int node, uint64_t keys, uint64_t bytes,
-                            QueryMetrics* m) const {
+void NetworkModel::SleepUntil(int64_t wake_ns) const {
+  int64_t now = NowNs();
+  if (wake_ns > now) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(wake_ns - now));
+  }
+}
+
+NetworkModel::AsyncCost NetworkModel::OnGetAt(int node, uint64_t keys,
+                                              uint64_t bytes, QueryMetrics* m,
+                                              int64_t now_ns) const {
   Cost cost = RequestCost(node, keys, bytes);
   Meter(node, cost, bytes, m);
+  int64_t start = ClaimNode(node, cost.busy_ns, now_ns);
+  return {start + cost.latency_ns, cost.latency_ns};
+}
+
+int64_t NetworkModel::OnGet(int node, uint64_t keys, uint64_t bytes,
+                            QueryMetrics* m) const {
   // The stall is real in BOTH parallel modes (exactly like the old flat
   // RTT knob): a sequential caller pays requests back-to-back while
   // threaded workers overlap propagation — so measured wall-clock can
   // validate what the makespan model predicts. Queueing is physical too:
   // the node's next-free-time clock serializes the busy components of
   // concurrent requests.
-  int64_t now = NowNs();
-  int64_t start = ClaimNode(node, cost.busy_ns, now);
-  int64_t wake = start + cost.latency_ns;
-  if (wake > now) {
-    std::this_thread::sleep_for(std::chrono::nanoseconds(wake - now));
-  }
-  return cost.latency_ns;
+  AsyncCost ac = OnGetAt(node, keys, bytes, m, NowNs());
+  SleepUntil(ac.wake_ns);
+  return ac.latency_ns;
 }
 
 void NetworkModel::OnWrite(int node, uint64_t keys, uint64_t bytes,
@@ -181,8 +191,21 @@ void NetworkModel::FetchWithRecovery(const std::vector<int>& replicas,
                                      const RecoveryOptions& recovery,
                                      QueryMetrics* m,
                                      std::vector<uint8_t>* ok) const {
+  // One stall for the whole resolution — real in both parallel modes, so
+  // wall-clock tail latency shows exactly what the model priced (the
+  // hedged path's whole point: the wake tracks first successes, not the
+  // straggler's full degraded latency).
+  SleepUntil(FetchWithRecoveryAt(replicas, items, recovery, m, ok, NowNs()));
+}
+
+int64_t NetworkModel::FetchWithRecoveryAt(const std::vector<int>& replicas,
+                                          const std::vector<BatchItem>& items,
+                                          const RecoveryOptions& recovery,
+                                          QueryMetrics* m,
+                                          std::vector<uint8_t>* ok,
+                                          int64_t call_now_ns) const {
   ok->assign(items.size(), 0);
-  if (items.empty() || replicas.empty()) return;
+  if (items.empty() || replicas.empty()) return call_now_ns;
   const size_t chain = replicas.size();
   const int max_rounds = std::max(1, recovery.max_attempts);
   const int64_t timeout_ns = UsToNs(recovery.timeout_us);
@@ -231,7 +254,7 @@ void NetworkModel::FetchWithRecovery(const std::vector<int>& replicas,
     return start_ns + *queue_wait + cost.latency_ns;  // request completion
   };
 
-  const int64_t call_now = NowNs();
+  const int64_t call_now = call_now_ns;
   std::vector<uint32_t> pending(items.size());
   for (size_t i = 0; i < items.size(); ++i) {
     pending[i] = static_cast<uint32_t>(i);
@@ -350,15 +373,7 @@ void NetworkModel::FetchWithRecovery(const std::vector<int>& replicas,
   // Exhausted keys settle when their last failure was detected.
   if (!pending.empty()) resolve_ns = std::max(resolve_ns, round_start);
 
-  // One stall for the whole resolution — real in both parallel modes, so
-  // wall-clock tail latency shows exactly what the model priced (the
-  // hedged path's whole point: resolve_ns tracks first successes, not the
-  // straggler's full degraded latency).
-  int64_t wake = call_now + resolve_ns;
-  int64_t now = NowNs();
-  if (wake > now) {
-    std::this_thread::sleep_for(std::chrono::nanoseconds(wake - now));
-  }
+  return call_now + resolve_ns;
 }
 
 std::string NetworkModel::FaultText() const {

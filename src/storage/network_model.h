@@ -228,6 +228,40 @@ class NetworkModel {
   int64_t OnGet(int node, uint64_t keys, uint64_t bytes,
                 QueryMetrics* m) const;
 
+  // --- overlapped fan-out (deferred-stall) primitives ------------------
+  //
+  // OnGet/FetchWithRecovery stall the caller per request, so a fan-out
+  // over several nodes pays the SUM of per-node latencies. The *At
+  // variants split each call into its issue half (meter + claim the node
+  // clock at a caller-supplied modeled instant; never sleeps) and leave
+  // the wait half to the caller (SleepUntil per completion), so a worker
+  // can issue EVERY touched node's batch at one common instant and the
+  // independent latencies overlap — the makespan becomes the max. The
+  // metering is byte-identical to the stalling calls (same Cost, same
+  // counters, same fault verdicts): only the stall schedule differs,
+  // which is why sync and async fan-outs satisfy CountersEqual.
+
+  /// The modeled completion of one issued request.
+  struct AsyncCost {
+    int64_t wake_ns = 0;     ///< absolute modeled completion instant
+    int64_t latency_ns = 0;  ///< the request's own latency (no queueing)
+  };
+
+  /// The issue half of OnGet, anchored at modeled instant `now_ns`
+  /// (stamp NowNs() once per fan-out and pass it to every issue so the
+  /// batches depart together).
+  AsyncCost OnGetAt(int node, uint64_t keys, uint64_t bytes, QueryMetrics* m,
+                    int64_t now_ns) const;
+
+  /// Nanoseconds since the model's epoch on the monotonic clock — the
+  /// common issue instant of one overlapped fan-out.
+  int64_t NowNs() const;
+
+  /// Stalls the calling thread until modeled instant `wake_ns` has
+  /// passed (no-op when it already has) — the wait half the *At calls
+  /// defer.
+  void SleepUntil(int64_t wake_ns) const;
+
   /// One write: metered identically to OnGet but never stalled — bulk
   /// loads and maintenance writes must not crawl (the same contract the
   /// old round_trip_latency_us knob had). The write still occupies the
@@ -300,9 +334,21 @@ class NetworkModel {
                          const RecoveryOptions& recovery, QueryMetrics* m,
                          std::vector<uint8_t>* ok) const;
 
+  /// The issue half of FetchWithRecovery: plays the same rounds with the
+  /// same metering and per-key verdicts, anchored at the caller-supplied
+  /// modeled instant `call_now_ns`, and returns the absolute modeled
+  /// instant the last key resolves instead of stalling. An overlapped
+  /// caller issues one of these per touched node at a common instant and
+  /// SleepUntil()s each returned wake as it drains completions. Verdicts
+  /// and fault counters never read the clock, so they are bit-identical
+  /// to the stalling path under any completion interleaving.
+  int64_t FetchWithRecoveryAt(const std::vector<int>& replicas,
+                              const std::vector<BatchItem>& items,
+                              const RecoveryOptions& recovery, QueryMetrics* m,
+                              std::vector<uint8_t>* ok,
+                              int64_t call_now_ns) const;
+
  private:
-  /// Nanoseconds since the model's epoch on the monotonic clock.
-  int64_t NowNs() const;
   /// Advances `node`'s next-free-time clock by `busy_ns` and returns the
   /// instant the node starts serving this request (>= now).
   int64_t ClaimNode(int node, int64_t busy_ns, int64_t now_ns) const;

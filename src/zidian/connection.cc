@@ -145,12 +145,13 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
         spec_,
         TaavExecOptions{.workers = workers,
                         .parallel_mode = out->parallel_mode,
-                        .pool = pool},
+                        .pool = pool,
+                        .fanout = opts.fanout},
         &out->metrics);
   } else {
     out->route = planned_->scan_free ? AnswerInfo::Route::kKbaScanFree
                                      : AnswerInfo::Route::kKbaWithScans;
-    result = ExecuteKba(workers, out->parallel_mode, pool, out);
+    result = ExecuteKba(workers, out->parallel_mode, pool, opts.fanout, out);
   }
   out->metrics.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
@@ -174,6 +175,7 @@ Result<Relation> PreparedQuery::Execute(const ExecOptions& opts,
 
 Result<Relation> PreparedQuery::ExecuteKba(int workers, ParallelMode mode,
                                            ThreadPool* pool,
+                                           FanoutMode fanout,
                                            AnswerInfo* out) {
   // M3: interleaved parallel execution.
   KbaExecutor executor(&zidian_->store());
@@ -182,7 +184,8 @@ Result<Relation> PreparedQuery::ExecuteKba(int workers, ParallelMode mode,
       executor.Execute(*planned_->plan,
                        KbaExecOptions{.workers = workers,
                                       .parallel_mode = mode,
-                                      .pool = pool},
+                                      .pool = pool,
+                                      .fanout = fanout},
                        &out->metrics));
 
   Relation result;

@@ -95,6 +95,14 @@ struct ExecOptions {
   /// default), Execute uses the Connection's shared pool, creating it on
   /// first use and growing it to workers-1 threads as needed.
   ThreadPool* pool = nullptr;
+  /// Per-worker stall schedule over the storage nodes, on BOTH routes:
+  /// kSerial (default) keeps one per-node request in flight at a time;
+  /// kOverlapped issues every touched node's batch before waiting on any
+  /// (Cluster::MultiGetAsync on the KBA route, per-node request chains
+  /// on the TaaV scan). Rows and CountersEqual metrics are invariant —
+  /// only the schedule-shape metrics (net_overlap_ns / net_inflight_max),
+  /// the modeled makespan and the wall clock move.
+  FanoutMode fanout = FanoutMode::kSerial;
 };
 
 /// The lazily created ThreadPool one Connection shares across every
@@ -156,7 +164,7 @@ class PreparedQuery {
   /// M3 + query finishing for the KBA route. `pool` is non-null only for
   /// an effective kThreads run.
   Result<Relation> ExecuteKba(int workers, ParallelMode mode, ThreadPool* pool,
-                              AnswerInfo* out);
+                              FanoutMode fanout, AnswerInfo* out);
 
   Zidian* zidian_;
   QuerySpec spec_;

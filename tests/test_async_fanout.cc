@@ -1,0 +1,449 @@
+// The sync-vs-async fan-out parity battery. Cluster::MultiGetAsync (and
+// the overlapped per-node request chains on the TaaV scan) must be
+// indistinguishable from the serial fan-out everywhere the determinism
+// contract can look: byte-identical values, per-slot failure flags and
+// statuses at the Cluster layer; byte-identical rows and CountersEqual
+// metrics at the query layer — across both engines, both parallel modes
+// (kSimulated / kThreads), worker counts 1/2/4/8, and repeated threaded
+// runs. Only the schedule-shape fields (net_overlap_ns /
+// net_inflight_max), which CountersEqual ignores, may differ between
+// FanoutMode::kSerial and kOverlapped — and those must themselves be
+// deterministic: equal across parallel modes for a fixed partition.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/metrics.h"
+#include "common/thread_pool.h"
+#include "kba/kba_executor.h"
+#include "kba/kba_plan.h"
+#include "storage/backend.h"
+#include "storage/cluster.h"
+#include "storage/network_model.h"
+#include "workloads/workload.h"
+#include "zidian/connection.h"
+#include "zidian/zidian.h"
+
+namespace zidian {
+namespace {
+
+// ----------------------------------------------- cluster-level parity ---
+
+ClusterOptions NetworkedClusterOptions() {
+  ClusterOptions co{.num_storage_nodes = 4, .backend = BackendKind::kMem};
+  co.network.link =
+      NetworkLinkOptions{.rtt_us = 5, .per_key_us = 1, .per_byte_us = 0.01};
+  return co;
+}
+
+std::vector<std::string> SeedKeys(Cluster* cluster, int count) {
+  std::vector<std::string> keys;
+  for (int i = 0; i < count; ++i) {
+    keys.push_back("fanout-key-" + std::to_string(i));
+    EXPECT_TRUE(
+        cluster->Put(keys.back(), "value-" + std::to_string(i), nullptr).ok());
+  }
+  return keys;
+}
+
+size_t TouchedNodes(const Cluster& cluster,
+                    const std::vector<std::string>& keys) {
+  std::set<int> nodes;
+  for (const auto& k : keys) nodes.insert(cluster.NodeFor(k));
+  return nodes.size();
+}
+
+void ExpectSameOutcome(const MultiGetResult& sync_res,
+                       const MultiGetResult& async_res, size_t n) {
+  EXPECT_EQ(sync_res.ok(), async_res.ok());
+  EXPECT_EQ(sync_res.status.ToString(), async_res.status.ToString());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(sync_res[i].has_value(), async_res[i].has_value()) << i;
+    if (sync_res[i].has_value()) {
+      EXPECT_EQ(*sync_res[i], *async_res[i]) << i;
+    }
+    EXPECT_EQ(sync_res.Failed(i), async_res.Failed(i)) << i;
+  }
+}
+
+TEST(AsyncMultiGetTest, FinishMatchesSyncByteForByte) {
+  Cluster cluster(NetworkedClusterOptions());
+  std::vector<std::string> keys = SeedKeys(&cluster, 60);
+  keys.push_back("never-written-a");  // absent slots take the same path
+  keys.push_back("never-written-b");
+
+  // kNoFill keeps both runs cold even under the cache-enabled ctest
+  // configuration — the sync run must not warm the async one's keys.
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms, CacheFill::kNoFill);
+  ASSERT_TRUE(sync_res.ok()) << sync_res.status.ToString();
+
+  QueryMetrics ma;
+  AsyncMultiGet handle = cluster.MultiGetAsync(keys, &ma, CacheFill::kNoFill);
+  FanoutStats fs;
+  MultiGetResult async_res = handle.Finish(&fs);
+
+  ExpectSameOutcome(sync_res, async_res, keys.size());
+  // Identical logical work: CountersEqual cannot tell the fan-outs apart.
+  EXPECT_TRUE(CountersEqual(ms, ma))
+      << "sync: " << ms.ToString() << "\nasync: " << ma.ToString();
+  // The schedule shape is where they differ: with 4 healthy nodes in
+  // flight together, all but the slowest batch's latency is hidden.
+  EXPECT_GT(fs.overlap_ns, 0u);
+  EXPECT_EQ(fs.inflight_max, TouchedNodes(cluster, keys));
+}
+
+TEST(AsyncMultiGetTest, WaitNextDrainsEveryBatchOnceInWakeOrder) {
+  Cluster cluster(NetworkedClusterOptions());
+  std::vector<std::string> keys = SeedKeys(&cluster, 60);
+
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms, CacheFill::kNoFill);
+
+  QueryMetrics ma;
+  AsyncMultiGet handle = cluster.MultiGetAsync(keys, &ma, CacheFill::kNoFill);
+  const size_t batches = handle.batches().size();
+  EXPECT_EQ(handle.inflight(), batches);
+  EXPECT_EQ(batches, TouchedNodes(cluster, keys));
+
+  // Drain by hand: every batch exactly once, in non-decreasing modeled
+  // wake order, slots covering the key range exactly once.
+  std::vector<int> seen;
+  int64_t last_wake = 0;
+  std::vector<uint8_t> slot_seen(keys.size(), 0);
+  for (int b = handle.WaitNext(); b >= 0; b = handle.WaitNext()) {
+    const AsyncNodeBatch& batch = handle.batches()[static_cast<size_t>(b)];
+    ASSERT_TRUE(batch.done.Ready());
+    int64_t wake = batch.done.Get();
+    EXPECT_GE(wake, last_wake);
+    last_wake = wake;
+    for (uint32_t s : batch.slots) {
+      ASSERT_LT(s, keys.size());
+      EXPECT_EQ(slot_seen[s], 0) << "slot " << s << " delivered twice";
+      slot_seen[s] = 1;
+      EXPECT_EQ(cluster.NodeFor(keys[s]), batch.node);
+    }
+    seen.push_back(b);
+  }
+  EXPECT_EQ(seen.size(), batches);
+  EXPECT_EQ(handle.inflight(), 0u);
+  EXPECT_EQ(handle.WaitNext(), -1);  // drained handles stay drained
+  for (uint8_t s : slot_seen) EXPECT_EQ(s, 1);
+
+  // Finish after a manual drain adds no stalls and returns the result.
+  FanoutStats fs;
+  MultiGetResult async_res = handle.Finish(&fs);
+  ExpectSameOutcome(sync_res, async_res, keys.size());
+  EXPECT_TRUE(CountersEqual(ms, ma))
+      << "sync: " << ms.ToString() << "\nasync: " << ma.ToString();
+  EXPECT_GT(fs.overlap_ns, 0u);
+}
+
+TEST(AsyncMultiGetTest, NoNetworkModelCompletesAtIssue) {
+  // Without a NetworkModel there is no modeled time to overlap: the
+  // futures are ready the moment MultiGetAsync returns, and the result
+  // still matches the sync path exactly.
+  Cluster cluster(
+      ClusterOptions{.num_storage_nodes = 4, .backend = BackendKind::kMem});
+  std::vector<std::string> keys = SeedKeys(&cluster, 40);
+
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms, CacheFill::kNoFill);
+
+  QueryMetrics ma;
+  AsyncMultiGet handle = cluster.MultiGetAsync(keys, &ma, CacheFill::kNoFill);
+  for (const AsyncNodeBatch& b : handle.batches()) {
+    EXPECT_TRUE(b.done.Ready());
+  }
+  FanoutStats fs;
+  MultiGetResult async_res = handle.Finish(&fs);
+  ExpectSameOutcome(sync_res, async_res, keys.size());
+  EXPECT_TRUE(CountersEqual(ms, ma))
+      << "sync: " << ms.ToString() << "\nasync: " << ma.ToString();
+  EXPECT_EQ(fs.overlap_ns, 0u);
+}
+
+TEST(AsyncMultiGetTest, FullyCachedBatchIssuesNoBatches) {
+  // A cache hit never left the middleware, so it has nothing to overlap:
+  // a fully warmed batch produces an empty handle and zero round trips —
+  // on the async path exactly as on the sync one.
+  ClusterOptions co = NetworkedClusterOptions();
+  co.cache = {.capacity_bytes = 1 << 20, .shards = 4};
+  Cluster cluster(co);
+  std::vector<std::string> keys = SeedKeys(&cluster, 40);
+
+  QueryMetrics warm;
+  (void)cluster.MultiGet(keys, &warm);  // bring every key into the cache
+
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms);
+  QueryMetrics ma;
+  AsyncMultiGet handle = cluster.MultiGetAsync(keys, &ma);
+  EXPECT_TRUE(handle.batches().empty());
+  FanoutStats fs;
+  MultiGetResult async_res = handle.Finish(&fs);
+  ExpectSameOutcome(sync_res, async_res, keys.size());
+  EXPECT_TRUE(CountersEqual(ms, ma))
+      << "sync: " << ms.ToString() << "\nasync: " << ma.ToString();
+  EXPECT_EQ(ma.cache_hits, keys.size());
+  EXPECT_EQ(ma.get_round_trips, 0u);
+  EXPECT_EQ(fs.overlap_ns, 0u);
+  EXPECT_EQ(fs.inflight_max, 0u);
+}
+
+// ------------------------------------------------- query-level parity ---
+
+// The full sweep: for each engine and each route, the FanoutMode::kSerial
+// kSimulated run at each worker count is the reference; the kOverlapped
+// runs — simulated and 30 repeated threaded runs per worker count — must
+// reproduce its rows and CountersEqual counters exactly, while their
+// schedule-shape fields agree with each other across parallel modes.
+class AsyncParityFixture : public ::testing::TestWithParam<BackendKind> {
+ protected:
+  void SetUp() override {
+    auto w = MakeMot(0.15, 23);
+    ASSERT_TRUE(w.ok());
+    workload_ = std::move(w).value();
+    ClusterOptions co{.num_storage_nodes = 4, .backend = GetParam()};
+    co.network.link =
+        NetworkLinkOptions{.rtt_us = 5, .per_key_us = 1, .per_byte_us = 0.01};
+    cluster_ = std::make_unique<Cluster>(co);
+    zidian_ = std::make_unique<Zidian>(&workload_.catalog, cluster_.get(),
+                                       workload_.baav);
+    ASSERT_TRUE(zidian_->LoadTaav(workload_.data).ok());
+    ASSERT_TRUE(zidian_->BuildBaav(workload_.data).ok());
+  }
+
+  void SweepRoute(RoutePolicy policy, size_t query_index, int repeats,
+                  bool expect_overlap) {
+    Connection conn = zidian_->Connect();
+    auto prepared = conn.Prepare(workload_.queries[query_index].sql);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+
+    // Under the cache-enabled ctest configuration, warm once so every
+    // compared run sees identical residency (a warm cache legitimately
+    // removes round trips — and with them any overlap).
+    if (cluster_->cache_enabled()) {
+      auto warm = prepared->Execute(
+          ExecOptions{.workers = 8, .route_policy = policy});
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    }
+
+    uint64_t overlap_seen = 0;
+    for (int workers : {1, 2, 4, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      AnswerInfo serial;
+      auto ref = prepared->Execute(
+          ExecOptions{.workers = workers, .route_policy = policy}, &serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      std::string reference_rows = ref->ToString(1u << 20);
+      // The serial fan-out never reports schedule shape.
+      EXPECT_EQ(serial.metrics.net_overlap_ns, 0u);
+      EXPECT_EQ(serial.metrics.net_inflight_max, 0u);
+
+      AnswerInfo over_sim;
+      auto os = prepared->Execute(
+          ExecOptions{.workers = workers,
+                      .route_policy = policy,
+                      .fanout = FanoutMode::kOverlapped},
+          &over_sim);
+      ASSERT_TRUE(os.ok()) << os.status().ToString();
+      ASSERT_EQ(os->ToString(1u << 20), reference_rows);
+      ASSERT_TRUE(CountersEqual(over_sim.metrics, serial.metrics))
+          << "serial: " << serial.metrics.ToString()
+          << "\noverlapped: " << over_sim.metrics.ToString();
+      overlap_seen = std::max(overlap_seen, over_sim.metrics.net_overlap_ns);
+
+      for (int run = 0; run < repeats; ++run) {
+        // Alternate threaded-serial and threaded-overlapped runs: every
+        // combination of (FanoutMode, ParallelMode) lands on the same
+        // rows and counters, whatever the scheduler did.
+        const bool overlapped = (run % 2) == 1;
+        AnswerInfo thr;
+        auto r = prepared->Execute(
+            ExecOptions{.workers = workers,
+                        .route_policy = policy,
+                        .parallel_mode = ParallelMode::kThreads,
+                        .fanout = overlapped ? FanoutMode::kOverlapped
+                                             : FanoutMode::kSerial},
+            &thr);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->ToString(1u << 20), reference_rows) << "run " << run;
+        ASSERT_TRUE(CountersEqual(thr.metrics, serial.metrics))
+            << "run " << run << "\n  serial: " << serial.metrics.ToString()
+            << "\n  threaded: " << thr.metrics.ToString();
+        // Schedule shape is deterministic too: a fixed partition yields
+        // the same overlap in kThreads as in kSimulated, run after run.
+        if (overlapped) {
+          ASSERT_EQ(thr.metrics.net_overlap_ns, over_sim.metrics.net_overlap_ns)
+              << "run " << run;
+          ASSERT_EQ(thr.metrics.net_inflight_max,
+                    over_sim.metrics.net_inflight_max)
+              << "run " << run;
+        } else {
+          ASSERT_EQ(thr.metrics.net_overlap_ns, 0u) << "run " << run;
+        }
+      }
+    }
+    if (expect_overlap && !cluster_->cache_enabled()) {
+      // Somewhere in the sweep a worker's partition spanned several nodes
+      // and hid modeled time. (Cells at workers >= nodes may legitimately
+      // overlap nothing: the executor partitions keys node-aligned, so
+      // each batch collapses onto a single node there.)
+      EXPECT_GT(overlap_seen, 0u);
+    }
+  }
+
+  Workload workload_;
+  std::unique_ptr<Cluster> cluster_;
+  std::unique_ptr<Zidian> zidian_;
+};
+
+TEST_P(AsyncParityFixture, KbaRouteSyncVsAsyncSweep) {
+  // mot-q6, the deepest extension chain in the sweep: per-worker batched
+  // MultiGets through BaavStore::MultiGetBlocks — the MultiGetAsync
+  // decode-as-completions-arrive path. The MOT seed queries extend from a
+  // single seed block, so each batch touches few nodes; positive overlap
+  // is asserted by the wide direct-plan sweep below, parity here.
+  SweepRoute(RoutePolicy::kAuto, /*query_index=*/5, /*repeats=*/30,
+             /*expect_overlap=*/false);
+}
+
+TEST_P(AsyncParityFixture, BaselineRouteSyncVsAsyncSweep) {
+  // The TaaV per-tuple scan: overlapped per-node request chains instead
+  // of one stall per tuple. Fewer repeats — the blind scan pays a modeled
+  // stall per tuple, so each run costs more wall-clock than a KBA run.
+  SweepRoute(RoutePolicy::kForceBaseline, /*query_index=*/7, /*repeats=*/10,
+             /*expect_overlap=*/true);
+}
+
+TEST_P(AsyncParityFixture, ExtendHeavyPlanSyncVsAsyncSweep) {
+  // The §7.2 fan-out at its widest, driven straight through the executor
+  // (the SQL seed queries extend from one seed block; this plan extends a
+  // constant block of EVERY vehicle id into mot_test@vehicle_id, so each
+  // worker's batch spans all four storage nodes): both the block route
+  // and the stats-header route, kSerial reference vs kOverlapped across
+  // both parallel modes, workers 1/2/4/8, 30 repeats.
+  KvInst seeds;
+  seeds.key_cols = {"d"};
+  seeds.rel = Relation(seeds.key_cols);
+  for (int64_t v = 1; v <= 64; ++v) seeds.rel.Add({Value(v)});
+  KbaExecutor exec(&zidian_->store());
+
+  for (bool stats_only : {false, true}) {
+    SCOPED_TRACE(stats_only ? "stats" : "blocks");
+    auto plan = KbaPlan::Extend(KbaPlan::Const(seeds), "mot_test@vehicle_id",
+                                "t", {{"d", "vehicle_id"}}, stats_only);
+    if (cluster_->cache_enabled()) {
+      QueryMetrics warm;
+      auto r = exec.Execute(*plan, KbaExecOptions{.workers = 8}, &warm);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+    }
+    uint64_t overlap_seen = 0;
+    uint64_t inflight_seen = 0;
+    for (int workers : {1, 2, 4, 8}) {
+      SCOPED_TRACE("workers=" + std::to_string(workers));
+      QueryMetrics serial;
+      auto ref = exec.Execute(*plan, KbaExecOptions{.workers = workers},
+                              &serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      EXPECT_EQ(serial.net_overlap_ns, 0u);
+
+      QueryMetrics over_sim;
+      auto os = exec.Execute(*plan,
+                             KbaExecOptions{.workers = workers,
+                                            .fanout = FanoutMode::kOverlapped},
+                             &over_sim);
+      ASSERT_TRUE(os.ok()) << os.status().ToString();
+      ASSERT_EQ(os->rel.rows(), ref->rel.rows());
+      ASSERT_TRUE(CountersEqual(over_sim, serial))
+          << "serial: " << serial.ToString()
+          << "\noverlapped: " << over_sim.ToString();
+      overlap_seen = std::max(overlap_seen, over_sim.net_overlap_ns);
+      inflight_seen = std::max(inflight_seen, over_sim.net_inflight_max);
+
+      for (int run = 0; run < 30; ++run) {
+        const bool overlapped = (run % 2) == 1;
+        QueryMetrics thr;
+        auto r = exec.Execute(
+            *plan,
+            KbaExecOptions{.workers = workers,
+                           .parallel_mode = ParallelMode::kThreads,
+                           .fanout = overlapped ? FanoutMode::kOverlapped
+                                                : FanoutMode::kSerial},
+            &thr);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        ASSERT_EQ(r->rel.rows(), ref->rel.rows()) << "run " << run;
+        ASSERT_TRUE(CountersEqual(thr, serial))
+            << "run " << run << "\n  serial: " << serial.ToString()
+            << "\n  threaded: " << thr.ToString();
+        if (overlapped) {
+          ASSERT_EQ(thr.net_overlap_ns, over_sim.net_overlap_ns)
+              << "run " << run;
+          ASSERT_EQ(thr.net_inflight_max, over_sim.net_inflight_max)
+              << "run " << run;
+        } else {
+          ASSERT_EQ(thr.net_overlap_ns, 0u) << "run " << run;
+        }
+      }
+    }
+    if (!cluster_->cache_enabled()) {
+      // At workers < nodes each worker's batch spans several nodes, so
+      // the sweep must have hidden time behind concurrent batches; at
+      // workers >= nodes the node-aligned partition makes every batch
+      // single-node, which is why the check aggregates over the sweep.
+      EXPECT_GT(overlap_seen, 0u);
+      EXPECT_GT(inflight_seen, 1u);
+    }
+  }
+}
+
+TEST_P(AsyncParityFixture, EveryQueryShapeAgreesAcrossFanoutModes) {
+  // Point lookups, stats pushdown, scans-with-aggregates: the whole MOT
+  // sweep on the auto route at the interesting worker counts.
+  Connection conn = zidian_->Connect();
+  for (const auto& q : workload_.queries) {
+    SCOPED_TRACE(q.name);
+    auto prepared = conn.Prepare(q.sql);
+    ASSERT_TRUE(prepared.ok()) << prepared.status().ToString();
+    if (cluster_->cache_enabled()) {
+      auto warm = prepared->Execute(ExecOptions{.workers = 8});
+      ASSERT_TRUE(warm.ok()) << warm.status().ToString();
+    }
+    for (int workers : {1, 8}) {
+      AnswerInfo serial;
+      auto ref =
+          prepared->Execute(ExecOptions{.workers = workers}, &serial);
+      ASSERT_TRUE(ref.ok()) << ref.status().ToString();
+      for (ParallelMode mode :
+           {ParallelMode::kSimulated, ParallelMode::kThreads}) {
+        AnswerInfo over;
+        auto r = prepared->Execute(
+            ExecOptions{.workers = workers,
+                        .parallel_mode = mode,
+                        .fanout = FanoutMode::kOverlapped},
+            &over);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        EXPECT_EQ(r->ToString(1u << 20), ref->ToString(1u << 20))
+            << "workers=" << workers;
+        EXPECT_TRUE(CountersEqual(over.metrics, serial.metrics))
+            << "workers=" << workers
+            << "\n  serial: " << serial.metrics.ToString()
+            << "\n  overlapped: " << over.metrics.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, AsyncParityFixture,
+                         ::testing::Values(BackendKind::kLsm,
+                                           BackendKind::kMem),
+                         [](const auto& info) {
+                           return std::string(BackendKindName(info.param));
+                         });
+
+}  // namespace
+}  // namespace zidian

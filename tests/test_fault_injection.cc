@@ -5,7 +5,12 @@
 // kUnavailable at the Cluster and with a structured AnswerInfo error at
 // the query layer, and every fault counter is a pure function of (seed,
 // request stream): bit-identical across ParallelMode::kSimulated /
-// kThreads, across worker counts, and under any batch partitioning.
+// kThreads, across worker counts, and under any batch partitioning — and
+// across fan-out shapes: the overlapped per-node fan-out
+// (Cluster::MultiGetAsync, FanoutMode::kOverlapped) runs the same
+// recovery machine with its per-node completions racing, and must land
+// on the same rows, per-key outcomes and bit-identical fault counters as
+// the serial fan-out.
 #include <gtest/gtest.h>
 
 #include <memory>
@@ -309,6 +314,151 @@ TEST(ClusterRecoveryTest, HedgedReadsWinDeterministically) {
       << "m1: " << m1.ToString() << "\nm2: " << m2.ToString();
 }
 
+// --------------------------- cluster: recovery through MultiGetAsync ---
+
+// The overlapped fan-out runs the same recovery machine per node batch,
+// with the completions racing each other — and must land on the same
+// per-key outcomes and the same bit-identical fault counters as the
+// serial fan-out. CacheFill::kNoFill keeps the compared runs cold under
+// the cache-enabled ctest configuration.
+
+TEST(ClusterRecoveryAsyncTest, ReplicaRescueMatchesSyncThroughAsyncFanout) {
+  ClusterOptions co{.num_storage_nodes = 4, .backend = BackendKind::kMem};
+  co.network.link.rtt_us = 5;
+  co.network.faults.seed = 11;
+  NodeFaultOptions down;
+  down.down_from = 0;
+  down.down_until = 1;  // node 0 rejects every key, every attempt
+  co.network.faults.node_faults = {down};
+  co.recovery = RecoveryOptions{.replication_factor = 2, .max_attempts = 3};
+  Cluster cluster(co);
+  std::vector<std::string> keys = SeedKeys(&cluster, 60);
+  uint64_t on_node0 = 0;
+  for (const auto& k : keys) on_node0 += cluster.NodeFor(k) == 0;
+  ASSERT_GT(on_node0, 0u);
+
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms, CacheFill::kNoFill);
+  ASSERT_TRUE(sync_res.ok()) << sync_res.status.ToString();
+
+  QueryMetrics ma;
+  AsyncMultiGet handle = cluster.MultiGetAsync(keys, &ma, CacheFill::kNoFill);
+  FanoutStats fs;
+  MultiGetResult async_res = handle.Finish(&fs);
+  ASSERT_TRUE(async_res.ok()) << async_res.status.ToString();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_TRUE(async_res[i].has_value()) << keys[i];
+    EXPECT_EQ(*async_res[i], *sync_res[i]);
+    EXPECT_FALSE(async_res.Failed(i));
+  }
+  // Rescues metered identically: every node-0 primary failed round 0 and
+  // was rescued by the node-1 replica — on the async path exactly as on
+  // the sync one, to the bit.
+  EXPECT_EQ(ma.net_faults_injected, on_node0);
+  EXPECT_EQ(ma.net_retries, on_node0);
+  EXPECT_EQ(FaultCounters(ma), FaultCounters(ms));
+  EXPECT_TRUE(CountersEqual(ms, ma))
+      << "sync: " << ms.ToString() << "\nasync: " << ma.ToString();
+  // All four nodes' recovery machines genuinely raced in flight.
+  EXPECT_EQ(fs.inflight_max, 4u);
+  EXPECT_GT(fs.overlap_ns, 0u);
+}
+
+TEST(ClusterRecoveryAsyncTest, CleanExhaustionMatchesSyncThroughAsyncFanout) {
+  ClusterOptions co{.num_storage_nodes = 4, .backend = BackendKind::kMem};
+  co.network.link.rtt_us = 5;
+  co.network.faults.seed = 11;
+  NodeFaultOptions down;
+  down.down_from = 0;
+  down.down_until = 1;
+  co.network.faults.node_faults = {down};
+  // Single copy: keys whose primary is node 0 have nowhere to go.
+  Cluster cluster(co);
+  std::vector<std::string> keys = SeedKeys(&cluster, 40);
+  keys.push_back("fault-key-absent");  // absent ≠ unreachable, async too
+
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms, CacheFill::kNoFill);
+  ASSERT_FALSE(sync_res.ok());
+
+  QueryMetrics ma;
+  AsyncMultiGet handle = cluster.MultiGetAsync(keys, &ma, CacheFill::kNoFill);
+  // Verdicts are decided at issue: the failure is visible on the handle
+  // before any stall is paid, and surviving batches still complete.
+  EXPECT_TRUE(handle.result().status.IsUnavailable())
+      << handle.result().status.ToString();
+  FanoutStats fs;
+  MultiGetResult async_res = handle.Finish(&fs);
+  ASSERT_FALSE(async_res.ok());
+  EXPECT_TRUE(async_res.status.IsUnavailable()) << async_res.status.ToString();
+  for (size_t i = 0; i < keys.size(); ++i) {
+    ASSERT_EQ(async_res[i].has_value(), sync_res[i].has_value()) << keys[i];
+    if (sync_res[i].has_value()) {
+      EXPECT_EQ(*async_res[i], *sync_res[i]);
+    }
+    EXPECT_EQ(async_res.Failed(i), sync_res.Failed(i)) << keys[i];
+    if (cluster.NodeFor(keys[i]) == 0) {
+      EXPECT_TRUE(async_res.Failed(i));
+    }
+  }
+  EXPECT_FALSE(async_res.Failed(keys.size() - 1));  // absent, not failed
+  EXPECT_EQ(FaultCounters(ma), FaultCounters(ms));
+  EXPECT_TRUE(CountersEqual(ms, ma))
+      << "sync: " << ms.ToString() << "\nasync: " << ma.ToString();
+}
+
+TEST(ClusterRecoveryAsyncTest, HedgeDeterminismHoldsThroughAsyncFanout) {
+  ClusterOptions co{.num_storage_nodes = 4, .backend = BackendKind::kMem};
+  co.network.link = NetworkLinkOptions{.rtt_us = 10, .per_key_us = 2};
+  co.network.faults.seed = 3;
+  NodeFaultOptions degraded;
+  degraded.degraded_from = 0;
+  degraded.degraded_until = 1;
+  degraded.degrade_factor = 50;  // node 0 serves 50x slower
+  co.network.faults.node_faults = {degraded};
+  co.recovery = RecoveryOptions{.replication_factor = 2,
+                                .max_attempts = 3,
+                                .hedge_after_us = 20};
+  Cluster cluster(co);
+  std::vector<std::string> keys = SeedKeys(&cluster, 60);
+  uint64_t on_node0 = 0;
+  for (const auto& k : keys) on_node0 += cluster.NodeFor(k) == 0;
+  ASSERT_GT(on_node0, 0u);
+
+  QueryMetrics ms;
+  MultiGetResult sync_res = cluster.MultiGet(keys, &ms, CacheFill::kNoFill);
+  ASSERT_TRUE(sync_res.ok());
+
+  // Hedge verdicts are pure functions of (seed, key, estimate) — the
+  // racing per-node completions of the async fan-out cannot move them,
+  // run after run.
+  QueryMetrics first_run;
+  for (int run = 0; run < 3; ++run) {
+    QueryMetrics ma;
+    AsyncMultiGet handle =
+        cluster.MultiGetAsync(keys, &ma, CacheFill::kNoFill);
+    FanoutStats fs;
+    MultiGetResult async_res = handle.Finish(&fs);
+    ASSERT_TRUE(async_res.ok()) << async_res.status.ToString();
+    for (size_t i = 0; i < keys.size(); ++i) {
+      ASSERT_TRUE(async_res[i].has_value()) << keys[i];
+      EXPECT_EQ(*async_res[i], *sync_res[i]);
+    }
+    EXPECT_EQ(ma.net_hedges, on_node0) << "run " << run;
+    EXPECT_EQ(ma.net_hedge_wins, on_node0) << "run " << run;
+    EXPECT_EQ(ma.net_faults_injected, 0u) << "run " << run;
+    EXPECT_EQ(FaultCounters(ma), FaultCounters(ms)) << "run " << run;
+    EXPECT_TRUE(CountersEqual(ms, ma))
+        << "run " << run << "\nsync: " << ms.ToString()
+        << "\nasync: " << ma.ToString();
+    if (run == 0) {
+      first_run = ma;
+    } else {
+      EXPECT_TRUE(CountersEqual(first_run, ma)) << "run " << run;
+    }
+  }
+}
+
 // ------------------------------- query layer: determinism under chaos ---
 
 // A recoverable chaos schedule over the full middleware: node 0 rejects a
@@ -387,19 +537,36 @@ class FaultParityFixture : public ::testing::TestWithParam<BackendKind> {
         EXPECT_EQ(FaultCounters(sim.metrics), reference_faults);
       }
 
-      for (int run = 0; run < 2; ++run) {
-        AnswerInfo thr;
-        auto r = prepared->Execute(
-            ExecOptions{.workers = workers,
-                        .parallel_mode = ParallelMode::kThreads},
-            &thr);
-        ASSERT_TRUE(r.ok()) << r.status().ToString();
-        ASSERT_EQ(r->ToString(1u << 20), reference_rows)
-            << "workers " << workers << " run " << run;
-        ASSERT_TRUE(CountersEqual(thr.metrics, sim.metrics))
-            << "workers " << workers << " run " << run
+      // Both fan-out shapes under both parallel modes: the overlapped
+      // fan-out (Cluster::MultiGetAsync) runs every node's recovery
+      // machine with the completions racing, and still may not move a
+      // row or a fault counter.
+      for (FanoutMode fanout : {FanoutMode::kSerial, FanoutMode::kOverlapped}) {
+        AnswerInfo osim;
+        auto o = prepared->Execute(
+            ExecOptions{.workers = workers, .fanout = fanout}, &osim);
+        ASSERT_TRUE(o.ok()) << o.status().ToString();
+        ASSERT_EQ(o->ToString(1u << 20), reference_rows)
+            << "workers " << workers;
+        ASSERT_TRUE(CountersEqual(osim.metrics, sim.metrics))
+            << "workers " << workers
             << "\n  sim: " << sim.metrics.ToString()
-            << "\n  thr: " << thr.metrics.ToString();
+            << "\n  overlapped: " << osim.metrics.ToString();
+        for (int run = 0; run < 2; ++run) {
+          AnswerInfo thr;
+          auto r = prepared->Execute(
+              ExecOptions{.workers = workers,
+                          .parallel_mode = ParallelMode::kThreads,
+                          .fanout = fanout},
+              &thr);
+          ASSERT_TRUE(r.ok()) << r.status().ToString();
+          ASSERT_EQ(r->ToString(1u << 20), reference_rows)
+              << "workers " << workers << " run " << run;
+          ASSERT_TRUE(CountersEqual(thr.metrics, sim.metrics))
+              << "workers " << workers << " run " << run
+              << "\n  sim: " << sim.metrics.ToString()
+              << "\n  thr: " << thr.metrics.ToString();
+        }
       }
     }
   }
